@@ -1,0 +1,65 @@
+"""Ablation B — deletion policy vs file size (Section 5.3's lesson).
+
+The paper's improved deletion ("new, delete") removes the per-block
+predecessor searches; the gain grows with list length (more for
+10 KB files than 1 KB).  This ablation sweeps file sizes and reports
+the deletion overhead of each policy relative to the old prototype,
+extending the paper's two data points into a curve.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table, percent_difference
+from repro.harness.variants import VARIANTS, build_variant, paper_geometry
+from repro.workloads.smallfile import run_small_files
+
+from benchmarks.conftest import full_scale, report_table
+
+FILE_BLOCKS = [1, 2, 4, 8, 16]
+N_FILES = 400 if full_scale() else 120
+
+
+def measure(variant_name: str, blocks: int) -> float:
+    _d, _l, fs = build_variant(
+        VARIANTS[variant_name],
+        geometry=paper_geometry(0.5),
+        n_inodes=max(256, N_FILES + 64),
+    )
+    result = run_small_files(fs, N_FILES, blocks * 4096)
+    return result.delete_fps
+
+
+@pytest.mark.benchmark(group="ablation-delete")
+def test_delete_policy_sweep(benchmark):
+    def run():
+        rows = {"new (per-block)": [], "new,delete (whole-list)": []}
+        for blocks in FILE_BLOCKS:
+            old = measure("old", blocks)
+            rows["new (per-block)"].append(
+                percent_difference(old, measure("new", blocks))
+            )
+            rows["new,delete (whole-list)"].append(
+                percent_difference(old, measure("new_delete", blocks))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation B — deletion overhead vs file size "
+        "(% slower than 'old', simulated)",
+        [f"{blocks * 4}KB" for blocks in FILE_BLOCKS],
+        rows,
+    )
+    report_table("ablation_delete", table)
+    per_block = rows["new (per-block)"]
+    whole_list = rows["new,delete (whole-list)"]
+    for index in range(len(FILE_BLOCKS)):
+        benchmark.extra_info[f"per_block_{FILE_BLOCKS[index] * 4}kb"] = round(
+            per_block[index], 1
+        )
+        # The improved policy is never worse.
+        assert whole_list[index] <= per_block[index] + 1.0
+    # The paper's shape: the advantage of whole-list deletion grows
+    # with file size (longer predecessor searches avoided).
+    gaps = [p - w for p, w in zip(per_block, whole_list)]
+    assert gaps[-1] > gaps[0], gaps

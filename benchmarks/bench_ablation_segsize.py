@@ -1,0 +1,80 @@
+"""Ablation F — sensitivity to the segment size.
+
+The paper fixes 0.5 MB segments (inherited from the LD paper) without
+exploring the choice.  This ablation sweeps the segment size under the
+small-file workload and reports (a) absolute old-prototype throughput
+— bigger segments amortize the per-write seek until the gain
+saturates — and (b) the concurrent-ARU overhead, which is CPU-bound
+meta-data work and should be largely insensitive to the segment size.
+"""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.harness.reporting import format_table, percent_difference
+from repro.harness.variants import VARIANTS, build_variant
+from repro.workloads.smallfile import run_small_files
+
+from benchmarks.conftest import full_scale, report_table
+
+SEGMENT_KB = [64, 128, 256, 512, 1024]
+N_FILES = 2000 if full_scale() else 500
+
+
+def measure(segment_kb: int):
+    partition_bytes = 160 * 1024 * 1024
+    geometry = DiskGeometry(
+        block_size=4096,
+        segment_size=segment_kb * 1024,
+        num_segments=partition_bytes // (segment_kb * 1024),
+    )
+    results = {}
+    for name in ("old", "new"):
+        _d, _l, fs = build_variant(
+            VARIANTS[name], geometry=geometry, n_inodes=N_FILES + 128
+        )
+        results[name] = run_small_files(fs, N_FILES, 1024)
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-segsize")
+def test_segment_size_sweep(benchmark):
+    def run():
+        rows = {
+            "old C+W (files/s)": [],
+            "old D (files/s)": [],
+            "ARU overhead C+W (%)": [],
+            "ARU overhead D (%)": [],
+        }
+        for segment_kb in SEGMENT_KB:
+            results = measure(segment_kb)
+            old, new = results["old"], results["new"]
+            rows["old C+W (files/s)"].append(old.create_write_fps)
+            rows["old D (files/s)"].append(old.delete_fps)
+            rows["ARU overhead C+W (%)"].append(
+                percent_difference(old.create_write_fps, new.create_write_fps)
+            )
+            rows["ARU overhead D (%)"].append(
+                percent_difference(old.delete_fps, new.delete_fps)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation F — segment-size sensitivity "
+        f"(small-file workload, {N_FILES} x 1 KB files)",
+        [f"{kb}KB" for kb in SEGMENT_KB],
+        rows,
+    )
+    report_table("ablation_segsize", table)
+    for index, kb in enumerate(SEGMENT_KB):
+        benchmark.extra_info[f"cw_overhead_{kb}kb"] = round(
+            rows["ARU overhead C+W (%)"][index], 1
+        )
+    # Bigger segments help absolute throughput (amortized seeks) ...
+    assert rows["old C+W (files/s)"][-1] > rows["old C+W (files/s)"][0]
+    # ... while the ARU overhead stays in the same band throughout
+    # (it is CPU-bound meta-data work, not I/O).
+    overheads = rows["ARU overhead C+W (%)"]
+    assert max(overheads) - min(overheads) < 10.0, overheads
+    assert all(0.0 <= value <= 15.0 for value in overheads), overheads

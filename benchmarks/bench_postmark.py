@@ -1,0 +1,58 @@
+"""PostMark-style mixed workload across the Table 1 variants.
+
+A contemporary (1997) mail/news-server benchmark shape: a churning
+pool of small files.  Every create and delete goes through an ARU on
+the new variants, so the transaction mix blends the Figure 5 columns
+into one number per variant — with the expected ordering: old is
+fastest, new slowest, the improved deletion in between.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table, percent_difference
+from repro.harness.variants import VARIANTS, build_variant, paper_geometry
+from repro.workloads.postmark import run_postmark
+
+from benchmarks.conftest import full_scale, report_table
+
+N_FILES = 500 if full_scale() else 150
+N_TRANSACTIONS = 5000 if full_scale() else 1200
+
+_RESULTS = {}
+
+
+@pytest.mark.benchmark(group="postmark")
+@pytest.mark.parametrize("variant", ["old", "new", "new_delete"])
+def test_postmark(benchmark, variant):
+    def run():
+        _d, _l, fs = build_variant(
+            VARIANTS[variant],
+            geometry=paper_geometry(0.4),
+            n_inodes=4 * N_FILES + 128,
+        )
+        return run_postmark(
+            fs, n_files=N_FILES, n_transactions=N_TRANSACTIONS
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[variant] = result
+    benchmark.extra_info["tps_simulated"] = round(result.tps, 1)
+    benchmark.extra_info["ops"] = dict(result.ops)
+    if len(_RESULTS) == 3:
+        table = format_table(
+            f"PostMark-style mixed workload ({N_FILES} file pool, "
+            f"{N_TRANSACTIONS} transactions)",
+            ["tx/s (simulated)", "vs old (%)"],
+            {
+                name: [
+                    res.tps,
+                    percent_difference(_RESULTS["old"].tps, res.tps),
+                ]
+                for name, res in _RESULTS.items()
+            },
+        )
+        report_table("postmark", table)
+        # The Figure 5 ordering must blend through: old fastest, the
+        # improved deletion between old and new.
+        assert _RESULTS["old"].tps > _RESULTS["new"].tps
+        assert _RESULTS["new_delete"].tps >= _RESULTS["new"].tps * 0.99

@@ -1,0 +1,67 @@
+"""Ablation D — recovery-time scaling and the value of checkpoints.
+
+The paper notes that with ARUs "file systems do not need specialized
+recovery procedures"; the cost that remains is LLD's own summary
+scan.  This bench measures simulated recovery time as the log grows,
+with and without a checkpoint, and reports the speedup.
+"""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.fs import MinixFS
+from repro.harness.reporting import format_table
+from repro.lld.lld import LLD
+from repro.lld.recovery import recover
+
+from benchmarks.conftest import full_scale, report_table
+
+N_FILES = 2000 if full_scale() else 400
+
+
+def build_populated(checkpoint: bool):
+    geo = DiskGeometry.small(num_segments=256)
+    disk = SimulatedDisk(geo)
+    lld = LLD(disk, checkpoint_slot_segments=2)
+    fs = MinixFS.mkfs(lld, n_inodes=N_FILES + 128)
+    for index in range(N_FILES):
+        path = f"/f{index}"
+        fs.create(path)
+        fs.write_file(path, b"x" * 1500)
+    fs.sync()
+    if checkpoint:
+        lld.write_checkpoint()
+    return disk
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_recovery_with_and_without_checkpoint(benchmark):
+    def run():
+        results = {}
+        for label, checkpoint in (("no checkpoint", False), ("checkpoint", True)):
+            disk = build_populated(checkpoint)
+            lld, report = recover(
+                disk.power_cycle(), checkpoint_slot_segments=2
+            )
+            fs = MinixFS.mount(lld)
+            assert fs.exists(f"/f{N_FILES - 1}")
+            results[label] = (
+                report.recovery_time_us / 1000.0,
+                float(report.entries_replayed),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        f"Ablation D — recovery cost after {N_FILES} file creations "
+        "(simulated)",
+        ["recovery ms", "entries replayed"],
+        {name: list(values) for name, values in results.items()},
+    )
+    report_table("recovery_checkpoint", table)
+    benchmark.extra_info["speedup"] = round(
+        results["no checkpoint"][0] / max(results["checkpoint"][0], 1e-9), 1
+    )
+    assert results["checkpoint"][1] < results["no checkpoint"][1]
+    assert results["checkpoint"][0] < results["no checkpoint"][0]

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs on environments whose
+setuptools predates PEP 660 (the offline toolchain used here)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: concurrent atomic recovery units.
+
+This package implements the version machinery of Section 3 — the
+shadow / committed / persistent block and list versions, the
+perpendicular in-memory record chains of Section 4, the per-ARU
+list-operation log, and the three read-visibility policies of
+Section 3.3.  The log-structured logical disk (:mod:`repro.lld`)
+drives these structures; they are kept separate so a different LD
+implementation could reuse them (the paper notes other LD
+implementations "will have to utilize at least a meta-data update log
+... to fully support multiple shadow states").
+"""
+
+from repro.core.aru import ARURecord, ARUTable
+from repro.core.oplog import ListOp, ListOpKind, ListOpLog
+from repro.core.records import BlockVersion, ChainRoot, ListVersion, StateChain
+from repro.core.versions import VersionState
+from repro.core.visibility import Visibility
+
+__all__ = [
+    "ARURecord",
+    "ARUTable",
+    "BlockVersion",
+    "ChainRoot",
+    "ListOp",
+    "ListOpKind",
+    "ListOpLog",
+    "ListVersion",
+    "StateChain",
+    "VersionState",
+    "Visibility",
+]

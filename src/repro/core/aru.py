@@ -1,0 +1,118 @@
+"""ARU records and the table of active atomic recovery units.
+
+Each active ARU owns (Figure 4 of the paper): a chain of its shadow
+block records, a chain of its shadow list records, and its
+list-operation log.  The :class:`ARUTable` hands out identifiers,
+tracks which ARUs are active, and enforces the concurrency mode
+(the "old" prototype supports only sequential — one at a time —
+ARUs; the "new" prototype supports arbitrarily many concurrent
+ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.core.oplog import ListOpLog
+from repro.core.records import StateChain
+from repro.errors import BadARUError, ConcurrencyError
+from repro.ld.types import ARUId
+
+
+class ARURecord:
+    """Internal state of one active atomic recovery unit."""
+
+    __slots__ = (
+        "aru_id",
+        "shadow_blocks",
+        "shadow_lists",
+        "oplog",
+        "op_count",
+        "begin_timestamp",
+    )
+
+    def __init__(self, aru_id: ARUId, begin_timestamp: int) -> None:
+        self.aru_id = aru_id
+        self.shadow_blocks = StateChain()
+        self.shadow_lists = StateChain()
+        self.oplog = ListOpLog()
+        self.op_count = 0
+        self.begin_timestamp = begin_timestamp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ARU {self.aru_id}: {len(self.shadow_blocks)} shadow blocks, "
+            f"{len(self.shadow_lists)} shadow lists, "
+            f"{len(self.oplog)} logged list ops>"
+        )
+
+
+class ARUTable:
+    """Allocates ARU identifiers and tracks active ARUs.
+
+    Args:
+        concurrent: When False the table models the original LLD
+            prototype and refuses to start a second ARU while one is
+            active.
+    """
+
+    def __init__(self, concurrent: bool = True, first_id: int = 1) -> None:
+        self.concurrent = concurrent
+        self._active: Dict[ARUId, ARURecord] = {}
+        self._next_id = first_id
+        self.total_begun = 0
+        self.total_committed = 0
+        self.total_aborted = 0
+
+    def begin(self, timestamp: int) -> ARURecord:
+        """Start a new ARU and return its record."""
+        if not self.concurrent and self._active:
+            active = next(iter(self._active))
+            raise ConcurrencyError(
+                f"sequential-ARU mode: ARU {active} is still active"
+            )
+        aru_id = ARUId(self._next_id)
+        self._next_id += 1
+        record = ARURecord(aru_id, timestamp)
+        self._active[aru_id] = record
+        self.total_begun += 1
+        return record
+
+    def get(self, aru_id: ARUId) -> ARURecord:
+        """Look up an active ARU, raising :class:`BadARUError` if absent."""
+        try:
+            return self._active[aru_id]
+        except KeyError:
+            raise BadARUError(int(aru_id)) from None
+
+    def finish(self, aru_id: ARUId, committed: bool) -> ARURecord:
+        """Remove an ARU from the active table (commit or abort)."""
+        record = self.get(aru_id)
+        del self._active[aru_id]
+        if committed:
+            self.total_committed += 1
+        else:
+            self.total_aborted += 1
+        return record
+
+    @property
+    def next_id(self) -> int:
+        """The identifier the next BeginARU will receive."""
+        return self._next_id
+
+    def set_next_id(self, next_id: int) -> None:
+        """Advance the identifier counter (used after recovery so new
+        ARUs never collide with identifiers seen in the log)."""
+        self._next_id = max(self._next_id, next_id)
+
+    @property
+    def active_count(self) -> int:
+        """Number of currently active ARUs."""
+        return len(self._active)
+
+    def active_ids(self) -> Iterator[ARUId]:
+        """Iterate identifiers of active ARUs."""
+        return iter(self._active.keys())
+
+    def __contains__(self, aru_id: ARUId) -> bool:
+        return aru_id in self._active

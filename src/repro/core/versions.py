@@ -1,0 +1,32 @@
+"""The three version classes of Section 3.1.
+
+A logical block (or list) can exist in up to ``n + 2`` versions at
+once, for ``n`` active ARUs: one *shadow* version per ARU that
+modified it, one *committed* version (ended ARUs and finished simple
+operations, not yet on disk), and one *persistent* version (on disk,
+commit record flushed).  Recovery is always to the persistent
+version.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class VersionState(enum.IntEnum):
+    """Which class a block/list version belongs to.
+
+    The integer order matches the standardized search order of
+    Section 3.3 read in reverse: a lookup works from SHADOW down
+    through COMMITTED to PERSISTENT.
+    """
+
+    #: On disk; the owning ARU's commit record has been flushed.
+    PERSISTENT = 0
+    #: ARU committed (or simple operation finished) but not flushed.
+    COMMITTED = 1
+    #: Belongs to an ARU that has not committed yet.
+    SHADOW = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()

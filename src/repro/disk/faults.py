@@ -1,0 +1,139 @@
+"""Fault injection for the simulated disk.
+
+ARUs exist to protect clients against power failures and partial
+media failures (Section 3 of the paper).  This module provides the
+failure machinery the tests and torture examples use:
+
+* :class:`CrashPlan` cuts power after a chosen number of segment
+  writes, optionally *tearing* the final write so only a prefix of
+  the segment reaches the platter — the classic interrupted-write
+  failure a log-structured recovery scan must tolerate.
+* :class:`MediaFault` marks individual segments as unreadable or
+  silently corrupted, modelling partial media failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Optional
+
+from repro.errors import DiskCrashedError, MediaError
+
+
+@dataclasses.dataclass
+class CrashPlan:
+    """Deterministic power-failure schedule.
+
+    Attributes:
+        after_writes: Crash when this many segment writes have
+            completed.  The write that crosses the budget is the
+            *crashing* write.
+        torn: If True, the crashing write is partially applied (a
+            random prefix survives); if False it is dropped whole.
+        seed: Seed for the tear-point RNG, so failures replay
+            identically.
+    """
+
+    after_writes: int
+    torn: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.after_writes < 0:
+            raise ValueError("after_writes must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class MediaFault:
+    """A per-segment media failure.
+
+    ``kind`` is ``"unreadable"`` (reads raise :class:`MediaError`) or
+    ``"corrupt"`` (reads return bit-flipped data, exercising checksum
+    validation during recovery).
+    """
+
+    segment_no: int
+    kind: str = "unreadable"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("unreadable", "corrupt"):
+            raise ValueError(f"unknown media fault kind {self.kind!r}")
+
+
+class FaultInjector:
+    """Applies crash plans and media faults to a simulated disk.
+
+    The injector is consulted by :class:`repro.disk.simdisk.
+    SimulatedDisk` on every segment read and write.  It never touches
+    disk contents itself; it tells the disk what to do.
+    """
+
+    def __init__(
+        self,
+        crash_plan: Optional[CrashPlan] = None,
+        media_faults: Optional[Dict[int, MediaFault]] = None,
+    ) -> None:
+        self.crash_plan = crash_plan
+        self.media_faults: Dict[int, MediaFault] = dict(media_faults or {})
+        self.writes_seen = 0
+        self.crashed = False
+        self._rng = random.Random(crash_plan.seed if crash_plan else 0)
+
+    def add_media_fault(self, fault: MediaFault) -> None:
+        """Register a media fault for one segment."""
+        self.media_faults[fault.segment_no] = fault
+
+    def clear_media_fault(self, segment_no: int) -> None:
+        """Remove a media fault, if present (repaired sector)."""
+        self.media_faults.pop(segment_no, None)
+
+    def on_write(self, segment_no: int, nbytes: int) -> Optional[int]:
+        """Gate one segment write.
+
+        Returns:
+            None for a normal write; otherwise the number of bytes of
+            the write that survive (0 for a fully dropped write, or a
+            positive prefix length for a torn write).
+
+        Raises:
+            DiskCrashedError: If the disk already crashed.
+        """
+        if self.crashed:
+            raise DiskCrashedError(f"write to segment {segment_no} after crash")
+        if self.crash_plan is None:
+            self.writes_seen += 1
+            return None
+        if self.writes_seen >= self.crash_plan.after_writes:
+            self.crashed = True
+            if self.crash_plan.torn and nbytes > 1:
+                return self._rng.randrange(1, nbytes)
+            return 0
+        self.writes_seen += 1
+        return None
+
+    def on_read(self, segment_no: int, data: bytes) -> bytes:
+        """Gate one segment read, applying media faults.
+
+        Raises:
+            DiskCrashedError: If the disk has crashed (power is off).
+            MediaError: If the segment is marked unreadable.
+        """
+        if self.crashed:
+            raise DiskCrashedError(f"read of segment {segment_no} after crash")
+        fault = self.media_faults.get(segment_no)
+        if fault is None:
+            return data
+        if fault.kind == "unreadable":
+            raise MediaError(f"segment {segment_no} is unreadable")
+        return _flip_bits(data)
+
+    def power_cycle(self) -> None:
+        """Restore power after a crash (the recovery path may now read)."""
+        self.crashed = False
+        self.crash_plan = None
+
+
+def _flip_bits(data: bytes) -> bytes:
+    """Return ``data`` with every byte bit-flipped (detectably corrupt)."""
+    return bytes(b ^ 0xFF for b in data)

@@ -1,0 +1,261 @@
+"""A segment-granular simulated disk.
+
+LLD's write path is segment-at-a-time by construction ("segments that
+are filled in main memory and written to disk in single disk
+operations"), so the simulated disk exposes exactly that interface:
+whole-segment writes, whole-segment or intra-segment reads.  Contents
+are stored sparsely per segment; latency is charged to the shared
+:class:`~repro.disk.clock.SimClock` through a
+:class:`~repro.disk.timing.DiskTimer`.
+
+Failure injection is delegated to a
+:class:`~repro.disk.faults.FaultInjector`: power failures drop or
+tear in-flight segment writes, media faults corrupt reads.  After a
+simulated crash, :meth:`power_cycle` returns a *new* disk view of the
+surviving bytes, which is what the recovery scan reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.disk.clock import SimClock
+from repro.disk.faults import FaultInjector
+from repro.disk.geometry import DiskGeometry
+from repro.disk.timing import DiskModel, DiskTimer, HP_C3010
+
+
+class SimulatedDisk:
+    """Simulated segment-addressed disk with timing and faults.
+
+    Args:
+        geometry: Partition layout.
+        clock: Shared simulated clock; a private one is created if
+            omitted (convenient in unit tests).
+        model: Mechanical timing model; defaults to the paper's
+            HP C3010.
+        injector: Fault injector; defaults to a fault-free one.
+    """
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        clock: Optional[SimClock] = None,
+        model: DiskModel = HP_C3010,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.clock = clock if clock is not None else SimClock()
+        self.timer = DiskTimer(self.clock, model)
+        self.injector = injector if injector is not None else FaultInjector()
+        self._segments: Dict[int, bytes] = {}
+        self.write_count = 0
+        self.read_count = 0
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+
+    def write_segment(self, segment_no: int, data: bytes) -> None:
+        """Write one whole segment.
+
+        The write is synchronous: when this returns normally the
+        bytes are durable.  Under an active crash plan the write may
+        be dropped or torn, in which case :class:`DiskCrashedError`
+        is raised *after* the surviving prefix is recorded — exactly
+        the situation recovery must cope with.
+        """
+        offset = self.geometry.segment_offset(segment_no)
+        if len(data) != self.geometry.segment_size:
+            raise ValueError(
+                f"segment write must be exactly {self.geometry.segment_size} "
+                f"bytes, got {len(data)}"
+            )
+        surviving = self.injector.on_write(segment_no, len(data))
+        if surviving is None:
+            self.timer.access(offset, len(data))
+            self._segments[segment_no] = bytes(data)
+            self.write_count += 1
+            return
+        # Crashing write: record the torn prefix (padding the rest of
+        # the segment with stale bytes), then report the power loss.
+        if surviving > 0:
+            old = self._segments.get(segment_no, b"\x00" * len(data))
+            self._segments[segment_no] = data[:surviving] + old[surviving:]
+        from repro.errors import DiskCrashedError
+
+        raise DiskCrashedError(
+            f"power failure during write of segment {segment_no}"
+        )
+
+    def write_at(self, segment_no: int, offset: int, data: bytes) -> None:
+        """Write a byte range within a segment, in place.
+
+        LLD never needs this (it writes whole segments), but
+        overwrite-in-place clients such as :class:`repro.jld.JLD`
+        update home locations at block granularity.  The write counts
+        against crash plans like any other; a torn write keeps a
+        prefix.
+        """
+        if offset < 0 or offset + len(data) > self.geometry.segment_size:
+            raise ValueError(
+                f"write [{offset}, {offset + len(data)}) out of segment bounds"
+            )
+        surviving = self.injector.on_write(segment_no, len(data))
+        old = self._segments.get(
+            segment_no, b"\x00" * self.geometry.segment_size
+        )
+        if surviving is None:
+            self.timer.access(
+                self.geometry.segment_offset(segment_no) + offset, len(data)
+            )
+            self._segments[segment_no] = (
+                old[:offset] + data + old[offset + len(data):]
+            )
+            self.write_count += 1
+            return
+        if surviving > 0:
+            kept = data[:surviving]
+            self._segments[segment_no] = (
+                old[:offset] + kept + old[offset + len(kept):]
+            )
+        from repro.errors import DiskCrashedError
+
+        raise DiskCrashedError(
+            f"power failure during write into segment {segment_no}"
+        )
+
+    def read_segment(self, segment_no: int) -> bytes:
+        """Read one whole segment (zero-filled if never written)."""
+        return self.read(segment_no, 0, self.geometry.segment_size)
+
+    def read(self, segment_no: int, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at byte ``offset`` within a segment."""
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.geometry.segment_size:
+            raise ValueError(
+                f"read [{offset}, {offset + nbytes}) out of segment bounds"
+            )
+        base = self.geometry.segment_offset(segment_no)
+        raw = self._segments.get(segment_no)
+        if raw is None:
+            raw = b"\x00" * self.geometry.segment_size
+        raw = self.injector.on_read(segment_no, raw)
+        self.timer.access(base + offset, nbytes)
+        self.read_count += 1
+        return raw[offset : offset + nbytes]
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        """True while simulated power is off."""
+        return self.injector.crashed
+
+    def power_cycle(self) -> "SimulatedDisk":
+        """Restore power after a crash.
+
+        Returns a fresh :class:`SimulatedDisk` over the *same*
+        surviving bytes with a fresh clock position, modelling a
+        reboot: all in-memory state of the logical disk is gone, only
+        platter contents remain.
+        """
+        self.injector.power_cycle()
+        survivor = SimulatedDisk(
+            self.geometry,
+            clock=self.clock,
+            model=self.timer.model,
+            injector=self.injector,
+        )
+        survivor._segments = self._segments
+        return survivor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """I/O statistics snapshot for the harness."""
+        return {
+            "requests": self.timer.requests,
+            "sequential_requests": self.timer.sequential_requests,
+            "bytes_transferred": self.timer.bytes_transferred,
+            "busy_us": self.timer.busy_us,
+            "writes": self.write_count,
+            "reads": self.read_count,
+        }
+
+    # ------------------------------------------------------------------
+    # Image persistence
+    # ------------------------------------------------------------------
+
+    _IMAGE_MAGIC = b"LDIM"
+    _IMAGE_HEADER = "<4sHHIIII"
+
+    def save_image(self, path) -> int:
+        """Persist the disk contents to an image file.
+
+        Only written segments are stored, so images of mostly-empty
+        disks stay small.  Returns the number of segments saved.
+        Saving does not charge simulated time (it is a host-side
+        operation, like dd-ing a real disk).
+        """
+        import struct
+
+        geo = self.geometry
+        written = sorted(self._segments)
+        with open(path, "wb") as image:
+            image.write(
+                struct.pack(
+                    self._IMAGE_HEADER,
+                    self._IMAGE_MAGIC,
+                    1,
+                    0,
+                    geo.block_size,
+                    geo.segment_size,
+                    geo.num_segments,
+                    len(written),
+                )
+            )
+            for seg in written:
+                image.write(struct.pack("<I", seg))
+                image.write(self._segments[seg])
+        return len(written)
+
+    @classmethod
+    def load_image(
+        cls,
+        path,
+        clock: Optional[SimClock] = None,
+        model: DiskModel = HP_C3010,
+    ) -> "SimulatedDisk":
+        """Reconstruct a disk from an image written by
+        :meth:`save_image`."""
+        import struct
+
+        from repro.errors import CorruptionError
+
+        header_size = struct.calcsize(cls._IMAGE_HEADER)
+        with open(path, "rb") as image:
+            header = image.read(header_size)
+            if len(header) < header_size:
+                raise CorruptionError(f"{path}: truncated image header")
+            magic, version, _pad, block_size, segment_size, num, count = (
+                struct.unpack(cls._IMAGE_HEADER, header)
+            )
+            if magic != cls._IMAGE_MAGIC or version != 1:
+                raise CorruptionError(f"{path}: not an LD disk image")
+            geometry = DiskGeometry(
+                block_size=block_size,
+                segment_size=segment_size,
+                num_segments=num,
+            )
+            disk = cls(geometry, clock=clock, model=model)
+            for _ in range(count):
+                (seg,) = struct.unpack("<I", image.read(4))
+                data = image.read(segment_size)
+                if len(data) != segment_size:
+                    raise CorruptionError(f"{path}: truncated segment {seg}")
+                disk._segments[seg] = data
+        return disk

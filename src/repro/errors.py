@@ -1,0 +1,106 @@
+"""Exception hierarchy for the ARU / logical-disk reproduction.
+
+All errors raised by the library derive from :class:`LDError`, so a
+client can catch one type for any logical-disk failure.  The hierarchy
+distinguishes errors a client can act on (bad arguments, full disk)
+from internal-consistency failures that indicate a bug or corruption.
+"""
+
+from __future__ import annotations
+
+
+class LDError(Exception):
+    """Base class for all logical-disk errors."""
+
+
+class BadBlockError(LDError):
+    """A block identifier does not name an allocated block."""
+
+    def __init__(self, block_id: int, detail: str = "") -> None:
+        self.block_id = block_id
+        message = f"block {block_id} is not allocated"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class BadListError(LDError):
+    """A list identifier does not name an allocated list."""
+
+    def __init__(self, list_id: int, detail: str = "") -> None:
+        self.list_id = list_id
+        message = f"list {list_id} is not allocated"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class BadARUError(LDError):
+    """An ARU identifier does not name an active atomic recovery unit."""
+
+    def __init__(self, aru_id: int, detail: str = "") -> None:
+        self.aru_id = aru_id
+        message = f"ARU {aru_id} is not active"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class DiskFullError(LDError):
+    """The disk has no free segments left, even after cleaning."""
+
+
+class DiskCrashedError(LDError):
+    """The simulated disk has crashed; no further I/O is possible."""
+
+
+class MediaError(LDError):
+    """A (partial) media failure corrupted the requested sectors."""
+
+
+class CorruptionError(LDError):
+    """On-disk state failed validation (bad magic, checksum, format)."""
+
+
+class ConcurrencyError(LDError):
+    """An operation violated the concurrency rules of the interface."""
+
+
+class LockError(LDError):
+    """Base class for lock-manager errors."""
+
+
+class DeadlockError(LockError):
+    """Acquiring a lock would create a deadlock (wait-die abort)."""
+
+
+class TransactionAborted(LDError):
+    """The enclosing transaction was aborted and must be retried."""
+
+
+class FSError(LDError):
+    """Base class for file-system level errors."""
+
+
+class FileNotFoundFSError(FSError):
+    """Path lookup failed."""
+
+
+class FileExistsFSError(FSError):
+    """Attempt to create an entry that already exists."""
+
+
+class NotADirectoryFSError(FSError):
+    """Path component is not a directory."""
+
+
+class IsADirectoryFSError(FSError):
+    """File operation applied to a directory."""
+
+
+class DirectoryNotEmptyFSError(FSError):
+    """Attempt to remove a non-empty directory."""
+
+
+class NoSpaceFSError(FSError):
+    """The file system ran out of inodes or data space."""

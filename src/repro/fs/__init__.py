@@ -1,0 +1,31 @@
+"""MinixLLD: a Minix-style file system on the logical disk.
+
+The paper's evaluation runs the Minix file system [Tanenbaum] on top
+of LLD, modified so that all directory and file creation, and all
+file deletion, execute inside ARUs: the file's i-node and its
+directory's data change as one failure-atomic unit, making ``fsck``
+unnecessary (Section 5.1).  LLD owns all disk management, so the file
+system carries no allocation bitmaps or layout code — each file's
+data lives in its own LD block list, i-nodes live in a fixed i-node
+list, and the directory tree is ordinary file data.
+
+Two deletion policies reproduce the paper's "new" vs "new, delete"
+variants: ``per_block`` deallocates a file's blocks one at a time
+(from the end, like Minix's truncate — forcing LLD predecessor
+searches), ``whole_list`` simply deletes the file's list and lets LLD
+pop blocks from the head (Section 5.3's improved deletion).
+"""
+
+from repro.fs.filesystem import FileHandle, MinixFS
+from repro.fs.fsck import FsckProblem, FsckReport, fsck
+from repro.fs.inode import Inode, InodeKind
+
+__all__ = [
+    "FileHandle",
+    "FsckProblem",
+    "FsckReport",
+    "Inode",
+    "InodeKind",
+    "MinixFS",
+    "fsck",
+]

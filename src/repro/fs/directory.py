@@ -1,0 +1,90 @@
+"""Directory entries: fixed-size records in a directory's data blocks.
+
+A directory is an ordinary file whose blocks hold 32-byte entries:
+a 4-byte i-node number (0 = free slot) and a NUL-padded name of up to
+27 bytes.  This mirrors Minix's fixed-size directory slots; freeing a
+slot just zeroes its i-node number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import FSError
+
+#: ino(I) name(28s)
+_DIRENT_FMT = "<I28s"
+DIRENT_SIZE = struct.calcsize(_DIRENT_FMT)
+MAX_NAME = 27
+
+
+@dataclasses.dataclass(frozen=True)
+class Dirent:
+    """One directory entry."""
+
+    ino: int
+    name: str
+
+    def encode(self) -> bytes:
+        raw_name = self.name.encode("utf-8")
+        if len(raw_name) > MAX_NAME:
+            raise FSError(f"name too long ({len(raw_name)} > {MAX_NAME} bytes)")
+        return struct.pack(_DIRENT_FMT, self.ino, raw_name)
+
+
+def validate_name(name: str) -> None:
+    """Reject names a directory cannot hold."""
+    if not name or name in (".", ".."):
+        raise FSError(f"invalid file name {name!r}")
+    if "/" in name or "\x00" in name:
+        raise FSError(f"invalid character in file name {name!r}")
+    if len(name.encode("utf-8")) > MAX_NAME:
+        raise FSError(f"name too long: {name!r}")
+
+
+def entries_per_block(block_size: int) -> int:
+    """How many directory entries fit in one block."""
+    return block_size // DIRENT_SIZE
+
+
+def iter_entries(raw: bytes) -> Iterator[Tuple[int, Dirent]]:
+    """Yield (byte offset, entry) for every *used* slot in a block."""
+    for offset in range(0, len(raw) - DIRENT_SIZE + 1, DIRENT_SIZE):
+        ino, raw_name = struct.unpack_from(_DIRENT_FMT, raw, offset)
+        if ino == 0:
+            continue
+        name = raw_name.rstrip(b"\x00").decode("utf-8", errors="replace")
+        yield offset, Dirent(ino, name)
+
+
+def find_entry(raw: bytes, name: str) -> Optional[Tuple[int, Dirent]]:
+    """Locate the entry with ``name`` in a block, if present."""
+    for offset, entry in iter_entries(raw):
+        if entry.name == name:
+            return offset, entry
+    return None
+
+
+def find_free_slot(raw: bytes) -> Optional[int]:
+    """Byte offset of the first free slot in a block, if any."""
+    for offset in range(0, len(raw) - DIRENT_SIZE + 1, DIRENT_SIZE):
+        (ino,) = struct.unpack_from("<I", raw, offset)
+        if ino == 0:
+            return offset
+    return None
+
+
+def patch_block(raw: bytes, offset: int, entry: Optional[Dirent]) -> bytes:
+    """Return ``raw`` with the slot at ``offset`` set (or cleared)."""
+    record = entry.encode() if entry is not None else b"\x00" * DIRENT_SIZE
+    return raw[:offset] + record + raw[offset + DIRENT_SIZE :]
+
+
+def used_entries(blocks: List[bytes]) -> List[Dirent]:
+    """All used entries across a directory's data blocks, in order."""
+    found: List[Dirent] = []
+    for raw in blocks:
+        found.extend(entry for _offset, entry in iter_entries(raw))
+    return found

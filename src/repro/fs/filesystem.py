@@ -1,0 +1,955 @@
+"""The MinixLLD file system.
+
+A deliberately Minix-shaped file system whose entire disk management
+is delegated to the logical disk: files and directories are LD block
+lists, i-nodes live in a fixed i-node list, and there are no bitmaps
+or layout decisions anywhere in this module (the paper notes that
+moving to LD deleted 350 lines of disk management from Minix).
+
+Failure atomicity (Section 5.1): ``create``, ``mkdir``, ``unlink``,
+``rmdir`` and ``rename`` each run inside their own ARU, so a file is
+never half-created or half-deleted across a crash — the i-node, the
+directory data and the data-list operations commit together.  File
+*data* writes are simple operations, as in the paper's benchmarks.
+
+Concurrency: like the paper's prototype, the file system itself is
+single-threaded (a lock serializes public calls); the logical disk
+underneath supports concurrent ARUs from multiple clients.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.visibility import Visibility
+from repro.errors import (
+    DirectoryNotEmptyFSError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    FSError,
+    IsADirectoryFSError,
+    NoSpaceFSError,
+    NotADirectoryFSError,
+)
+from repro.fs import directory as dirmod
+from repro.fs.inode import (
+    Inode,
+    InodeKind,
+    inodes_per_block,
+    locate,
+    patch_block,
+)
+from repro.ld.interface import LogicalDisk
+from repro.ld.types import ARUId, BlockId, FIRST, ListId
+
+SB_MAGIC = b"MXLD"
+SB_VERSION = 1
+#: magic(4s) version(H) pad(H) n_inodes(Q) inode_list(Q) root_ino(Q) block_size(Q)
+_SB_FMT = "<4sHHQQQQ"
+
+ROOT_INO = 1
+
+#: The list id the superblock list receives on a virgin logical disk.
+SUPERBLOCK_LIST = ListId(1)
+
+
+class MinixFS:
+    """Minix-style file system over a :class:`~repro.ld.interface.
+    LogicalDisk`.
+
+    Construct via :meth:`mkfs` (fresh disk) or :meth:`mount` (after a
+    restart or crash recovery).
+
+    Args:
+        delete_policy: ``"per_block"`` reproduces the paper's "new"
+            deletion (deallocate every block, from the file's end
+            backwards, then the emptied list); ``"whole_list"`` is the
+            improved "new, delete" policy (delete the list outright).
+        use_arus: Bracket create/delete in ARUs.  Disabling this
+            models a client that ignores ARUs entirely (useful for
+            isolating ARU cost in benchmarks); crash atomicity of
+            meta-data is then lost.
+    """
+
+    def __init__(
+        self,
+        ld: LogicalDisk,
+        n_inodes: int,
+        inode_list: ListId,
+        delete_policy: str = "per_block",
+        use_arus: bool = True,
+    ) -> None:
+        if delete_policy not in ("per_block", "whole_list"):
+            raise ValueError(f"unknown delete_policy {delete_policy!r}")
+        visibility = getattr(ld, "visibility", Visibility.ARU_LOCAL)
+        if use_arus and visibility is Visibility.COMMITTED_ONLY:
+            raise FSError(
+                "MinixFS needs to see its own shadow writes inside an "
+                "ARU; COMMITTED_ONLY visibility cannot support that"
+            )
+        self.ld = ld
+        self.block_size = ld.geometry.block_size  # type: ignore[attr-defined]
+        self.n_inodes = n_inodes
+        self.inode_list = inode_list
+        self.delete_policy = delete_policy
+        self.use_arus = use_arus
+        self._lock = threading.RLock()
+        self._inode_blocks: List[BlockId] = list(ld.list_blocks(inode_list))
+        self._inodes: Dict[int, Inode] = {}
+        self._dirty_inodes: Set[int] = set()
+        self._file_blocks: Dict[int, List[BlockId]] = {}
+        #: dir ino -> {name: (ino, block index, byte offset)}
+        self._dir_cache: Dict[int, Dict[str, Tuple[int, int, int]]] = {}
+        self._free_inos: List[int] = []
+        self._scan_free_inodes()
+
+    # ==================================================================
+    # Construction
+    # ==================================================================
+
+    @classmethod
+    def mkfs(
+        cls,
+        ld: LogicalDisk,
+        n_inodes: int = 1024,
+        delete_policy: str = "per_block",
+        use_arus: bool = True,
+    ) -> "MinixFS":
+        """Create a fresh file system on a virgin logical disk."""
+        sb_list = ld.new_list()
+        if sb_list != SUPERBLOCK_LIST:
+            raise FSError(
+                "mkfs requires a virgin logical disk (the superblock "
+                f"list must get id {SUPERBLOCK_LIST}, got {sb_list})"
+            )
+        sb_block = ld.new_block(sb_list)
+        inode_list = ld.new_list()
+        block_size = ld.geometry.block_size  # type: ignore[attr-defined]
+        per_block = inodes_per_block(block_size)
+        n_blocks = -(-n_inodes // per_block)
+        previous = FIRST
+        for _ in range(n_blocks):
+            blk = ld.new_block(inode_list, predecessor=previous)
+            ld.write(blk, b"\x00" * block_size)
+            previous = blk
+        superblock = struct.pack(
+            _SB_FMT,
+            SB_MAGIC,
+            SB_VERSION,
+            0,
+            n_inodes,
+            int(inode_list),
+            ROOT_INO,
+            block_size,
+        )
+        ld.write(sb_block, superblock)
+        fs = cls(
+            ld,
+            n_inodes=n_inodes,
+            inode_list=inode_list,
+            delete_policy=delete_policy,
+            use_arus=use_arus,
+        )
+        # Root directory, created atomically like any other directory.
+        aru = fs._begin()
+        try:
+            root_list = ld.new_list(aru=aru)
+            root = Inode(
+                ROOT_INO,
+                InodeKind.DIRECTORY,
+                nlinks=2,
+                size=0,
+                list_id=int(root_list),
+            )
+            fs._inodes[ROOT_INO] = root
+            fs._free_inos.remove(ROOT_INO)
+            heapq.heapify(fs._free_inos)
+            fs._write_inode(ROOT_INO, aru)
+            fs._end(aru)
+        except Exception:
+            fs._abort(aru)
+            raise
+        ld.flush()
+        return fs
+
+    @classmethod
+    def mount(
+        cls,
+        ld: LogicalDisk,
+        delete_policy: str = "per_block",
+        use_arus: bool = True,
+    ) -> "MinixFS":
+        """Mount an existing file system (e.g. after crash recovery).
+
+        No consistency pass is needed: LD recovery already restored
+        the most recent persistent state, and every create/delete was
+        atomic (this is the paper's "no fsck" property).
+        """
+        from repro.errors import BadListError
+
+        try:
+            sb_blocks = ld.list_blocks(SUPERBLOCK_LIST)
+        except BadListError:
+            raise FSError("no superblock found; is this a MinixFS disk?") from None
+        if not sb_blocks:
+            raise FSError("no superblock found; is this a MinixFS disk?")
+        raw = ld.read(sb_blocks[0])
+        magic, version, _pad, n_inodes, inode_list, root_ino, block_size = (
+            struct.unpack_from(_SB_FMT, raw, 0)
+        )
+        if magic != SB_MAGIC or version != SB_VERSION:
+            raise FSError("bad superblock magic/version")
+        if block_size != ld.geometry.block_size:  # type: ignore[attr-defined]
+            raise FSError("superblock block size does not match the disk")
+        if root_ino != ROOT_INO:
+            raise FSError("unexpected root i-node number")
+        return cls(
+            ld,
+            n_inodes=n_inodes,
+            inode_list=ListId(inode_list),
+            delete_policy=delete_policy,
+            use_arus=use_arus,
+        )
+
+    # ==================================================================
+    # Public API: namespace
+    # ==================================================================
+
+    def create(self, path: str) -> int:
+        """Create a regular file; returns its i-node number.
+
+        The i-node write, the directory update and the data-list
+        allocation form one ARU (Section 5.1).
+        """
+        with self._lock:
+            self._charge_fs_call()
+            parent_ino, name = self._resolve_parent(path)
+            dirmod.validate_name(name)
+            if self._lookup(parent_ino, name) is not None:
+                raise FileExistsFSError(path)
+            aru = self._begin()
+            try:
+                ino = self._alloc_ino()
+                data_list = self.ld.new_list(aru=aru)
+                inode = Inode(
+                    ino, InodeKind.REGULAR, nlinks=1, size=0,
+                    list_id=int(data_list),
+                )
+                self._inodes[ino] = inode
+                self._write_inode(ino, aru)
+                self._add_dirent(parent_ino, dirmod.Dirent(ino, name), aru)
+                self._end(aru)
+            except Exception:
+                self._drop_caches()
+                self._abort(aru)
+                raise
+            self._file_blocks[ino] = []
+            return ino
+
+    def mkdir(self, path: str) -> int:
+        """Create a directory (its own ARU, like file creation)."""
+        with self._lock:
+            self._charge_fs_call()
+            parent_ino, name = self._resolve_parent(path)
+            dirmod.validate_name(name)
+            if self._lookup(parent_ino, name) is not None:
+                raise FileExistsFSError(path)
+            aru = self._begin()
+            try:
+                ino = self._alloc_ino()
+                data_list = self.ld.new_list(aru=aru)
+                inode = Inode(
+                    ino, InodeKind.DIRECTORY, nlinks=2, size=0,
+                    list_id=int(data_list),
+                )
+                self._inodes[ino] = inode
+                self._write_inode(ino, aru)
+                self._add_dirent(parent_ino, dirmod.Dirent(ino, name), aru)
+                parent = self._get_inode(parent_ino)
+                parent.nlinks += 1
+                self._write_inode(parent_ino, aru)
+                self._end(aru)
+            except Exception:
+                self._drop_caches()
+                self._abort(aru)
+                raise
+            self._file_blocks[ino] = []
+            return ino
+
+    def unlink(self, path: str) -> None:
+        """Delete a regular file in one ARU.
+
+        The deletion order reproduces the paper's measured variants:
+        with ``per_block`` policy, data blocks are deallocated from
+        the *end* of the file backwards (as Minix's truncate does),
+        forcing a predecessor search per block; with ``whole_list``
+        the file's list is deleted outright.
+        """
+        with self._lock:
+            self._charge_fs_call()
+            parent_ino, name = self._resolve_parent(path)
+            found = self._lookup(parent_ino, name)
+            if found is None:
+                raise FileNotFoundFSError(path)
+            ino = found[0]
+            inode = self._get_inode(ino)
+            if inode.is_dir:
+                raise IsADirectoryFSError(path)
+            aru = self._begin()
+            last_link = inode.nlinks <= 1
+            try:
+                self._remove_dirent(parent_ino, name, aru)
+                if last_link:
+                    self._delete_data(inode, aru)
+                    inode.clear()
+                else:
+                    inode.nlinks -= 1
+                self._write_inode(ino, aru)
+                self._end(aru)
+            except Exception:
+                self._drop_caches()
+                self._abort(aru)
+                raise
+            if last_link:
+                self._release_ino(ino)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory in one ARU."""
+        with self._lock:
+            self._charge_fs_call()
+            parent_ino, name = self._resolve_parent(path)
+            found = self._lookup(parent_ino, name)
+            if found is None:
+                raise FileNotFoundFSError(path)
+            ino = found[0]
+            inode = self._get_inode(ino)
+            if not inode.is_dir:
+                raise NotADirectoryFSError(path)
+            if self._dir_entries(ino):
+                raise DirectoryNotEmptyFSError(path)
+            aru = self._begin()
+            try:
+                self._remove_dirent(parent_ino, name, aru)
+                self._delete_data(inode, aru)
+                inode.clear()
+                self._write_inode(ino, aru)
+                parent = self._get_inode(parent_ino)
+                parent.nlinks -= 1
+                self._write_inode(parent_ino, aru)
+                self._end(aru)
+            except Exception:
+                self._drop_caches()
+                self._abort(aru)
+                raise
+            self._release_ino(ino)
+
+    def link(self, src_path: str, dst_path: str) -> None:
+        """Create a hard link: a second name for the same i-node.
+
+        The new directory entry and the link-count bump commit in one
+        ARU, so the link count can never disagree with the number of
+        entries after a crash.
+        """
+        with self._lock:
+            self._charge_fs_call()
+            src_ino = self._resolve(src_path)
+            inode = self._get_inode(src_ino)
+            if inode.is_dir:
+                raise IsADirectoryFSError(src_path)
+            dst_parent, dst_name = self._resolve_parent(dst_path)
+            dirmod.validate_name(dst_name)
+            if self._lookup(dst_parent, dst_name) is not None:
+                raise FileExistsFSError(dst_path)
+            aru = self._begin()
+            try:
+                self._add_dirent(
+                    dst_parent, dirmod.Dirent(src_ino, dst_name), aru
+                )
+                inode.nlinks += 1
+                self._write_inode(src_ino, aru)
+                self._end(aru)
+            except Exception:
+                self._drop_caches()
+                self._abort(aru)
+                raise
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Atomically move an entry (both directory updates in one ARU)."""
+        with self._lock:
+            self._charge_fs_call()
+            old_parent, old_name = self._resolve_parent(old_path)
+            new_parent, new_name = self._resolve_parent(new_path)
+            dirmod.validate_name(new_name)
+            found = self._lookup(old_parent, old_name)
+            if found is None:
+                raise FileNotFoundFSError(old_path)
+            if self._lookup(new_parent, new_name) is not None:
+                raise FileExistsFSError(new_path)
+            ino = found[0]
+            aru = self._begin()
+            try:
+                self._remove_dirent(old_parent, old_name, aru)
+                self._add_dirent(new_parent, dirmod.Dirent(ino, new_name), aru)
+                self._end(aru)
+            except Exception:
+                self._drop_caches()
+                self._abort(aru)
+                raise
+
+    # ==================================================================
+    # Public API: data
+    # ==================================================================
+
+    def write_file(self, path: str, data: bytes, offset: int = 0) -> int:
+        """Write ``data`` at ``offset``; returns bytes written."""
+        with self._lock:
+            self._charge_fs_call()
+            ino = self._resolve(path)
+            return self._write_at(ino, offset, data)
+
+    def read_file(self, path: str, offset: int = 0, size: Optional[int] = None) -> bytes:
+        """Read up to ``size`` bytes from ``offset`` (whole file by
+        default)."""
+        with self._lock:
+            self._charge_fs_call()
+            ino = self._resolve(path)
+            return self._read_at(ino, offset, size)
+
+    def open(self, path: str, create: bool = False) -> "FileHandle":
+        """Open a file, optionally creating it first."""
+        with self._lock:
+            if create and not self.exists(path):
+                self.create(path)
+            self._charge_fs_call()
+            ino = self._resolve(path)
+            inode = self._get_inode(ino)
+            if inode.is_dir:
+                raise IsADirectoryFSError(path)
+            return FileHandle(self, ino)
+
+    def copy_file(self, src_path: str, dst_path: str) -> int:
+        """Copy a regular file; returns bytes copied.
+
+        The destination is created atomically (its own ARU); data
+        transfer is ordinary writes, as everywhere else.
+        """
+        with self._lock:
+            self._charge_fs_call()
+            src_ino = self._resolve(src_path)
+            if self._get_inode(src_ino).is_dir:
+                raise IsADirectoryFSError(src_path)
+            data = self._read_at(src_ino, 0, None)
+            self.create(dst_path)
+            if data:
+                self.write_file(dst_path, data)
+            return len(data)
+
+    def truncate(self, path: str, length: int = 0) -> None:
+        """Shrink (or zero-extend) a file to ``length`` bytes.
+
+        Shrinking deallocates trailing blocks the way Minix does —
+        from the end of the file backwards — inside one ARU with the
+        i-node size update: a crash can never leave the i-node
+        claiming bytes whose blocks are already gone.
+        """
+        with self._lock:
+            self._charge_fs_call()
+            ino = self._resolve(path)
+            inode = self._get_inode(ino)
+            if inode.is_dir:
+                raise IsADirectoryFSError(path)
+            keep_blocks = -(-length // self.block_size)
+            blocks = self._blocks_of(ino)
+            aru = self._begin()
+            appended = []
+            try:
+                for block in reversed(blocks[keep_blocks:]):
+                    self.ld.delete_block(block, aru=aru)
+                # Shrinking to mid-block: zero the kept block's tail,
+                # or re-extension would resurrect the truncated bytes.
+                tail = length % self.block_size
+                if length < inode.size and tail and keep_blocks >= 1:
+                    last = blocks[keep_blocks - 1]
+                    raw = self.ld.read(last, aru=aru)
+                    self.ld.write(
+                        last,
+                        raw[:tail] + b"\x00" * (self.block_size - tail),
+                        aru=aru,
+                    )
+                # Zero-extension allocates the covering blocks (fresh
+                # blocks read as zeros at the LD level).
+                while len(blocks) + len(appended) < keep_blocks:
+                    predecessor = (
+                        appended[-1] if appended
+                        else (blocks[-1] if blocks else FIRST)
+                    )
+                    appended.append(
+                        self.ld.new_block(
+                            ListId(inode.list_id),
+                            predecessor=predecessor,
+                            aru=aru,
+                        )
+                    )
+                inode.size = length
+                self._write_inode(ino, aru)
+                self._end(aru)
+            except Exception:
+                self._drop_caches()
+                self._abort(aru)
+                raise
+            del blocks[keep_blocks:]
+            blocks.extend(appended)
+
+    # ==================================================================
+    # Public API: inspection
+    # ==================================================================
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` resolves."""
+        with self._lock:
+            try:
+                self._resolve(path)
+                return True
+            except FSError:
+                return False
+
+    def stat(self, path: str) -> Inode:
+        """A copy of the i-node behind ``path``."""
+        with self._lock:
+            self._charge_fs_call()
+            ino = self._resolve(path)
+            inode = self._get_inode(ino)
+            return Inode(
+                ino=inode.ino,
+                kind=inode.kind,
+                nlinks=inode.nlinks,
+                size=inode.size,
+                list_id=inode.list_id,
+                mtime=inode.mtime,
+            )
+
+    def listdir(self, path: str) -> List[str]:
+        """Names in a directory, in slot order."""
+        with self._lock:
+            self._charge_fs_call()
+            ino = self._resolve(path)
+            inode = self._get_inode(ino)
+            if not inode.is_dir:
+                raise NotADirectoryFSError(path)
+            return [name for name, _info in self._dir_entries(ino).items()]
+
+    def walk(self, top: str = "/"):
+        """Yield ``(dir_path, dir_names, file_names)`` depth-first,
+        like :func:`os.walk`."""
+        with self._lock:
+            self._charge_fs_call()
+            ino = self._resolve(top)
+            if not self._get_inode(ino).is_dir:
+                raise NotADirectoryFSError(top)
+        stack = [top if top.endswith("/") else top + "/"]
+        while stack:
+            current = stack.pop()
+            dirs: List[str] = []
+            files: List[str] = []
+            for name in self.listdir(current):
+                child = current.rstrip("/") + "/" + name
+                if self.stat(child).is_dir:
+                    dirs.append(name)
+                else:
+                    files.append(name)
+            yield current.rstrip("/") or "/", dirs, files
+            for name in reversed(dirs):
+                stack.append(current.rstrip("/") + "/" + name + "/")
+
+    def du(self, top: str = "/") -> int:
+        """Total bytes of file data under ``top`` (recursive)."""
+        total = 0
+        for dir_path, _dirs, files in self.walk(top):
+            for name in files:
+                path = dir_path.rstrip("/") + "/" + name
+                total += self.stat(path).size
+        return total
+
+    def statvfs(self) -> Dict[str, int]:
+        """File-system wide usage summary (a `statvfs`-alike).
+
+        Reports i-node usage exactly; data usage is the block count
+        across all files and directories (the logical disk owns the
+        physical free-space accounting).
+        """
+        with self._lock:
+            self._charge_fs_call()
+            files = directories = data_blocks = used_bytes = file_bytes = 0
+            per_block = inodes_per_block(self.block_size)
+            for index, block in enumerate(self._inode_blocks):
+                raw = self.ld.read(block)
+                base = index * per_block
+                for slot in range(per_block):
+                    ino = base + slot + 1
+                    if ino > self.n_inodes:
+                        break
+                    # Prefer the in-core i-node: sizes may be dirty.
+                    inode = self._inodes.get(ino) or Inode.decode(
+                        ino, raw[slot * 64 : slot * 64 + 64]
+                    )
+                    if inode.is_free:
+                        continue
+                    if inode.is_dir:
+                        directories += 1
+                    else:
+                        files += 1
+                        file_bytes += inode.size
+                    used_bytes += inode.size
+                    data_blocks += len(
+                        self.ld.list_blocks(ListId(inode.list_id))
+                    )
+            return {
+                "block_size": self.block_size,
+                "inodes_total": self.n_inodes,
+                "inodes_used": files + directories,
+                "inodes_free": self.n_inodes - files - directories,
+                "files": files,
+                "directories": directories,
+                "data_blocks": data_blocks,
+                "used_bytes": used_bytes,
+                "file_bytes": file_bytes,
+            }
+
+    def sync(self) -> None:
+        """Write back dirty i-nodes and flush the logical disk."""
+        with self._lock:
+            self._charge_fs_call()
+            for ino in sorted(self._dirty_inodes):
+                self._write_inode(ino, None)
+            self._dirty_inodes.clear()
+            self.ld.flush()
+
+    # ==================================================================
+    # I-node management
+    # ==================================================================
+
+    def _scan_free_inodes(self) -> None:
+        """Build the free-i-node heap by scanning the i-node table."""
+        self._free_inos = []
+        per_block = inodes_per_block(self.block_size)
+        for index, block in enumerate(self._inode_blocks):
+            raw = self.ld.read(block)
+            base = index * per_block
+            for slot in range(per_block):
+                ino = base + slot + 1
+                if ino > self.n_inodes:
+                    break
+                record = raw[slot * 64 : slot * 64 + 64]
+                inode = Inode.decode(ino, record)
+                if inode.is_free:
+                    self._free_inos.append(ino)
+        heapq.heapify(self._free_inos)
+
+    def _alloc_ino(self) -> int:
+        if not self._free_inos:
+            raise NoSpaceFSError("out of i-nodes")
+        return heapq.heappop(self._free_inos)
+
+    def _release_ino(self, ino: int) -> None:
+        self._inodes.pop(ino, None)
+        self._dirty_inodes.discard(ino)
+        self._file_blocks.pop(ino, None)
+        self._dir_cache.pop(ino, None)
+        heapq.heappush(self._free_inos, ino)
+
+    def _get_inode(self, ino: int) -> Inode:
+        """The in-core i-node (loaded from disk on first touch)."""
+        cached = self._inodes.get(ino)
+        if cached is not None:
+            return cached
+        index, offset = locate(ino, self.block_size)
+        if index >= len(self._inode_blocks):
+            raise FileNotFoundFSError(f"i-node {ino} out of range")
+        raw = self.ld.read(self._inode_blocks[index])
+        inode = Inode.decode(ino, raw[offset : offset + 64])
+        self._inodes[ino] = inode
+        return inode
+
+    def _write_inode(self, ino: int, aru: Optional[ARUId]) -> None:
+        """Read-modify-write the i-node's block (in the ARU's stream)."""
+        inode = self._inodes[ino]
+        index, offset = locate(ino, self.block_size)
+        block = self._inode_blocks[index]
+        raw = self.ld.read(block, aru=aru)
+        self.ld.write(block, patch_block(raw, offset, inode.encode()), aru=aru)
+        self._dirty_inodes.discard(ino)
+
+    # ==================================================================
+    # Directory management
+    # ==================================================================
+
+    def _dir_entries(self, dir_ino: int) -> Dict[str, Tuple[int, int, int]]:
+        """The (cached) entry map of a directory.
+
+        The cache models Minix scanning directory blocks out of its
+        buffer cache: the scan cost is charged to the simulated CPU
+        while the Python-level parse happens once.
+        """
+        cached = self._dir_cache.get(dir_ino)
+        if cached is not None:
+            self._charge_scan(len(cached))
+            return cached
+        entries: Dict[str, Tuple[int, int, int]] = {}
+        blocks = self._blocks_of(dir_ino)
+        for index, block in enumerate(blocks):
+            raw = self.ld.read(block)
+            for offset, entry in dirmod.iter_entries(raw):
+                entries[entry.name] = (entry.ino, index, offset)
+        self._dir_cache[dir_ino] = entries
+        self._charge_scan(len(entries))
+        return entries
+
+    def _charge_scan(self, n_entries: int) -> None:
+        meter = getattr(self.ld, "meter", None)
+        if meter is not None and n_entries:
+            meter.charge("dirent_scan_us", n_entries)
+
+    def _lookup(self, dir_ino: int, name: str) -> Optional[Tuple[int, int, int]]:
+        """Find ``name`` in a directory: (ino, block index, offset)."""
+        inode = self._get_inode(dir_ino)
+        if not inode.is_dir:
+            raise NotADirectoryFSError(f"i-node {dir_ino}")
+        return self._dir_entries(dir_ino).get(name)
+
+    def _add_dirent(
+        self, dir_ino: int, entry: dirmod.Dirent, aru: Optional[ARUId]
+    ) -> None:
+        """Insert a directory entry (within the caller's ARU)."""
+        blocks = self._blocks_of(dir_ino)
+        inode = self._get_inode(dir_ino)
+        for index, block in enumerate(blocks):
+            raw = self.ld.read(block, aru=aru)
+            slot = dirmod.find_free_slot(raw)
+            if slot is not None:
+                self.ld.write(block, dirmod.patch_block(raw, slot, entry), aru=aru)
+                self._dir_entries(dir_ino)[entry.name] = (entry.ino, index, slot)
+                return
+        # Directory full: grow it by one block inside the same ARU.
+        predecessor = blocks[-1] if blocks else FIRST
+        new_block = self.ld.new_block(
+            ListId(inode.list_id), predecessor=predecessor, aru=aru
+        )
+        raw = b"\x00" * self.block_size
+        self.ld.write(new_block, dirmod.patch_block(raw, 0, entry), aru=aru)
+        blocks.append(new_block)
+        inode.size += self.block_size
+        self._write_inode(dir_ino, aru)
+        self._dir_entries(dir_ino)[entry.name] = (entry.ino, len(blocks) - 1, 0)
+
+    def _remove_dirent(
+        self, dir_ino: int, name: str, aru: Optional[ARUId]
+    ) -> None:
+        """Clear a directory entry (within the caller's ARU)."""
+        found = self._lookup(dir_ino, name)
+        if found is None:
+            raise FileNotFoundFSError(name)
+        _ino, index, offset = found
+        block = self._blocks_of(dir_ino)[index]
+        raw = self.ld.read(block, aru=aru)
+        self.ld.write(block, dirmod.patch_block(raw, offset, None), aru=aru)
+        self._dir_entries(dir_ino).pop(name, None)
+
+    # ==================================================================
+    # Data management
+    # ==================================================================
+
+    def _blocks_of(self, ino: int) -> List[BlockId]:
+        """The (cached) ordered data blocks of a file or directory."""
+        cached = self._file_blocks.get(ino)
+        if cached is not None:
+            return cached
+        inode = self._get_inode(ino)
+        blocks = list(self.ld.list_blocks(ListId(inode.list_id)))
+        self._file_blocks[ino] = blocks
+        return blocks
+
+    def _delete_data(self, inode: Inode, aru: Optional[ARUId]) -> None:
+        """Deallocate a file's data per the configured policy."""
+        if self.delete_policy == "per_block":
+            blocks = self._blocks_of(inode.ino)
+            for block in reversed(blocks):
+                self.ld.delete_block(block, aru=aru)
+            self.ld.delete_list(ListId(inode.list_id), aru=aru)
+        else:
+            self.ld.delete_list(ListId(inode.list_id), aru=aru)
+
+    def _write_at(self, ino: int, offset: int, data: bytes) -> int:
+        if offset < 0:
+            raise ValueError("negative offset")
+        inode = self._get_inode(ino)
+        if inode.is_dir:
+            raise IsADirectoryFSError(f"i-node {ino}")
+        if not data:
+            return 0
+        end = offset + len(data)
+        blocks = self._blocks_of(ino)
+        needed = -(-end // self.block_size)
+        while len(blocks) < needed:
+            predecessor = blocks[-1] if blocks else FIRST
+            blocks.append(
+                self.ld.new_block(ListId(inode.list_id), predecessor=predecessor)
+            )
+        first_block = offset // self.block_size
+        last_block = (end - 1) // self.block_size
+        for index in range(first_block, last_block + 1):
+            block_lo = index * self.block_size
+            block_hi = block_lo + self.block_size
+            lo = max(offset, block_lo)
+            hi = min(end, block_hi)
+            chunk = data[lo - offset : hi - offset]
+            if hi - lo == self.block_size:
+                self.ld.write(blocks[index], chunk)
+            else:
+                raw = self.ld.read(blocks[index])
+                patched = raw[: lo - block_lo] + chunk + raw[hi - block_lo :]
+                self.ld.write(blocks[index], patched)
+        if end > inode.size:
+            inode.size = end
+            self._dirty_inodes.add(ino)
+        return len(data)
+
+    def _read_at(self, ino: int, offset: int, size: Optional[int]) -> bytes:
+        if offset < 0:
+            raise ValueError("negative offset")
+        inode = self._get_inode(ino)
+        if inode.is_dir:
+            raise IsADirectoryFSError(f"i-node {ino}")
+        if offset >= inode.size:
+            return b""
+        end = inode.size if size is None else min(inode.size, offset + size)
+        blocks = self._blocks_of(ino)
+        first_block = offset // self.block_size
+        last_block = (end - 1) // self.block_size
+        pieces: List[bytes] = []
+        for index in range(first_block, last_block + 1):
+            raw = self.ld.read(blocks[index])
+            block_lo = index * self.block_size
+            lo = max(offset, block_lo)
+            hi = min(end, block_lo + self.block_size)
+            pieces.append(raw[lo - block_lo : hi - block_lo])
+        return b"".join(pieces)
+
+    # ==================================================================
+    # Path resolution
+    # ==================================================================
+
+    def _resolve(self, path: str) -> int:
+        """Resolve an absolute path to an i-node number."""
+        parts = self._split(path)
+        ino = ROOT_INO
+        for part in parts:
+            found = self._lookup(ino, part)
+            if found is None:
+                raise FileNotFoundFSError(path)
+            ino = found[0]
+        return ino
+
+    def _resolve_parent(self, path: str) -> Tuple[int, str]:
+        """Resolve a path to (parent directory i-node, final name)."""
+        parts = self._split(path)
+        if not parts:
+            raise FSError("path names the root directory")
+        parent = ROOT_INO
+        for part in parts[:-1]:
+            found = self._lookup(parent, part)
+            if found is None:
+                raise FileNotFoundFSError(path)
+            parent = found[0]
+        parent_inode = self._get_inode(parent)
+        if not parent_inode.is_dir:
+            raise NotADirectoryFSError(path)
+        return parent, parts[-1]
+
+    @staticmethod
+    def _split(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise FSError(f"paths must be absolute: {path!r}")
+        return [part for part in path.split("/") if part]
+
+    # ==================================================================
+    # ARU plumbing
+    # ==================================================================
+
+    def _begin(self) -> Optional[ARUId]:
+        return self.ld.begin_aru() if self.use_arus else None
+
+    def _end(self, aru: Optional[ARUId]) -> None:
+        if aru is not None:
+            self.ld.end_aru(aru)
+
+    def _abort(self, aru: Optional[ARUId]) -> None:
+        if aru is not None:
+            try:
+                self.ld.abort_aru(aru)
+            except Exception:
+                pass  # the original error matters more
+
+    def _drop_caches(self) -> None:
+        """Forget everything cached (after an aborted multi-step op)."""
+        self._inodes.clear()
+        self._dirty_inodes.clear()
+        self._file_blocks.clear()
+        self._dir_cache.clear()
+
+    def _charge_fs_call(self) -> None:
+        meter = getattr(self.ld, "meter", None)
+        if meter is not None:
+            meter.charge("fs_call_us")
+
+
+class FileHandle:
+    """A sequential read/write cursor over an open file."""
+
+    def __init__(self, fs: MinixFS, ino: int) -> None:
+        self.fs = fs
+        self.ino = ino
+        self.position = 0
+        self.closed = False
+
+    def read(self, size: Optional[int] = None) -> bytes:
+        """Read from the cursor, advancing it."""
+        self._check_open()
+        with self.fs._lock:
+            data = self.fs._read_at(self.ino, self.position, size)
+        self.position += len(data)
+        return data
+
+    def write(self, data: bytes) -> int:
+        """Write at the cursor, advancing it."""
+        self._check_open()
+        with self.fs._lock:
+            written = self.fs._write_at(self.ino, self.position, data)
+        self.position += written
+        return written
+
+    def seek(self, offset: int) -> None:
+        """Move the cursor to an absolute offset."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        self.position = offset
+
+    def tell(self) -> int:
+        """Current cursor position."""
+        return self.position
+
+    def close(self) -> None:
+        """Close the handle (idempotent)."""
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise FSError("I/O on closed file handle")
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

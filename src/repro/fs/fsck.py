@@ -1,0 +1,166 @@
+"""A file-system consistency checker — deliberately redundant.
+
+The entire point of ARUs is that ``fsck`` is unnecessary: after LD
+recovery, every file either exists completely (i-node + directory
+entry + data list) or not at all (Section 5.1).  This checker exists
+to *prove* that property in tests and examples: running it after an
+arbitrary crash must report zero problems.
+
+Checks performed:
+
+* superblock readable and well-formed,
+* every directory entry references an allocated i-node of a valid
+  kind,
+* every allocated i-node is referenced by exactly ``nlinks``
+  directory entries (directories count their parent link),
+* every i-node's data list exists in LD and its size is consistent
+  with the block count,
+* no two i-nodes share a data list,
+* directory tree is acyclic and connected to the root.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set
+
+from repro.errors import FSError, LDError
+from repro.fs import directory as dirmod
+from repro.fs.filesystem import MinixFS, ROOT_INO
+from repro.fs.inode import Inode, InodeKind, inodes_per_block
+from repro.ld.types import ListId
+
+
+@dataclasses.dataclass(frozen=True)
+class FsckProblem:
+    """One inconsistency found by :func:`fsck`."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclasses.dataclass
+class FsckReport:
+    """The outcome of a consistency check."""
+
+    problems: List[FsckProblem] = dataclasses.field(default_factory=list)
+    inodes_checked: int = 0
+    files: int = 0
+    directories: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no inconsistencies were found."""
+        return not self.problems
+
+    def add(self, kind: str, detail: str) -> None:
+        self.problems.append(FsckProblem(kind, detail))
+
+
+def fsck(fs: MinixFS) -> FsckReport:
+    """Check a mounted file system for structural consistency."""
+    report = FsckReport()
+    ld = fs.ld
+    per_block = inodes_per_block(fs.block_size)
+
+    # ---- load the full i-node table ---------------------------------
+    inodes: Dict[int, Inode] = {}
+    for index, block in enumerate(fs._inode_blocks):
+        raw = ld.read(block)
+        base = index * per_block
+        for slot in range(per_block):
+            ino = base + slot + 1
+            if ino > fs.n_inodes:
+                break
+            inode = Inode.decode(ino, raw[slot * 64 : slot * 64 + 64])
+            if not inode.is_free:
+                inodes[ino] = inode
+    report.inodes_checked = len(inodes)
+
+    if ROOT_INO not in inodes:
+        report.add("root", "root i-node is not allocated")
+        return report
+    if not inodes[ROOT_INO].is_dir:
+        report.add("root", "root i-node is not a directory")
+        return report
+
+    # ---- walk the tree from the root ---------------------------------
+    link_counts: Dict[int, int] = {ROOT_INO: 1}
+    reachable: Set[int] = set()
+    lists_seen: Dict[int, int] = {}
+    stack = [ROOT_INO]
+    while stack:
+        ino = stack.pop()
+        if ino in reachable:
+            # Regular files may be hard-linked from several entries;
+            # a directory reached twice means a cycle or a duplicate
+            # entry.
+            if inodes[ino].is_dir:
+                report.add("cycle", f"directory i-node {ino} reached twice")
+            continue
+        reachable.add(ino)
+        inode = inodes[ino]
+        if inode.list_id in lists_seen:
+            report.add(
+                "shared-list",
+                f"list {inode.list_id} used by i-nodes "
+                f"{lists_seen[inode.list_id]} and {ino}",
+            )
+        lists_seen[inode.list_id] = ino
+        try:
+            blocks = ld.list_blocks(ListId(inode.list_id))
+        except LDError as exc:
+            report.add("data-list", f"i-node {ino}: {exc}")
+            continue
+        max_size = len(blocks) * fs.block_size
+        if inode.size > max_size:
+            report.add(
+                "size",
+                f"i-node {ino} claims {inode.size} bytes but holds only "
+                f"{max_size}",
+            )
+        if inode.is_regular:
+            report.files += 1
+            continue
+        report.directories += 1
+        for block in blocks:
+            raw = ld.read(block)
+            for _offset, entry in dirmod.iter_entries(raw):
+                child = inodes.get(entry.ino)
+                if child is None:
+                    report.add(
+                        "dangling",
+                        f"{entry.name!r} in dir {ino} references free "
+                        f"i-node {entry.ino}",
+                    )
+                    continue
+                link_counts[entry.ino] = link_counts.get(entry.ino, 0) + 1
+                if child.is_dir:
+                    link_counts[ino] = link_counts.get(ino, 0) + 1
+                stack.append(entry.ino)
+
+    # ---- orphan and link-count validation ----------------------------
+    for ino, inode in inodes.items():
+        if ino not in reachable:
+            report.add("orphan", f"allocated i-node {ino} is unreachable")
+            continue
+        if inode.is_dir:
+            expected = link_counts.get(ino, 0) + 1  # implicit self link
+            if inode.nlinks != expected:
+                report.add(
+                    "nlinks",
+                    f"dir i-node {ino} has nlinks={inode.nlinks}, "
+                    f"expected {expected}",
+                )
+        else:
+            expected = link_counts.get(ino, 0)
+            if inode.nlinks != expected:
+                report.add(
+                    "nlinks",
+                    f"file i-node {ino} has nlinks={inode.nlinks}, "
+                    f"expected {expected}",
+                )
+    return report

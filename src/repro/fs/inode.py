@@ -1,0 +1,114 @@
+"""I-nodes and their on-disk representation.
+
+I-nodes are fixed-size records packed into the blocks of the i-node
+list.  Unlike the original Minix there are no direct/indirect block
+pointers: the LD list *is* the file's block map, so an i-node only
+names its data list.  A zero ``kind`` marks a free i-node — i-node
+allocation state is carried by the i-node itself, which is exactly
+what the create/delete ARUs make crash-atomic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Optional
+
+#: kind(H) nlinks(H) pad(I) size(Q) list_id(Q) mtime(Q) reserved(Q*4)
+_INODE_FMT = "<HHIQQQQQQQ"
+INODE_SIZE = struct.calcsize(_INODE_FMT)
+assert INODE_SIZE == 64
+
+
+class InodeKind(enum.IntEnum):
+    """I-node types (0 means the slot is free)."""
+
+    FREE = 0
+    DIRECTORY = 1
+    REGULAR = 2
+
+
+@dataclasses.dataclass
+class Inode:
+    """One i-node: type, link count, size and the data-list id."""
+
+    ino: int
+    kind: InodeKind = InodeKind.FREE
+    nlinks: int = 0
+    size: int = 0
+    list_id: int = 0
+    mtime: int = 0
+
+    @property
+    def is_free(self) -> bool:
+        """True for an unallocated i-node slot."""
+        return self.kind is InodeKind.FREE
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is InodeKind.DIRECTORY
+
+    @property
+    def is_regular(self) -> bool:
+        return self.kind is InodeKind.REGULAR
+
+    def encode(self) -> bytes:
+        """Serialize to the fixed on-disk record."""
+        return struct.pack(
+            _INODE_FMT,
+            int(self.kind),
+            self.nlinks,
+            0,
+            self.size,
+            self.list_id,
+            self.mtime,
+            0,
+            0,
+            0,
+            0,
+        )
+
+    @classmethod
+    def decode(cls, ino: int, raw: bytes) -> "Inode":
+        """Parse one on-disk i-node record."""
+        kind, nlinks, _pad, size, list_id, mtime, *_reserved = struct.unpack(
+            _INODE_FMT, raw
+        )
+        return cls(
+            ino=ino,
+            kind=InodeKind(kind),
+            nlinks=nlinks,
+            size=size,
+            list_id=list_id,
+            mtime=mtime,
+        )
+
+    def clear(self) -> None:
+        """Reset to a free slot (file deletion)."""
+        self.kind = InodeKind.FREE
+        self.nlinks = 0
+        self.size = 0
+        self.list_id = 0
+        self.mtime = 0
+
+
+def inodes_per_block(block_size: int) -> int:
+    """How many i-node records fit in one disk block."""
+    return block_size // INODE_SIZE
+
+
+def locate(ino: int, block_size: int) -> "tuple[int, int]":
+    """Map an i-node number (1-based) to (i-node block index, byte
+    offset within the block)."""
+    if ino < 1:
+        raise ValueError(f"i-node numbers start at 1, got {ino}")
+    per_block = inodes_per_block(block_size)
+    index = (ino - 1) // per_block
+    offset = ((ino - 1) % per_block) * INODE_SIZE
+    return index, offset
+
+
+def patch_block(raw: bytes, offset: int, record: bytes) -> bytes:
+    """Return ``raw`` with the i-node record at ``offset`` replaced."""
+    return raw[:offset] + record + raw[offset + len(record) :]

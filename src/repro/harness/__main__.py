@@ -1,0 +1,78 @@
+"""``python -m repro.harness`` — run the paper's evaluation.
+
+A thin command-line front end over the experiment runners::
+
+    python -m repro.harness                 # all experiments, scaled
+    python -m repro.harness --full          # the paper's sizes
+    python -m repro.harness figure5         # one experiment
+    python -m repro.harness figure6 aru
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.runner import (
+    run_aru_latency_experiment,
+    run_figure5,
+    run_figure6,
+)
+from repro.harness.variants import paper_geometry
+
+EXPERIMENTS = ("figure5", "figure6", "aru")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the paper's evaluation (simulated time).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, []],
+        help="subset to run (default: all)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="use the paper's full sizes"
+    )
+    args = parser.parse_args(argv)
+    chosen = args.experiments or list(EXPERIMENTS)
+
+    if args.full:
+        size_classes = [
+            {"n_files": 10_000, "file_size": 1024},
+            {"n_files": 1_000, "file_size": 10 * 1024},
+        ]
+        geometry = paper_geometry(1.0)
+        file_size = 20_000 * 4096
+        iterations = 500_000
+    else:
+        size_classes = [
+            {"n_files": 1_500, "file_size": 1024},
+            {"n_files": 600, "file_size": 10 * 1024},
+        ]
+        geometry = paper_geometry(0.4)
+        file_size = 16 * 1024 * 1024
+        iterations = 60_000
+
+    if "figure5" in chosen:
+        print(run_figure5(size_classes=size_classes, geometry=geometry).table)
+        print()
+    if "figure6" in chosen:
+        print(run_figure6(file_size=file_size).table)
+        print()
+    if "aru" in chosen:
+        result = run_aru_latency_experiment(iterations=iterations)
+        print(
+            f"ARU begin/end: {result.latency_us:.2f} us per pair "
+            f"({result.scaled_segments(500_000):.1f} segments per 500k; "
+            "paper: 78.47 us, 24 segments)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Parameter sweeps: run an experiment across a config grid.
+
+A small utility for sensitivity studies like Ablation F: take a grid
+of named parameter values, run a measurement callable at every point,
+and collect the results into a table-ready structure.
+
+Example::
+
+    from repro.harness.sweep import Sweep
+
+    sweep = Sweep(
+        {"segment_kb": [128, 256, 512], "cache_blocks": [256, 1024]}
+    )
+    results = sweep.run(measure)       # measure(**point) -> dict
+    print(sweep.table(results, metric="tps"))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence
+
+from repro.harness.reporting import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One point of the grid and the metrics measured there."""
+
+    params: Mapping[str, Any]
+    metrics: Mapping[str, float]
+
+    def label(self) -> str:
+        """Compact ``k=v`` label for tables."""
+        return ", ".join(f"{k}={v}" for k, v in self.params.items())
+
+
+class Sweep:
+    """A cartesian parameter grid with a measurement runner."""
+
+    def __init__(self, grid: Mapping[str, Sequence[Any]]) -> None:
+        if not grid:
+            raise ValueError("sweep grid must name at least one parameter")
+        for name, values in grid.items():
+            if not values:
+                raise ValueError(f"parameter {name!r} has no values")
+        self.grid = {name: list(values) for name, values in grid.items()}
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Yield every grid point as a parameter dict."""
+        names = list(self.grid)
+        for combo in itertools.product(*(self.grid[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.grid.values():
+            size *= len(values)
+        return size
+
+    def run(
+        self,
+        measure: Callable[..., Mapping[str, float]],
+        progress: Callable[[Dict[str, Any]], None] = None,
+    ) -> List[SweepPoint]:
+        """Run ``measure(**point)`` at every grid point.
+
+        ``measure`` returns a mapping of metric name -> value; points
+        are evaluated in deterministic grid order.
+        """
+        results: List[SweepPoint] = []
+        for point in self.points():
+            if progress is not None:
+                progress(point)
+            metrics = measure(**point)
+            results.append(SweepPoint(params=point, metrics=dict(metrics)))
+        return results
+
+    @staticmethod
+    def table(
+        results: Sequence[SweepPoint],
+        metric: str,
+        title: str = "sweep results",
+        precision: int = 2,
+    ) -> str:
+        """Render one metric across all points as a table.
+
+        With exactly two swept parameters, the first becomes the rows
+        and the second the columns; otherwise one row per point.
+        """
+        if not results:
+            raise ValueError("no results to render")
+        param_names = list(results[0].params)
+        if len(param_names) == 2:
+            row_name, col_name = param_names
+            row_values = sorted(
+                {p.params[row_name] for p in results}, key=str
+            )
+            col_values = sorted(
+                {p.params[col_name] for p in results}, key=str
+            )
+            lookup = {
+                (p.params[row_name], p.params[col_name]): p.metrics[metric]
+                for p in results
+            }
+            rows = {
+                f"{row_name}={row}": [
+                    lookup[(row, col)] for col in col_values
+                ]
+                for row in row_values
+            }
+            columns = [f"{col_name}={col}" for col in col_values]
+        else:
+            rows = {p.label(): [p.metrics[metric]] for p in results}
+            columns = [metric]
+        return format_table(
+            f"{title} — {metric}", columns, rows, precision=precision
+        )
+
+    @staticmethod
+    def best(
+        results: Sequence[SweepPoint], metric: str, maximize: bool = True
+    ) -> SweepPoint:
+        """The grid point with the best value of ``metric``."""
+        chooser = max if maximize else min
+        return chooser(results, key=lambda p: p.metrics[metric])

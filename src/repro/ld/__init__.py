@@ -1,0 +1,32 @@
+"""The Logical Disk (LD) interface.
+
+LD [de Jonge, Kaashoek, Hsieh; SOSP '93] presents disk storage as a
+logical name-space of blocks arranged into ordered lists, separating
+file management (the client's job) from disk management (LD's job).
+This package defines the identifiers, physical-address type, and the
+abstract operation set — including the ARU operations this paper
+adds — that any LD implementation provides.  The log-structured
+implementation lives in :mod:`repro.lld`.
+"""
+
+from repro.ld.interface import LogicalDisk
+from repro.ld.types import (
+    ARU_NONE,
+    ARUId,
+    BlockId,
+    FIRST,
+    ListId,
+    PhysAddr,
+    Predecessor,
+)
+
+__all__ = [
+    "ARU_NONE",
+    "ARUId",
+    "BlockId",
+    "FIRST",
+    "ListId",
+    "LogicalDisk",
+    "PhysAddr",
+    "Predecessor",
+]

@@ -1,0 +1,155 @@
+"""The abstract Logical Disk operation set.
+
+This is the interface of Section 2 of the paper — ``Read``, ``Write``,
+``NewBlock``, ``DeleteBlock``, ``NewList``, ``DeleteList``, ``Flush`` —
+extended with the ARU operations of Section 3: ``BeginARU`` and
+``EndARU`` (plus ``AbortARU``, a natural extension: recovery already
+implements undo of uncommitted ARUs, aborting merely applies it to a
+live one).
+
+Every data/list operation takes an optional ``aru`` argument.  Passing
+``None`` makes it a *simple operation* — an ARU by itself, applied to
+the merged stream (committed state) directly.  Passing an active
+:class:`~repro.ld.types.ARUId` executes it within that ARU's private
+shadow state (except block/list allocation, which the paper commits
+immediately to keep identifiers unique across concurrent ARUs).
+
+ARUs provide **failure atomicity only**: no isolation beyond the
+chosen read-visibility policy, no durability (call :meth:`flush`),
+and no concurrency control — clients lock for themselves
+(:mod:`repro.txn` provides a lock manager and durable transactions
+built on this interface).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.ld.types import ARUId, BlockId, FIRST, ListId, Predecessor
+
+
+class LogicalDisk(abc.ABC):
+    """Abstract base class for logical-disk implementations."""
+
+    # ------------------------------------------------------------------
+    # Atomic recovery units
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin_aru(self) -> ARUId:
+        """Start a new atomic recovery unit and return its identifier.
+
+        All subsequent operations passing this identifier form one
+        failure-atomic unit: after a crash, either all of them or
+        none of them are persistent.
+        """
+
+    @abc.abstractmethod
+    def end_aru(self, aru: ARUId) -> None:
+        """Commit an ARU.
+
+        Its shadow state merges into the committed state (the single
+        merged stream); the ARU is serialized at this point relative
+        to all other ARUs and simple operations.  The effects become
+        *persistent* once the commit record reaches the disk (at the
+        next flush, or when the current segment fills).
+        """
+
+    @abc.abstractmethod
+    def abort_aru(self, aru: ARUId) -> None:
+        """Discard an ARU's shadow state without committing it.
+
+        Blocks and lists allocated inside the ARU remain allocated
+        (allocation commits immediately); they are reclaimed the same
+        way recovery reclaims them, via the consistency sweep.
+        """
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def new_block(
+        self,
+        list_id: ListId,
+        predecessor: Predecessor = FIRST,
+        aru: Optional[ARUId] = None,
+    ) -> BlockId:
+        """Allocate a new block within ``list_id``.
+
+        The block is placed at the beginning of the list
+        (``predecessor=FIRST``) or immediately after ``predecessor``.
+        Inside an ARU, the *allocation* is committed immediately (so
+        no concurrent ARU can receive the same identifier) while the
+        *insertion* into the list happens in the ARU's shadow state.
+        """
+
+    @abc.abstractmethod
+    def delete_block(self, block_id: BlockId, aru: Optional[ARUId] = None) -> None:
+        """Remove ``block_id`` from its list and deallocate it."""
+
+    @abc.abstractmethod
+    def write(
+        self, block_id: BlockId, data: bytes, aru: Optional[ARUId] = None
+    ) -> None:
+        """Write one block of data.
+
+        ``data`` may be at most one block long; shorter data is
+        zero-padded to the block size.
+        """
+
+    @abc.abstractmethod
+    def read(self, block_id: BlockId, aru: Optional[ARUId] = None) -> bytes:
+        """Read one block of data.
+
+        Which version is returned is governed by the configured
+        read-visibility policy (Section 3.3 of the paper); under the
+        default policy an ARU sees its own shadow version first, then
+        the committed version, then the persistent version.
+        """
+
+    # ------------------------------------------------------------------
+    # Lists
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def new_list(self, aru: Optional[ARUId] = None) -> ListId:
+        """Allocate a new, empty block list.
+
+        Like block allocation, list allocation commits immediately
+        even inside an ARU.
+        """
+
+    @abc.abstractmethod
+    def delete_list(self, list_id: ListId, aru: Optional[ARUId] = None) -> None:
+        """Deallocate a list, deallocating any remaining member blocks.
+
+        Blocks are removed from the beginning of the list, so no
+        predecessor searches are required (the improved deletion
+        policy of Section 5.3).
+        """
+
+    @abc.abstractmethod
+    def list_blocks(
+        self, list_id: ListId, aru: Optional[ARUId] = None
+    ) -> List[BlockId]:
+        """Return the blocks of ``list_id`` in list order.
+
+        The returned order reflects the version of the list visible
+        under the read-visibility policy (shadow for the calling ARU,
+        committed otherwise).
+        """
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def flush(self) -> None:
+        """Force all committed data and meta-data to disk.
+
+        After flush returns, every committed ARU and every completed
+        simple operation is persistent.  Shadow state (uncommitted
+        ARUs) is *not* written.
+        """

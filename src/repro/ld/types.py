@@ -1,0 +1,61 @@
+"""Identifier and address types of the logical-disk interface.
+
+Logical block and list identifiers are plain integers handed out by
+the logical disk; clients never see physical addresses.  The
+:class:`PhysAddr` type is internal to LD implementations (a segment
+number and a data-block slot within it) but lives here because the
+segment summaries serialize it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import NewType, Optional, Union
+
+#: Logical block identifier (assigned by NewBlock, never reused).
+BlockId = NewType("BlockId", int)
+
+#: Logical list identifier (assigned by NewList, never reused).
+ListId = NewType("ListId", int)
+
+#: Atomic-recovery-unit identifier (assigned by BeginARU).
+ARUId = NewType("ARUId", int)
+
+#: The ARU tag meaning "simple operation, not part of any ARU".
+ARU_NONE: ARUId = ARUId(0)
+
+
+class _First:
+    """Sentinel: insert a new block at the beginning of its list."""
+
+    _instance: Optional["_First"] = None
+
+    def __new__(cls) -> "_First":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "FIRST"
+
+
+#: Predecessor sentinel for NewBlock: place the block first in the list.
+FIRST = _First()
+
+#: A block's insertion point: FIRST or the BlockId to insert after.
+Predecessor = Union[_First, BlockId]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class PhysAddr:
+    """Physical location of a block: (segment number, data slot)."""
+
+    segment: int
+    slot: int
+
+    def __post_init__(self) -> None:
+        if self.segment < 0 or self.slot < 0:
+            raise ValueError(f"negative physical address {self!r}")
+
+    def __repr__(self) -> str:
+        return f"PhysAddr(seg={self.segment}, slot={self.slot})"

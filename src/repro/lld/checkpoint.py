@@ -1,0 +1,313 @@
+"""Checkpoints: bounding the recovery scan and enabling cleaning.
+
+LLD reconstructs its tables by scanning segment summaries.  Without
+checkpoints the *whole* log would have to be retained forever — the
+cleaner could never reuse a segment whose summary still carried
+needed history.  A checkpoint serializes the persistent state (the
+block-number-map, the list-table, the segment roster and the
+identifier counters) so that:
+
+* recovery loads the newest valid checkpoint and replays only
+  segments with a higher log sequence number, and
+* the cleaner may free any segment whose summary entries are covered
+  by a checkpoint.
+
+Two checkpoint slots at the front of the partition are written
+alternately (classic LFS style), so a torn checkpoint write always
+leaves the previous checkpoint intact.  Each slot spans a fixed
+number of reserved segments sized at initialization for the
+worst-case table size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import DiskFullError
+
+CKPT_MAGIC = b"LCKP"
+CKPT_VERSION = 1
+
+#: magic(4s) version(H) pad(H) ckpt_seq(Q) last_log_seq(Q) next_block(Q)
+#: next_list(Q) next_aru(Q) n_blocks(Q) n_lists(Q) n_segs(Q) total_len(Q) crc(Q)
+_HEADER_FMT = "<4sHHQQQQQQQQQQ"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+#: block_id succ list_id timestamp segment slot flags
+_BLOCK_FMT = "<QQQQIIB"
+_BLOCK_SIZE = struct.calcsize(_BLOCK_FMT)
+_FLAG_HAS_ADDR = 0x1
+
+#: list_id first last count timestamp
+_LIST_FMT = "<QQQQQ"
+_LIST_SIZE = struct.calcsize(_LIST_FMT)
+
+#: segment seq live total
+_SEG_FMT = "<IQII"
+_SEG_SIZE = struct.calcsize(_SEG_FMT)
+
+
+@dataclasses.dataclass
+class BlockSnapshot:
+    """Persistent block record as stored in a checkpoint."""
+
+    block_id: int
+    successor: int  # 0 = none
+    list_id: int  # 0 = none
+    timestamp: int
+    segment: int
+    slot: int
+    has_addr: bool
+
+
+@dataclasses.dataclass
+class ListSnapshot:
+    """Persistent list record as stored in a checkpoint."""
+
+    list_id: int
+    first: int  # 0 = none
+    last: int  # 0 = none
+    count: int
+    timestamp: int
+
+
+@dataclasses.dataclass
+class CheckpointData:
+    """A fully parsed checkpoint."""
+
+    ckpt_seq: int
+    last_log_seq: int
+    next_block_id: int
+    next_list_id: int
+    next_aru_id: int
+    blocks: List[BlockSnapshot]
+    lists: List[ListSnapshot]
+    #: segment -> (log seq, live slots, total slots)
+    segments: Dict[int, Tuple[int, int, int]]
+
+    @classmethod
+    def empty(cls) -> "CheckpointData":
+        """The implicit checkpoint of a virgin disk."""
+        return cls(
+            ckpt_seq=0,
+            last_log_seq=0,
+            next_block_id=1,
+            next_list_id=1,
+            next_aru_id=1,
+            blocks=[],
+            lists=[],
+            segments={},
+        )
+
+
+def default_slot_segments(geometry: DiskGeometry) -> int:
+    """Segments to reserve per checkpoint slot for worst-case tables.
+
+    Worst case: every data slot of the partition holds a distinct
+    allocated block, each in its own list.
+    """
+    max_blocks = geometry.max_data_blocks * geometry.num_segments
+    payload = (
+        _HEADER_SIZE
+        + max_blocks * (_BLOCK_SIZE + _LIST_SIZE)
+        + geometry.num_segments * _SEG_SIZE
+    )
+    slots = -(-payload // geometry.segment_size)  # ceil division
+    # Never let the checkpoint region eat the partition.
+    return max(1, min(slots, geometry.num_segments // 4 or 1))
+
+
+class CheckpointManager:
+    """Writes and loads alternating checkpoints on reserved segments."""
+
+    def __init__(self, disk: SimulatedDisk, slot_segments: int) -> None:
+        self.disk = disk
+        self.geometry = disk.geometry
+        self.slot_segments = slot_segments
+        self.last_written_seq = 0
+
+    @property
+    def reserved_segments(self) -> int:
+        """Total segments reserved at the front of the partition."""
+        return 2 * self.slot_segments
+
+    def _slot_base(self, ckpt_seq: int) -> int:
+        return (ckpt_seq % 2) * self.slot_segments
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def write(self, data: CheckpointData) -> None:
+        """Serialize and write a checkpoint to the next slot.
+
+        Raises:
+            DiskFullError: If the serialized checkpoint exceeds the
+                reserved slot (tables larger than provisioned).
+        """
+        payload = self._serialize(data)
+        slot_bytes = self.slot_segments * self.geometry.segment_size
+        if len(payload) > slot_bytes:
+            raise DiskFullError(
+                f"checkpoint needs {len(payload)} bytes but the slot holds "
+                f"{slot_bytes}; reserve more checkpoint segments"
+            )
+        padded = payload + b"\x00" * (slot_bytes - len(payload))
+        base = self._slot_base(data.ckpt_seq)
+        seg_size = self.geometry.segment_size
+        for index in range(self.slot_segments):
+            chunk = padded[index * seg_size : (index + 1) * seg_size]
+            self.disk.write_segment(base + index, chunk)
+        self.last_written_seq = data.ckpt_seq
+
+    def _serialize(self, data: CheckpointData) -> bytes:
+        body = bytearray()
+        for blk in data.blocks:
+            flags = _FLAG_HAS_ADDR if blk.has_addr else 0
+            body += struct.pack(
+                _BLOCK_FMT,
+                blk.block_id,
+                blk.successor,
+                blk.list_id,
+                blk.timestamp,
+                blk.segment,
+                blk.slot,
+                flags,
+            )
+        for lst in data.lists:
+            body += struct.pack(
+                _LIST_FMT, lst.list_id, lst.first, lst.last, lst.count, lst.timestamp
+            )
+        for seg, (seq, live, total) in sorted(data.segments.items()):
+            body += struct.pack(_SEG_FMT, seg, seq, live, total)
+        total_len = _HEADER_SIZE + len(body)
+        header = struct.pack(
+            _HEADER_FMT,
+            CKPT_MAGIC,
+            CKPT_VERSION,
+            0,
+            data.ckpt_seq,
+            data.last_log_seq,
+            data.next_block_id,
+            data.next_list_id,
+            data.next_aru_id,
+            len(data.blocks),
+            len(data.lists),
+            len(data.segments),
+            total_len,
+            0,  # crc placeholder
+        )
+        crc = zlib.crc32(header[:-8] + bytes(body))
+        header = header[:-8] + struct.pack("<Q", crc)
+        return header + bytes(body)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load(self) -> CheckpointData:
+        """Return the newest valid checkpoint (or the empty one)."""
+        best = CheckpointData.empty()
+        for slot in range(2):
+            parsed = self._load_slot(slot)
+            if parsed is not None and parsed.ckpt_seq > best.ckpt_seq:
+                best = parsed
+        self.last_written_seq = best.ckpt_seq
+        return best
+
+    def _load_slot(self, slot: int) -> Optional[CheckpointData]:
+        base = slot * self.slot_segments
+        seg_size = self.geometry.segment_size
+        try:
+            first = self.disk.read_segment(base)
+        except Exception:
+            return None
+        if len(first) < _HEADER_SIZE:
+            return None
+        try:
+            (
+                magic,
+                version,
+                _pad,
+                ckpt_seq,
+                last_log_seq,
+                next_block,
+                next_list,
+                next_aru,
+                n_blocks,
+                n_lists,
+                n_segs,
+                total_len,
+                crc,
+            ) = struct.unpack_from(_HEADER_FMT, first, 0)
+        except struct.error:
+            return None
+        if magic != CKPT_MAGIC or version != CKPT_VERSION:
+            return None
+        if total_len < _HEADER_SIZE or total_len > self.slot_segments * seg_size:
+            return None
+        raw = bytearray(first)
+        chunk = 1
+        while len(raw) < total_len:
+            try:
+                raw += self.disk.read_segment(base + chunk)
+            except Exception:
+                return None
+            chunk += 1
+        raw = bytes(raw[:total_len])
+        check = raw[: _HEADER_SIZE - 8] + raw[_HEADER_SIZE:]
+        if zlib.crc32(check) != crc:
+            return None
+        expected = (
+            _HEADER_SIZE
+            + n_blocks * _BLOCK_SIZE
+            + n_lists * _LIST_SIZE
+            + n_segs * _SEG_SIZE
+        )
+        if expected != total_len:
+            return None
+        offset = _HEADER_SIZE
+        blocks: List[BlockSnapshot] = []
+        for _ in range(n_blocks):
+            bid, succ, lid, ts, seg, slot_no, flags = struct.unpack_from(
+                _BLOCK_FMT, raw, offset
+            )
+            offset += _BLOCK_SIZE
+            blocks.append(
+                BlockSnapshot(
+                    block_id=bid,
+                    successor=succ,
+                    list_id=lid,
+                    timestamp=ts,
+                    segment=seg,
+                    slot=slot_no,
+                    has_addr=bool(flags & _FLAG_HAS_ADDR),
+                )
+            )
+        lists: List[ListSnapshot] = []
+        for _ in range(n_lists):
+            lid, first_b, last_b, count, ts = struct.unpack_from(
+                _LIST_FMT, raw, offset
+            )
+            offset += _LIST_SIZE
+            lists.append(ListSnapshot(lid, first_b, last_b, count, ts))
+        segments: Dict[int, Tuple[int, int, int]] = {}
+        for _ in range(n_segs):
+            seg, seq, live, total = struct.unpack_from(_SEG_FMT, raw, offset)
+            offset += _SEG_SIZE
+            segments[seg] = (seq, live, total)
+        return CheckpointData(
+            ckpt_seq=ckpt_seq,
+            last_log_seq=last_log_seq,
+            next_block_id=next_block,
+            next_list_id=next_list,
+            next_aru_id=next_aru,
+            blocks=blocks,
+            lists=lists,
+            segments=segments,
+        )

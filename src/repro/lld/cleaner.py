@@ -1,0 +1,195 @@
+"""The segment cleaner: reclaiming disk space in the log.
+
+When LLD runs out of free segments it copies the still-live blocks of
+lightly-used segments into the current buffer and frees the victims
+(Section 2: "If LLD runs out of disk space it uses a segment cleaner
+to reclaim unused disk space").  Two victim-selection policies are
+provided, following the LFS literature the paper builds on:
+
+* ``greedy`` — always clean the segment with the fewest live blocks;
+* ``cost_benefit`` — weigh free-space benefit against copying cost
+  and favor older (colder) segments:
+  ``(1 - u) * age / (1 + u)`` for utilization ``u``.
+
+Correctness protocol: a block slot is copied only if the persistent
+record still points at it *and* no committed record supersedes it (a
+newer copy is already in the log stream ahead of us).  Victims are
+freed only after (a) the copies have been flushed and (b) a
+checkpoint has been written, so the summary history the victims
+carried is no longer needed by recovery, and a crash at any point
+leaves either the old or the new copy reachable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.versions import VersionState
+from repro.errors import CorruptionError
+from repro.ld.types import ARU_NONE, BlockId
+from repro.lld.segment import decode_segment
+from repro.lld.summary import EntryKind
+
+
+@dataclasses.dataclass
+class CleanReport:
+    """What one cleaning pass accomplished."""
+
+    victims: List[int]
+    blocks_copied: int
+    segments_freed: int
+
+
+class SegmentCleaner:
+    """Copies live data out of victim segments and frees them."""
+
+    def __init__(self, lld, policy: str = "cost_benefit") -> None:
+        if policy not in ("greedy", "cost_benefit"):
+            raise ValueError(f"unknown cleaner policy {policy!r}")
+        self.lld = lld
+        self.policy = policy
+
+    def _score(self, live: int, seq: int) -> float:
+        """Lower score = better victim."""
+        slots = self.lld.geometry.max_data_blocks
+        utilization = live / slots if slots else 1.0
+        if self.policy == "greedy":
+            return utilization
+        # Cost-benefit: maximize (1-u)*age/(1+u); minimize the negation.
+        age = max(1, self.lld._next_seq - seq)
+        return -((1.0 - utilization) * age / (1.0 + utilization))
+
+    def select_victims(self, count: int) -> List[int]:
+        """Pick up to ``count`` victim segments by policy score."""
+        candidates = []
+        current = self.lld._buffer
+        for seg, live, seq in self.lld.usage.dirty_segments():
+            if current is not None and seg == current.segment_no:
+                continue
+            # A fully live segment frees no space; copying it would
+            # just thrash the log.
+            if live >= self.lld.geometry.max_data_blocks:
+                continue
+            candidates.append((self._score(live, seq), live, seg))
+        candidates.sort()
+        return [seg for _score, _live, seg in candidates[:count]]
+
+    def clean(self, target_free: int) -> CleanReport:
+        """Clean until at least ``target_free`` segments are free.
+
+        Runs as many bounded passes as keep making progress: each
+        pass evacuates only as much live data as the current free
+        workspace can absorb, frees its victims, and thereby enlarges
+        the next pass's budget.  Returns an empty report when nothing
+        can be cleaned (no victims, an unsafe moment, or a disk
+        genuinely full of live data).
+        """
+        lld = self.lld
+        all_victims: list = []
+        total_copied = 0
+        total_freed = 0
+        while lld.usage.free_count < target_free:
+            # Flushing first lands any pending commit records, which
+            # is what makes checkpointing possible again.
+            lld.flush()
+            if not lld.checkpoint_safe():
+                # Mid-commit (or an open sequential ARU): victims
+                # could not be freed afterwards anyway, and the
+                # evacuation copies would *consume* scarce space.
+                break
+            needed = target_free - lld.usage.free_count
+            candidates = self.select_victims(needed)
+            if not candidates:
+                break
+            # Bound the evacuation volume by the workspace we have:
+            # copies consume free segments before the victims are
+            # released, so an over-ambitious pass could wedge the
+            # disk.
+            budget_slots = max(
+                1, (lld.usage.free_count - 1) * lld.geometry.max_data_blocks
+            )
+            victims = []
+            copy_load = 0
+            for seg in candidates:
+                live = lld.usage.live_slots(seg)
+                if victims and copy_load + live > budget_slots:
+                    break
+                victims.append(seg)
+                copy_load += live
+            # A pass must be net-positive: segments released must
+            # exceed segments consumed by the copies, or cleaning
+            # would eat the last workspace for nothing.
+            slots = lld.geometry.max_data_blocks
+            consumed = -(-copy_load // slots) if copy_load else 0
+            if len(victims) - consumed < 1:
+                break
+            free_before = lld.usage.free_count
+            was_cleaning = lld._cleaning
+            lld._cleaning = True
+            try:
+                copied = 0
+                for seg in victims:
+                    copied += self._evacuate(seg)
+                # Make the copies durable, then supersede the victims'
+                # summary history with a checkpoint; only then is
+                # freeing them safe.
+                lld.flush()
+                if not lld.checkpoint_safe():
+                    # An ARU committed mid-pass; keep the victims (the
+                    # copies make the next pass free) and stop here.
+                    all_victims += victims
+                    total_copied += copied
+                    break
+                lld._ckpt_seq += 1
+                for seg in victims:
+                    lld.cache.invalidate_segment(seg)
+                    lld.usage.free_segment(seg)
+                lld.checkpoints.write(lld._snapshot_checkpoint())
+            finally:
+                lld._cleaning = was_cleaning
+            all_victims += victims
+            total_copied += copied
+            total_freed += len(victims)
+            if lld.usage.free_count <= free_before:
+                break  # no net progress: the survivors are too full
+        return CleanReport(all_victims, total_copied, total_freed)
+
+    def _evacuate(self, seg: int) -> int:
+        """Copy every live block of ``seg`` into the current buffer."""
+        lld = self.lld
+        raw = lld.disk.read_segment(seg)
+        decoded = decode_segment(raw, lld.geometry, seg)
+        if decoded is None:
+            raise CorruptionError(
+                f"cleaner picked segment {seg} but it fails validation"
+            )
+        copied = 0
+        seen = set()
+        for entry in decoded.entries:
+            if entry.kind is not EntryKind.WRITE:
+                continue
+            block_id = BlockId(entry.a)
+            slot = entry.b
+            if (block_id, slot) in seen:
+                continue
+            seen.add((block_id, slot))
+            root = lld.bmap.root(block_id)
+            if root is None or root.persistent is None:
+                continue
+            persistent = root.persistent
+            if persistent.address is None or persistent.address.segment != seg:
+                continue
+            if persistent.address.slot != slot:
+                continue
+            # A committed record means a newer copy is already in the
+            # stream ahead of us; the flush below makes it durable,
+            # so the old slot need not move.
+            if root.find(VersionState.COMMITTED, ARU_NONE) is not None:
+                continue
+            data = decoded.slot_data(slot)
+            ts = lld.clock.tick()
+            addr = lld._append_block_data(block_id, data, 0, ts)
+            persistent.address = addr
+            copied += 1
+        return copied

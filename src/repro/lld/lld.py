@@ -1,0 +1,1247 @@
+"""The log-structured logical disk with atomic recovery units.
+
+This module implements the complete LD interface over the simulated
+disk.  It supports two modes:
+
+* ``aru_mode="concurrent"`` — the paper's **new** prototype.  ARU
+  operations execute in per-ARU shadow states built from alternative
+  block/list records; list operations additionally go through the
+  per-ARU list-operation log and are re-executed against the
+  committed state at commit, where the segment-summary link records
+  are generated, followed by the ARU's commit record.
+* ``aru_mode="sequential"`` — the paper's **old** baseline.  Only one
+  ARU may be active at a time; its operations apply directly to the
+  committed state (tagged with the ARU identifier in the summaries,
+  with a commit record at the end, which is what gives the old
+  prototype failure atomicity for its sequential ARUs).  No shadow
+  records, no list-operation log, no re-execution.
+
+Version lifecycle (Section 3.1): shadow versions live purely in
+memory; at ``EndARU`` they transition to committed versions, whose
+data sits in the current in-memory segment buffer (or in already
+written segments while their commit record is still in the buffer);
+when the segment carrying a committed version's entries reaches the
+disk *and* its ARU's commit record is on disk, the committed version
+folds into the persistent state — the block-number-map and
+list-table.
+
+Durability ordering: within the stream, an ARU's data and link
+records are always appended before its commit record, so a flushed
+commit record implies all of the ARU's effects are on disk, and
+recovery (:mod:`repro.lld.recovery`) discards any tagged entries
+whose commit record never made it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.aru import ARURecord, ARUTable
+from repro.core.oplog import ListOp, ListOpKind
+from repro.core.records import BlockVersion, ChainRoot, ListVersion, StateChain
+from repro.core.versions import VersionState
+from repro.core.visibility import Visibility, read_versions
+from repro.disk.clock import CostMeter, CostModel
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import (
+    BadBlockError,
+    BadListError,
+    ConcurrencyError,
+    DiskCrashedError,
+    DiskFullError,
+    LDError,
+)
+from repro.ld.interface import LogicalDisk
+from repro.ld.types import ARU_NONE, ARUId, BlockId, FIRST, ListId, PhysAddr, Predecessor
+from repro.lld.cache import BlockCache
+from repro.lld.checkpoint import (
+    BlockSnapshot,
+    CheckpointData,
+    CheckpointManager,
+    ListSnapshot,
+    default_slot_segments,
+)
+from repro.lld.maps import BlockNumberMap, ListTable
+from repro.lld.segment import SegmentBuffer
+from repro.lld.summary import EntryKind, SummaryEntry, entry_size
+from repro.lld.usage import SegmentState, SegmentUsage
+
+_WRITE_ENTRY_SIZE = entry_size(EntryKind.WRITE)
+
+
+class LLD(LogicalDisk):
+    """Log-structured logical disk (LLD) with ARU support.
+
+    Args:
+        disk: The (simulated) disk to run on.
+        cost_model: CPU cost model; defaults to the calibrated model.
+        aru_mode: ``"concurrent"`` (the paper's new prototype) or
+            ``"sequential"`` (the old baseline).
+        visibility: Read-visibility policy for concurrent ARUs
+            (Section 3.3); the paper's choice — and our default — is
+            option 3, ``Visibility.ARU_LOCAL``.
+        cache_blocks: Capacity of the block read cache, in blocks.
+        readahead: Fetch the rest of a segment on sequential misses.
+        conflict_policy: What commit-time replay does when a logged
+            list operation no longer applies (a concurrent stream
+            changed the list): ``"raise"`` (default; clients are
+            expected to lock) or ``"skip"``.
+        checkpoint_slot_segments: Segments reserved per checkpoint
+            slot; sized for worst-case tables when omitted.
+        clean_low_water / clean_high_water: Free-segment thresholds
+            that trigger / stop the cleaner.
+        cleaner_policy: ``"greedy"`` or ``"cost_benefit"``.
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        cost_model: Optional[CostModel] = None,
+        aru_mode: str = "concurrent",
+        visibility: Visibility = Visibility.ARU_LOCAL,
+        cache_blocks: int = 2048,
+        readahead: bool = True,
+        conflict_policy: str = "raise",
+        checkpoint_slot_segments: Optional[int] = None,
+        clean_low_water: int = 4,
+        clean_high_water: int = 8,
+        cleaner_policy: str = "cost_benefit",
+        _defer_init: bool = False,
+    ) -> None:
+        if aru_mode not in ("concurrent", "sequential"):
+            raise ValueError(f"unknown aru_mode {aru_mode!r}")
+        if conflict_policy not in ("raise", "skip"):
+            raise ValueError(f"unknown conflict_policy {conflict_policy!r}")
+        self.disk = disk
+        self.geometry = disk.geometry
+        self.clock = disk.clock
+        self.meter = CostMeter(self.clock, cost_model or CostModel())
+        self.concurrent = aru_mode == "concurrent"
+        self.visibility = visibility
+        self.conflict_policy = conflict_policy
+        if self.geometry.usable_size < self.geometry.block_size + 64:
+            raise ValueError("segments too small to hold a block plus summary")
+
+        slot_segs = (
+            checkpoint_slot_segments
+            if checkpoint_slot_segments is not None
+            else default_slot_segments(self.geometry)
+        )
+        self.checkpoints = CheckpointManager(disk, slot_segs)
+        reserved = self.checkpoints.reserved_segments
+        if reserved >= self.geometry.num_segments - max(2, clean_low_water):
+            raise ValueError(
+                "checkpoint reservation leaves too few log segments; "
+                "use a larger partition or fewer checkpoint segments"
+            )
+
+        self.bmap = BlockNumberMap()
+        self.ltable = ListTable()
+        self.arus = ARUTable(concurrent=self.concurrent)
+        self.committed_blocks = StateChain()
+        self.committed_lists = StateChain()
+        self.usage = SegmentUsage(self.geometry.num_segments, reserved=reserved)
+        self.cache = BlockCache(cache_blocks)
+        self.readahead = readahead
+        self.clean_low_water = clean_low_water
+        self.clean_high_water = max(clean_high_water, clean_low_water + 1)
+        self.cleaner_policy = cleaner_policy
+
+        self._next_block_id = 1
+        self._next_list_id = 1
+        self._next_seq = 1
+        self._last_written_seq = 0
+        self._ckpt_seq = 0
+        self._commit_on_disk: Set[int] = set()
+        self._pending_commit_arus: Set[int] = set()
+        self._dead = False
+        self._cleaning = False
+        self._emergency = False
+        #: Segments ordinary allocations may never consume: kept for
+        #: the cleaner and for deletions, so a full disk stays
+        #: recoverable instead of wedged.
+        self.segment_reserve = min(
+            2, max(0, self.geometry.num_segments - reserved - 2)
+        )
+        # Cleaning must fire while ordinary allocations still have
+        # headroom above the reserve, or the disk wedges at the
+        # boundary.
+        self.clean_low_water = max(self.clean_low_water, self.segment_reserve + 1)
+        self.clean_high_water = max(self.clean_high_water, self.clean_low_water + 1)
+        self._last_read_key: Optional[Tuple[int, int]] = None
+        self._lock = threading.RLock()
+        self._buffer: Optional[SegmentBuffer] = None
+
+        # Statistics
+        self.op_counts: Dict[str, int] = {}
+        self.segments_flushed = 0
+        self.cleanings = 0
+
+        if not _defer_init:
+            self._open_new_buffer()
+
+    # ==================================================================
+    # Public interface: ARUs
+    # ==================================================================
+
+    def begin_aru(self) -> ARUId:
+        """Start a new atomic recovery unit."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self.meter.charge("aru_begin_us")
+            self._count("begin_aru")
+            record = self.arus.begin(self.clock.tick())
+            return record.aru_id
+
+    def end_aru(self, aru: ARUId) -> None:
+        """Commit an ARU (Section 3: ARUs serialize at EndARU time)."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self.meter.charge("aru_commit_us")
+            self._count("end_aru")
+            record = self.arus.get(aru)
+            # Commits may dip into the segment reserve: an interrupted
+            # merge cannot be unwound, so completion beats headroom.
+            self._emergency = True
+            try:
+                if self.concurrent:
+                    self._commit_concurrent(record)
+                op_count = record.op_count
+                self._emit_entry(
+                    SummaryEntry(
+                        EntryKind.COMMIT, int(aru), self.clock.tick(), op_count
+                    )
+                )
+            except DiskFullError:
+                # A half-merged commit cannot be unwound in memory;
+                # fail the instance (recovery from disk restores the
+                # consistent pre-commit state, since no commit record
+                # was written).
+                self._dead = True
+                raise
+            finally:
+                self._emergency = False
+            self._pending_commit_arus.add(int(aru))
+            self.meter.charge("summary_entry_us")
+            self.arus.finish(aru, committed=True)
+            # Commits are the moment space pressure builds (shadow
+            # data lands in the log) and the moment it becomes safe
+            # to clean again — check here, not just on buffer rolls.
+            if (
+                not self._cleaning
+                and self.usage.free_count <= self.clean_low_water
+            ):
+                self._run_cleaner()
+
+    def abort_aru(self, aru: ARUId) -> None:
+        """Discard an ARU's shadow state (extension; see interface)."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("abort_aru")
+            if not self.concurrent:
+                raise ConcurrencyError(
+                    "sequential-ARU mode cannot abort: operations were "
+                    "applied to the committed state directly"
+                )
+            record = self.arus.finish(aru, committed=False)
+            for shadow in record.shadow_blocks.drain():
+                self.bmap.root(shadow.block_id).remove_alt(shadow)
+                self.bmap.drop_if_empty(shadow.block_id)
+                self.meter.charge("record_transition_us")
+            for shadow in record.shadow_lists.drain():
+                self.ltable.root(shadow.list_id).remove_alt(shadow)
+                self.ltable.drop_if_empty(shadow.list_id)
+                self.meter.charge("record_transition_us")
+            record.oplog.clear()
+
+    def _commit_concurrent(self, record: ARURecord) -> None:
+        """Merge an ARU's shadow state into the committed stream."""
+        aru = record.aru_id
+        # 1. Transition data-bearing shadow block records.  Blocks the
+        #    ARU deleted or only re-linked are reconstructed by the
+        #    list-operation log replay below.
+        for shadow in record.shadow_blocks.drain():
+            self.bmap.root(shadow.block_id).remove_alt(shadow)
+            self.meter.charge("record_transition_us")
+            if not shadow.allocated or shadow.data is None:
+                continue
+            view = self._view_block(shadow.block_id, None)
+            if view is None or not view.allocated:
+                self._conflict(
+                    f"block {shadow.block_id} disappeared before ARU "
+                    f"{aru} committed"
+                )
+                continue
+            self._commit_block_data(shadow.block_id, shadow.data, int(aru))
+        # 2. Shadow list records carry no information the log replay
+        #    does not regenerate; discard them.
+        for shadow in record.shadow_lists.drain():
+            self.ltable.root(shadow.list_id).remove_alt(shadow)
+            self.ltable.drop_if_empty(shadow.list_id)
+            self.meter.charge("record_transition_us")
+        # 3. Re-execute the list-operation log in the committed state,
+        #    generating the summary link records (Section 4).
+        for op in record.oplog:
+            self.meter.charge("listop_replay_us")
+            try:
+                self._apply_list_op(op, None, int(aru))
+            except LDError as exc:
+                self._conflict(f"replaying {op} for ARU {aru}: {exc}")
+        record.oplog.clear()
+
+    def _conflict(self, message: str) -> None:
+        if self.conflict_policy == "raise":
+            raise ConcurrencyError(message)
+        self._count("replay_conflicts_skipped")
+
+    # ==================================================================
+    # Public interface: blocks
+    # ==================================================================
+
+    def new_block(
+        self,
+        list_id: ListId,
+        predecessor: Predecessor = FIRST,
+        aru: Optional[ARUId] = None,
+    ) -> BlockId:
+        """Allocate a block within ``list_id`` (see interface docs)."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("new_block")
+            record = self._aru_record(aru)
+            shadow_ctx = record if self.concurrent else None
+            list_view = self._view_list(list_id, shadow_ctx)
+            if list_view is None or not list_view.allocated:
+                raise BadListError(int(list_id))
+            if predecessor is not FIRST:
+                pred_view = self._view_block(predecessor, shadow_ctx)
+                if (
+                    pred_view is None
+                    or not pred_view.allocated
+                    or pred_view.list_id != list_id
+                ):
+                    raise BadBlockError(
+                        int(predecessor), f"not a member of list {list_id}"
+                    )
+            block_id = BlockId(self._next_block_id)
+            self._next_block_id += 1
+            self.meter.charge("table_access_us")
+            if self.concurrent and aru is not None:
+                self.meter.charge("aru_alloc_us")
+            ts = self.clock.tick()
+            # Allocation always happens in the merged stream and is
+            # committed immediately, even inside an ARU (Section 3.3),
+            # so concurrent ARUs can never be handed the same id.
+            self._emit_entry(
+                SummaryEntry(
+                    EntryKind.ALLOC_BLOCK, 0, ts, int(block_id), int(list_id)
+                )
+            )
+            self.meter.charge("summary_entry_us")
+            alloc = self._block_for_update(block_id, None)
+            alloc.allocated = True
+            alloc.timestamp = ts
+            alloc.origin_aru = ARU_NONE
+            alloc.pending_segment = self._buffer.seq
+            # The *insertion* into the list is part of the stream that
+            # issued it: shadow state for concurrent ARUs, committed
+            # state otherwise.
+            op = ListOp(
+                ListOpKind.INSERT,
+                list_id,
+                block_id,
+                None if predecessor is FIRST else predecessor,
+            )
+            if record is not None:
+                record.op_count += 1
+            if shadow_ctx is not None:
+                self._apply_list_op(op, shadow_ctx, 0)
+                shadow_ctx.oplog.append(op, self.meter)
+            else:
+                self._apply_list_op(op, None, int(aru) if aru else 0)
+            return block_id
+
+    def delete_block(self, block_id: BlockId, aru: Optional[ARUId] = None) -> None:
+        """Remove a block from its list and deallocate it."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("delete_block")
+            record = self._aru_record(aru)
+            shadow_ctx = record if self.concurrent else None
+            view = self._view_block(block_id, shadow_ctx)
+            if view is None or not view.allocated:
+                raise BadBlockError(int(block_id))
+            op = ListOp(
+                ListOpKind.DELETE_BLOCK,
+                view.list_id if view.list_id is not None else ListId(0),
+                block_id,
+            )
+            if record is not None:
+                record.op_count += 1
+            if shadow_ctx is not None:
+                self._apply_list_op(op, shadow_ctx, 0)
+                shadow_ctx.oplog.append(op, self.meter)
+            else:
+                self._emergency = True
+                try:
+                    self._apply_list_op(op, None, int(aru) if aru else 0)
+                finally:
+                    self._emergency = False
+
+    def write(
+        self, block_id: BlockId, data: bytes, aru: Optional[ARUId] = None
+    ) -> None:
+        """Write one block (shadow for ARUs, committed otherwise)."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("write")
+            if len(data) > self.geometry.block_size:
+                raise ValueError(
+                    f"data ({len(data)} bytes) exceeds block size "
+                    f"{self.geometry.block_size}"
+                )
+            record = self._aru_record(aru)
+            shadow_ctx = record if self.concurrent else None
+            view = self._view_block(block_id, shadow_ctx)
+            if view is None or not view.allocated:
+                raise BadBlockError(int(block_id))
+            if len(data) < self.geometry.block_size:
+                data = data + b"\x00" * (self.geometry.block_size - len(data))
+            if record is not None:
+                record.op_count += 1
+            if shadow_ctx is not None:
+                shadow = self._block_for_update(block_id, shadow_ctx)
+                shadow.data = data
+                shadow.timestamp = self.clock.tick()
+                self.meter.charge("block_copy_us")
+            else:
+                self._commit_block_data(
+                    block_id, data, int(aru) if aru else 0
+                )
+
+    def read(self, block_id: BlockId, aru: Optional[ARUId] = None) -> bytes:
+        """Read one block under the configured visibility policy."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("read")
+            self._aru_record(aru)  # validates the ARU if given
+            root = self.bmap.root(block_id)
+            if root is None:
+                raise BadBlockError(int(block_id))
+            candidates = read_versions(root, aru, self.visibility, self.meter)
+            if not candidates:
+                raise BadBlockError(int(block_id))
+            if not candidates[0].allocated:
+                raise BadBlockError(int(block_id), "deallocated")
+            self.meter.charge("block_read_us")
+            for version in candidates:
+                if not version.allocated:
+                    break
+                if version.data is not None:
+                    return version.data
+                if version.address is not None:
+                    return self._read_at(version.address)
+            # Allocated but never written: fresh blocks read as zeros.
+            return b"\x00" * self.geometry.block_size
+
+    # ==================================================================
+    # Public interface: lists
+    # ==================================================================
+
+    def new_list(self, aru: Optional[ARUId] = None) -> ListId:
+        """Allocate a new empty list (committed immediately)."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("new_list")
+            record = self._aru_record(aru)
+            list_id = ListId(self._next_list_id)
+            self._next_list_id += 1
+            self.meter.charge("table_access_us")
+            if self.concurrent and aru is not None:
+                self.meter.charge("aru_alloc_us")
+            ts = self.clock.tick()
+            self._emit_entry(
+                SummaryEntry(EntryKind.NEW_LIST, 0, ts, int(list_id))
+            )
+            self.meter.charge("summary_entry_us")
+            version = self._list_for_update(list_id, None)
+            version.allocated = True
+            version.first = None
+            version.last = None
+            version.count = 0
+            version.timestamp = ts
+            version.origin_aru = ARU_NONE
+            version.pending_segment = self._buffer.seq
+            if record is not None:
+                record.op_count += 1
+            return list_id
+
+    def delete_list(self, list_id: ListId, aru: Optional[ARUId] = None) -> None:
+        """Deallocate a list and its remaining members (head-first)."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("delete_list")
+            record = self._aru_record(aru)
+            shadow_ctx = record if self.concurrent else None
+            view = self._view_list(list_id, shadow_ctx)
+            if view is None or not view.allocated:
+                raise BadListError(int(list_id))
+            op = ListOp(ListOpKind.DELETE_LIST, list_id)
+            if record is not None:
+                record.op_count += 1
+            if shadow_ctx is not None:
+                self._apply_list_op(op, shadow_ctx, 0)
+                shadow_ctx.oplog.append(op, self.meter)
+            else:
+                self._emergency = True
+                try:
+                    self._apply_list_op(op, None, int(aru) if aru else 0)
+                finally:
+                    self._emergency = False
+
+    def list_blocks(
+        self, list_id: ListId, aru: Optional[ARUId] = None
+    ) -> List[BlockId]:
+        """Enumerate a list under the visibility policy."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("list_blocks")
+            self._aru_record(aru)
+            shadow_aru = aru if self.concurrent else None
+            view = self._visible_list(list_id, shadow_aru)
+            if view is None or not view.allocated:
+                raise BadListError(int(list_id))
+            blocks: List[BlockId] = []
+            cursor = view.first
+            while cursor is not None:
+                blocks.append(cursor)
+                block_view = self._visible_block(cursor, shadow_aru)
+                if block_view is None:
+                    raise BadBlockError(
+                        int(cursor), f"list {list_id} references missing block"
+                    )
+                cursor = block_view.successor
+                if len(blocks) > len(self.bmap) + 1:
+                    raise LDError(f"cycle detected in list {list_id}")
+            return blocks
+
+    # ==================================================================
+    # Public interface: durability
+    # ==================================================================
+
+    def flush(self) -> None:
+        """Write the current segment buffer; everything committed
+        becomes persistent."""
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("flush")
+            self._write_buffer()
+
+    def write_checkpoint(self) -> None:
+        """Flush, then write a checkpoint bounding future recovery.
+
+        Raises:
+            ConcurrencyError: If the persistent tables cannot yet
+                capture everything the log carries — an ARU is active
+                in sequential mode, or committed records are still
+                waiting for a commit record to reach the disk.  A
+                checkpoint taken then could strand a later-committing
+                ARU's pre-checkpoint entries.
+        """
+        with self._lock:
+            self._check_alive()
+            self.flush()
+            if not self.checkpoint_safe():
+                raise ConcurrencyError(
+                    "cannot checkpoint: unfolded committed state or an "
+                    "active sequential-mode ARU still references the log"
+                )
+            self._ckpt_seq += 1
+            self.checkpoints.write(self._snapshot_checkpoint())
+
+    def checkpoint_safe(self) -> bool:
+        """True when the persistent tables fully capture the log
+        history (so a checkpoint may supersede it)."""
+        if not self.concurrent and self.arus.active_count:
+            return False
+        return (
+            len(self.committed_blocks) == 0
+            and len(self.committed_lists) == 0
+            and not self._pending_commit_arus
+        )
+
+    def sweep_orphan_blocks(self) -> List[BlockId]:
+        """Free allocated blocks that belong to no list.
+
+        Blocks allocated inside an ARU that never committed (or was
+        aborted) stay allocated because allocation commits
+        immediately; the paper prescribes a disk consistency check
+        that frees them.  Requires no active ARUs.
+        """
+        with self._lock:
+            self._check_alive()
+            if self.arus.active_count:
+                raise ConcurrencyError(
+                    "cannot sweep orphans while ARUs are active"
+                )
+            members: Set[int] = set()
+            for list_id, _root in list(self.ltable.items()):
+                view = self._view_list(list_id, None)
+                if view is None or not view.allocated:
+                    continue
+                cursor = view.first
+                while cursor is not None:
+                    members.add(int(cursor))
+                    block_view = self._view_block(cursor, None)
+                    cursor = block_view.successor if block_view else None
+            orphans: List[BlockId] = []
+            for block_id, _root in list(self.bmap.items()):
+                view = self._view_block(block_id, None)
+                if view is None or not view.allocated:
+                    continue
+                if int(block_id) not in members and view.list_id is None:
+                    orphans.append(block_id)
+            for block_id in orphans:
+                self.delete_block(block_id)
+            return orphans
+
+    # ==================================================================
+    # Version lookup and creation
+    # ==================================================================
+
+    def _aru_record(self, aru: Optional[ARUId]) -> Optional[ARURecord]:
+        """Validate and fetch the ARU record (None for simple ops)."""
+        if aru is None:
+            return None
+        return self.arus.get(aru)
+
+    def _view_block(
+        self, block_id: BlockId, shadow_ctx: Optional[ARURecord]
+    ) -> Optional[BlockVersion]:
+        """Modification view: shadow (if in ARU) -> committed -> persistent."""
+        root = self.bmap.root(block_id)
+        if root is None:
+            return None
+        self.meter.charge("table_access_us")
+        if shadow_ctx is not None:
+            found = root.find(VersionState.SHADOW, shadow_ctx.aru_id, self.meter)
+            if found is not None:
+                return found
+        found = root.find(VersionState.COMMITTED, ARU_NONE, self.meter)
+        if found is not None:
+            return found
+        return root.persistent
+
+    def _view_list(
+        self, list_id: ListId, shadow_ctx: Optional[ARURecord]
+    ) -> Optional[ListVersion]:
+        """Modification view for lists (same search order as blocks)."""
+        root = self.ltable.root(list_id)
+        if root is None:
+            return None
+        self.meter.charge("table_access_us")
+        if shadow_ctx is not None:
+            found = root.find(VersionState.SHADOW, shadow_ctx.aru_id, self.meter)
+            if found is not None:
+                return found
+        found = root.find(VersionState.COMMITTED, ARU_NONE, self.meter)
+        if found is not None:
+            return found
+        return root.persistent
+
+    def _visible_block(
+        self, block_id: BlockId, aru: Optional[ARUId]
+    ) -> Optional[BlockVersion]:
+        """Read view under the configured visibility policy."""
+        root = self.bmap.root(block_id)
+        if root is None:
+            return None
+        candidates = read_versions(root, aru, self.visibility, self.meter)
+        return candidates[0] if candidates else None
+
+    def _visible_list(
+        self, list_id: ListId, aru: Optional[ARUId]
+    ) -> Optional[ListVersion]:
+        """Read view for lists under the visibility policy."""
+        root = self.ltable.root(list_id)
+        if root is None:
+            return None
+        candidates = read_versions(root, aru, self.visibility, self.meter)
+        return candidates[0] if candidates else None
+
+    def _charge_record(self, category: str) -> None:
+        """Charge a record operation; the old prototype updates its
+        tables in place, so it pays only a table access."""
+        if self.concurrent:
+            self.meter.charge(category)
+        else:
+            self.meter.charge("table_access_us")
+
+    def _block_for_update(
+        self, block_id: BlockId, shadow_ctx: Optional[ARURecord]
+    ) -> BlockVersion:
+        """Find or create the block record to modify in the given state.
+
+        Copies from the next-lower version (committed, then
+        persistent) per the standardized search of Section 3.3.
+        """
+        root = self.bmap.root(block_id, create=True)
+        if shadow_ctx is not None:
+            found = root.find(VersionState.SHADOW, shadow_ctx.aru_id, self.meter)
+            if found is not None:
+                return found
+            version = BlockVersion(
+                block_id, VersionState.SHADOW, aru_id=shadow_ctx.aru_id
+            )
+            base = root.find(VersionState.COMMITTED, ARU_NONE, self.meter)
+            if base is None:
+                base = root.persistent
+            if base is not None:
+                version.copy_from(base)
+            else:
+                version.allocated = False
+            self._charge_record("record_create_us")
+            root.push_alt(version)
+            shadow_ctx.shadow_blocks.push(version)
+            return version
+        found = root.find(VersionState.COMMITTED, ARU_NONE, self.meter)
+        if found is not None:
+            return found
+        version = BlockVersion(block_id, VersionState.COMMITTED)
+        if root.persistent is not None:
+            version.copy_from(root.persistent)
+        else:
+            version.allocated = False
+        self._charge_record("record_create_us")
+        root.push_alt(version)
+        self.committed_blocks.push(version)
+        return version
+
+    def _list_for_update(
+        self, list_id: ListId, shadow_ctx: Optional[ARURecord]
+    ) -> ListVersion:
+        """List analogue of :meth:`_block_for_update`."""
+        root = self.ltable.root(list_id, create=True)
+        if shadow_ctx is not None:
+            found = root.find(VersionState.SHADOW, shadow_ctx.aru_id, self.meter)
+            if found is not None:
+                return found
+            version = ListVersion(
+                list_id, VersionState.SHADOW, aru_id=shadow_ctx.aru_id
+            )
+            base = root.find(VersionState.COMMITTED, ARU_NONE, self.meter)
+            if base is None:
+                base = root.persistent
+            if base is not None:
+                version.copy_from(base)
+            else:
+                version.allocated = False
+            self._charge_record("record_create_us")
+            root.push_alt(version)
+            shadow_ctx.shadow_lists.push(version)
+            return version
+        found = root.find(VersionState.COMMITTED, ARU_NONE, self.meter)
+        if found is not None:
+            return found
+        version = ListVersion(list_id, VersionState.COMMITTED)
+        if root.persistent is not None:
+            version.copy_from(root.persistent)
+        else:
+            version.allocated = False
+        self._charge_record("record_create_us")
+        root.push_alt(version)
+        self.committed_lists.push(version)
+        return version
+
+    # ==================================================================
+    # List-operation execution (shared by shadow, committed, replay)
+    # ==================================================================
+
+    def _apply_list_op(
+        self, op: ListOp, shadow_ctx: Optional[ARURecord], aru_tag: int
+    ) -> None:
+        """Execute one list operation in the given state.
+
+        With ``shadow_ctx`` set the operation runs in that ARU's
+        shadow state and generates no summary entries; otherwise it
+        runs in the committed state and the link/delete records are
+        emitted (tagged with ``aru_tag``).
+        """
+        if op.kind is ListOpKind.INSERT:
+            self._apply_insert(op, shadow_ctx, aru_tag)
+        elif op.kind is ListOpKind.DELETE_BLOCK:
+            self._apply_delete_block(op, shadow_ctx, aru_tag)
+        else:
+            self._apply_delete_list(op, shadow_ctx, aru_tag)
+
+    def _apply_insert(
+        self, op: ListOp, shadow_ctx: Optional[ARURecord], aru_tag: int
+    ) -> None:
+        list_view = self._view_list(op.list_id, shadow_ctx)
+        if list_view is None or not list_view.allocated:
+            raise BadListError(int(op.list_id))
+        block_view = self._view_block(op.block_id, shadow_ctx)
+        if block_view is None or not block_view.allocated:
+            raise BadBlockError(int(op.block_id))
+        if block_view.list_id is not None:
+            raise ConcurrencyError(
+                f"block {op.block_id} is already in list {block_view.list_id}"
+            )
+        if op.predecessor is not None:
+            pred_view = self._view_block(op.predecessor, shadow_ctx)
+            if (
+                pred_view is None
+                or not pred_view.allocated
+                or pred_view.list_id != op.list_id
+            ):
+                raise BadBlockError(
+                    int(op.predecessor), f"not a member of list {op.list_id}"
+                )
+        ts = self.clock.tick()
+        if shadow_ctx is None:
+            self._emit_entry(
+                SummaryEntry(
+                    EntryKind.LINK,
+                    aru_tag,
+                    ts,
+                    int(op.list_id),
+                    int(op.block_id),
+                    int(op.predecessor) if op.predecessor is not None else 0,
+                )
+            )
+            self.meter.charge("summary_entry_us")
+        lst = self._list_for_update(op.list_id, shadow_ctx)
+        blk = self._block_for_update(op.block_id, shadow_ctx)
+        if op.predecessor is None:
+            blk.successor = lst.first
+            if lst.first is None:
+                lst.last = op.block_id
+            lst.first = op.block_id
+        else:
+            pred = self._block_for_update(op.predecessor, shadow_ctx)
+            blk.successor = pred.successor
+            pred.successor = op.block_id
+            pred.timestamp = ts
+            if lst.last == op.predecessor:
+                lst.last = op.block_id
+            if shadow_ctx is None:
+                pred.pending_segment = self._buffer.seq
+        blk.list_id = op.list_id
+        blk.timestamp = ts
+        lst.count += 1
+        lst.timestamp = ts
+        if shadow_ctx is None:
+            blk.pending_segment = self._buffer.seq
+            lst.pending_segment = self._buffer.seq
+            blk.origin_aru = ARUId(aru_tag)
+            lst.origin_aru = ARUId(aru_tag)
+
+    def _apply_delete_block(
+        self, op: ListOp, shadow_ctx: Optional[ARURecord], aru_tag: int
+    ) -> None:
+        block_view = self._view_block(op.block_id, shadow_ctx)
+        if block_view is None or not block_view.allocated:
+            raise BadBlockError(int(op.block_id))
+        list_id = block_view.list_id
+        predecessor: Optional[BlockId] = None
+        if list_id is not None:
+            predecessor = self._find_predecessor(list_id, op.block_id, shadow_ctx)
+        ts = self.clock.tick()
+        if shadow_ctx is None:
+            self._emit_entry(
+                SummaryEntry(
+                    EntryKind.DELETE_BLOCK, aru_tag, ts, int(op.block_id)
+                )
+            )
+            self.meter.charge("summary_entry_us")
+        blk = self._block_for_update(op.block_id, shadow_ctx)
+        if list_id is not None:
+            lst = self._list_for_update(list_id, shadow_ctx)
+            if predecessor is None:
+                lst.first = blk.successor
+            else:
+                pred = self._block_for_update(predecessor, shadow_ctx)
+                pred.successor = blk.successor
+                pred.timestamp = ts
+                if shadow_ctx is None:
+                    pred.pending_segment = self._buffer.seq
+            if lst.last == op.block_id:
+                lst.last = predecessor
+            lst.count -= 1
+            lst.timestamp = ts
+            if shadow_ctx is None:
+                lst.pending_segment = self._buffer.seq
+                lst.origin_aru = ARUId(aru_tag)
+        self._deallocate_block_version(blk, ts, shadow_ctx, aru_tag)
+
+    def _apply_delete_list(
+        self, op: ListOp, shadow_ctx: Optional[ARURecord], aru_tag: int
+    ) -> None:
+        list_view = self._view_list(op.list_id, shadow_ctx)
+        if list_view is None or not list_view.allocated:
+            raise BadListError(int(op.list_id))
+        ts = self.clock.tick()
+        if shadow_ctx is None:
+            self._emit_entry(
+                SummaryEntry(EntryKind.DELETE_LIST, aru_tag, ts, int(op.list_id))
+            )
+            self.meter.charge("summary_entry_us")
+        lst = self._list_for_update(op.list_id, shadow_ctx)
+        # Delete remaining members from the beginning of the list: no
+        # predecessor searches (the improved deletion policy).
+        cursor = lst.first
+        while cursor is not None:
+            blk = self._block_for_update(cursor, shadow_ctx)
+            cursor = blk.successor
+            self._deallocate_block_version(blk, ts, shadow_ctx, aru_tag)
+        lst.first = None
+        lst.last = None
+        lst.count = 0
+        lst.allocated = False
+        lst.timestamp = ts
+        if shadow_ctx is None:
+            lst.pending_segment = self._buffer.seq
+            lst.origin_aru = ARUId(aru_tag)
+
+    def _deallocate_block_version(
+        self,
+        blk: BlockVersion,
+        ts: int,
+        shadow_ctx: Optional[ARURecord],
+        aru_tag: int,
+    ) -> None:
+        blk.allocated = False
+        blk.data = None
+        blk.successor = None
+        blk.list_id = None
+        blk.timestamp = ts
+        if shadow_ctx is None:
+            # Free-space bookkeeping happens when the deallocation
+            # reaches the merged stream (shadow deallocations redo it
+            # at replay).
+            self.meter.charge("block_dealloc_us")
+            blk.pending_segment = self._buffer.seq
+            blk.origin_aru = ARUId(aru_tag)
+
+    def _find_predecessor(
+        self,
+        list_id: ListId,
+        block_id: BlockId,
+        shadow_ctx: Optional[ARURecord],
+    ) -> Optional[BlockId]:
+        """Walk the list to find ``block_id``'s predecessor (None =
+        the block is first).  Charges one search step per hop — this
+        is the cost the improved deletion policy of Section 5.3
+        avoids."""
+        list_view = self._view_list(list_id, shadow_ctx)
+        if list_view is None or not list_view.allocated:
+            raise BadListError(int(list_id))
+        if list_view.first == block_id:
+            return None
+        cursor = list_view.first
+        while cursor is not None:
+            self.meter.charge("pred_search_step_us")
+            view = self._view_block(cursor, shadow_ctx)
+            if view is None:
+                break
+            if view.successor == block_id:
+                return cursor
+            cursor = view.successor
+        raise BadBlockError(int(block_id), f"not found in list {list_id}")
+
+    # ==================================================================
+    # The write path: segment buffer, folding, durability
+    # ==================================================================
+
+    def _commit_block_data(self, block_id: BlockId, data: bytes, aru_tag: int) -> None:
+        """Append block data to the committed (merged) stream."""
+        ts = self.clock.tick()
+        addr = self._append_block_data(block_id, data, aru_tag, ts)
+        version = self._block_for_update(block_id, None)
+        if version.address is not None and version.address != addr:
+            root = self.bmap.root(block_id)
+            persistent = root.persistent if root else None
+            if persistent is None or persistent.address != version.address:
+                self._retire_address(version.address)
+        version.allocated = True
+        version.address = addr
+        version.timestamp = ts
+        version.origin_aru = ARUId(aru_tag)
+        version.pending_segment = self._buffer.seq
+
+    def _append_block_data(
+        self, block_id: BlockId, data: bytes, aru_tag: int, ts: int
+    ) -> PhysAddr:
+        """Place data in the current segment buffer (rolling it if
+        full) and emit the WRITE summary entry."""
+        self._ensure_buffer()
+        new_blocks = 0 if self._buffer.contains_block(block_id) else 1
+        if not self._buffer.has_room(new_blocks, _WRITE_ENTRY_SIZE):
+            self._write_buffer()
+        addr = self._buffer.add_block(block_id, data)
+        self.meter.charge("block_copy_us")
+        self._buffer.add_entry(
+            SummaryEntry(EntryKind.WRITE, aru_tag, ts, int(block_id), addr.slot)
+        )
+        self.meter.charge("summary_entry_us")
+        return addr
+
+    def _emit_entry(self, entry: SummaryEntry) -> None:
+        """Append a summary entry, rolling the buffer when full."""
+        self._ensure_buffer()
+        if not self._buffer.has_room(0, entry.encoded_size()):
+            self._write_buffer()
+        self._buffer.add_entry(entry)
+
+    def _ensure_buffer(self) -> None:
+        """(Re)open the current buffer, cleaning first if space is low.
+
+        May raise :class:`DiskFullError`, in which case no buffer is
+        open and the interrupted operation has had no effect on the
+        log — the instance stays usable, and deletions can free
+        space.
+        """
+        if self._buffer is not None:
+            return
+        if not self._cleaning and self.usage.free_count <= self.clean_low_water:
+            self._run_cleaner()
+            if self._buffer is not None:
+                # The cleaner's own evacuation already opened one.
+                return
+        self._open_new_buffer()
+
+    def _write_buffer(self) -> None:
+        """Seal and write the current segment, then fold committed
+        records whose entries (and commit records) are now on disk."""
+        buffer = self._buffer
+        if buffer is None or buffer.is_empty:
+            return
+        self._buffer = None
+        image = buffer.seal()
+        try:
+            self.disk.write_segment(buffer.segment_no, image)
+        except DiskCrashedError:
+            self._dead = True
+            raise
+        self.segments_flushed += 1
+        self._last_written_seq = buffer.seq
+        self.usage.mark_written(buffer.segment_no, buffer.seq, buffer.block_count)
+        # Write-behind caching: blocks that just left the buffer stay
+        # readable without a disk access (they were readable for free
+        # while the buffer was in memory; dropping them at the write
+        # boundary would charge phantom re-reads for hot meta-data).
+        for _block_id, slot, data in buffer.iter_blocks():
+            self.cache.put(PhysAddr(buffer.segment_no, slot), data)
+        for entry in buffer.entries:
+            if entry.kind is EntryKind.COMMIT:
+                self._commit_on_disk.add(entry.aru_tag)
+                self._pending_commit_arus.discard(entry.aru_tag)
+        self._fold_committed()
+        self._ensure_buffer()
+
+    def _open_new_buffer(self) -> None:
+        """Start filling a fresh segment.
+
+        Ordinary allocations honor the segment reserve; the cleaner
+        and deletion paths may dip into it (they are the operations
+        that get a full disk *out* of that state)."""
+        reserve = (
+            0 if (self._cleaning or self._emergency) else self.segment_reserve
+        )
+        segment_no = self.usage.take_free(reserve=reserve)
+        self._buffer = SegmentBuffer(self.geometry, self._next_seq, segment_no)
+        self._next_seq += 1
+
+    def _run_cleaner(self) -> None:
+        """Invoke the segment cleaner (lazy import avoids a cycle)."""
+        from repro.lld.cleaner import SegmentCleaner
+
+        self._cleaning = True
+        try:
+            cleaner = SegmentCleaner(self, policy=self.cleaner_policy)
+            cleaner.clean(target_free=self.clean_high_water)
+            self.cleanings += 1
+        finally:
+            self._cleaning = False
+
+    def _fold_committed(self) -> None:
+        """Committed -> persistent transitions for records whose
+        entries and commit records have reached the disk."""
+        for version in self.committed_blocks:
+            if version.pending_segment > self._last_written_seq:
+                continue
+            origin = int(version.origin_aru)
+            if origin and origin not in self._commit_on_disk:
+                continue
+            self._fold_block(version)
+        for version in self.committed_lists:
+            if version.pending_segment > self._last_written_seq:
+                continue
+            origin = int(version.origin_aru)
+            if origin and origin not in self._commit_on_disk:
+                continue
+            self._fold_list(version)
+
+    def _fold_block(self, version: BlockVersion) -> None:
+        root = self.bmap.root(version.block_id)
+        root.remove_alt(version)
+        self.committed_blocks.remove(version)
+        self._charge_record("record_transition_us")
+        old = root.persistent
+        if not version.allocated:
+            # Retire the data slot the dying record itself occupies
+            # (its write was counted live at seal time) as well as
+            # any older persistent copy.
+            if version.address is not None:
+                self._retire_address(version.address)
+            if (
+                old is not None
+                and old.address is not None
+                and old.address != version.address
+            ):
+                self._retire_address(old.address)
+            root.persistent = None
+            self.bmap.drop_if_empty(version.block_id)
+            return
+        if old is None:
+            old = BlockVersion(version.block_id, VersionState.PERSISTENT)
+            root.persistent = old
+        elif old.address is not None and old.address != version.address:
+            self._retire_address(old.address)
+        old.copy_from(version)
+
+    def _fold_list(self, version: ListVersion) -> None:
+        root = self.ltable.root(version.list_id)
+        root.remove_alt(version)
+        self.committed_lists.remove(version)
+        self._charge_record("record_transition_us")
+        if not version.allocated:
+            root.persistent = None
+            self.ltable.drop_if_empty(version.list_id)
+            return
+        old = root.persistent
+        if old is None:
+            old = ListVersion(version.list_id, VersionState.PERSISTENT)
+            root.persistent = old
+        old.copy_from(version)
+
+    def _retire_address(self, addr: PhysAddr) -> None:
+        """One physical slot is no longer referenced by any version."""
+        if self.usage.state(addr.segment) is SegmentState.DIRTY:
+            self.usage.retire_slot(addr.segment)
+
+    # ==================================================================
+    # The read path: cache and readahead
+    # ==================================================================
+
+    def _read_at(self, addr: PhysAddr) -> bytes:
+        """Fetch block data at a physical address."""
+        if self._buffer is not None and addr.segment == self._buffer.segment_no:
+            self.meter.charge("table_access_us")
+            return self._buffer.get_slot(addr.slot)
+        cached = self.cache.get(addr)
+        if cached is not None:
+            return cached
+        key = (addr.segment, addr.slot)
+        offset = addr.slot * self.geometry.block_size
+        sequential = (
+            self.readahead
+            and self._last_read_key == (addr.segment, addr.slot - 1)
+        )
+        if sequential:
+            total = self.usage.total_slots(addr.segment)
+            # Readahead window: bounded so the cost quantum stays
+            # small relative to a phase (a full-segment fetch would
+            # make throughput jumpy at small benchmark scales).
+            span = max(1, min(32, total - addr.slot))
+            raw = self.disk.read(
+                addr.segment, offset, span * self.geometry.block_size
+            )
+            for index in range(span):
+                chunk = raw[
+                    index * self.geometry.block_size : (index + 1)
+                    * self.geometry.block_size
+                ]
+                self.cache.put(PhysAddr(addr.segment, addr.slot + index), chunk)
+            data = raw[: self.geometry.block_size]
+        else:
+            data = self.disk.read(addr.segment, offset, self.geometry.block_size)
+            self.cache.put(addr, data)
+        self._last_read_key = key
+        return data
+
+    # ==================================================================
+    # Checkpointing and bookkeeping
+    # ==================================================================
+
+    def _snapshot_checkpoint(self) -> CheckpointData:
+        """Serialize the persistent state (call only after a flush)."""
+        blocks = [
+            BlockSnapshot(
+                block_id=int(block_id),
+                successor=int(rec.successor) if rec.successor is not None else 0,
+                list_id=int(rec.list_id) if rec.list_id is not None else 0,
+                timestamp=rec.timestamp,
+                segment=rec.address.segment if rec.address else 0,
+                slot=rec.address.slot if rec.address else 0,
+                has_addr=rec.address is not None,
+            )
+            for block_id, rec in self.bmap.persistent_blocks()
+        ]
+        lists = [
+            ListSnapshot(
+                list_id=int(list_id),
+                first=int(rec.first) if rec.first is not None else 0,
+                last=int(rec.last) if rec.last is not None else 0,
+                count=rec.count,
+                timestamp=rec.timestamp,
+            )
+            for list_id, rec in self.ltable.persistent_lists()
+        ]
+        return CheckpointData(
+            ckpt_seq=self._ckpt_seq,
+            last_log_seq=self._last_written_seq,
+            next_block_id=self._next_block_id,
+            next_list_id=self._next_list_id,
+            next_aru_id=self.arus.next_id,
+            blocks=blocks,
+            lists=lists,
+            segments=self.usage.snapshot(),
+        )
+
+    def _check_alive(self) -> None:
+        if self._dead or self.disk.crashed:
+            self._dead = True
+            raise DiskCrashedError("logical disk lost its backing store")
+
+    def _count(self, name: str) -> None:
+        self.op_counts[name] = self.op_counts.get(name, 0) + 1
+
+    def stats(self) -> dict:
+        """Operation, CPU, disk and cache statistics for the harness."""
+        return {
+            "ops": dict(self.op_counts),
+            "cpu_us": dict(self.meter.charged_us),
+            "cpu_counts": dict(self.meter.counters),
+            "segments_flushed": self.segments_flushed,
+            "cleanings": self.cleanings,
+            "active_arus": self.arus.active_count,
+            "arus_begun": self.arus.total_begun,
+            "arus_committed": self.arus.total_committed,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "free_segments": self.usage.free_count,
+            "disk": self.disk.stats(),
+        }

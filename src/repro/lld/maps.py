@@ -1,0 +1,105 @@
+"""The persistent-state tables: block-number-map and list-table.
+
+For each logical block the block-number-map records the physical
+address, allocation state, position within its list (the successor),
+and the time-stamp of the last write; the list-table records the
+first and last block of each list (Section 4, Figure 3).  Both
+double as the roots of the same-identifier chains of alternative
+(shadow/committed) records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.records import BlockVersion, ChainRoot, ListVersion
+from repro.core.versions import VersionState
+from repro.ld.types import BlockId, ListId
+
+
+class BlockNumberMap:
+    """Logical block id -> chain root (persistent record + alternatives)."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[BlockId, ChainRoot] = {}
+
+    def root(self, block_id: BlockId, create: bool = False) -> Optional[ChainRoot]:
+        """Return the chain root for ``block_id``.
+
+        With ``create=True`` a fresh empty root is installed when the
+        identifier has never been seen.
+        """
+        found = self._roots.get(block_id)
+        if found is None and create:
+            found = ChainRoot()
+            self._roots[block_id] = found
+        return found
+
+    def drop_if_empty(self, block_id: BlockId) -> None:
+        """Remove the table entry once no version of the block remains."""
+        root = self._roots.get(block_id)
+        if root is not None and root.empty:
+            del self._roots[block_id]
+
+    def persistent_blocks(self) -> Iterator[Tuple[BlockId, BlockVersion]]:
+        """Iterate (id, persistent record) for all persistent blocks."""
+        for block_id, root in self._roots.items():
+            if root.persistent is not None:
+                yield block_id, root.persistent
+
+    def install_persistent(self, record: BlockVersion) -> None:
+        """Install a persistent record (recovery / checkpoint load)."""
+        if record.state is not VersionState.PERSISTENT:
+            raise ValueError("only persistent records belong in the map directly")
+        self.root(record.block_id, create=True).persistent = record
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._roots
+
+    def items(self) -> Iterator[Tuple[BlockId, ChainRoot]]:
+        return iter(self._roots.items())
+
+
+class ListTable:
+    """Logical list id -> chain root (persistent record + alternatives)."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[ListId, ChainRoot] = {}
+
+    def root(self, list_id: ListId, create: bool = False) -> Optional[ChainRoot]:
+        """Return the chain root for ``list_id`` (optionally creating it)."""
+        found = self._roots.get(list_id)
+        if found is None and create:
+            found = ChainRoot()
+            self._roots[list_id] = found
+        return found
+
+    def drop_if_empty(self, list_id: ListId) -> None:
+        """Remove the table entry once no version of the list remains."""
+        root = self._roots.get(list_id)
+        if root is not None and root.empty:
+            del self._roots[list_id]
+
+    def persistent_lists(self) -> Iterator[Tuple[ListId, ListVersion]]:
+        """Iterate (id, persistent record) for all persistent lists."""
+        for list_id, root in self._roots.items():
+            if root.persistent is not None:
+                yield list_id, root.persistent
+
+    def install_persistent(self, record: ListVersion) -> None:
+        """Install a persistent record (recovery / checkpoint load)."""
+        if record.state is not VersionState.PERSISTENT:
+            raise ValueError("only persistent records belong in the table directly")
+        self.root(record.list_id, create=True).persistent = record
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def __contains__(self, list_id: ListId) -> bool:
+        return list_id in self._roots
+
+    def items(self) -> Iterator[Tuple[ListId, ChainRoot]]:
+        return iter(self._roots.items())

@@ -1,0 +1,252 @@
+"""In-memory segment buffers and the on-disk segment codec.
+
+A segment holds data blocks filling from the front and a summary
+filling toward a fixed-size trailer at the tail; the segment is full
+when the two regions would collide.  Rewriting a block that is
+already in the *current, unwritten* buffer overwrites it in place —
+its physical address has not been published to disk yet, so this is
+not a log violation — which is how LLD absorbs repeated meta-data
+updates (directory and i-node blocks) without writing a copy per
+update.
+
+Trailer layout (see :data:`TRAILER_FMT`): magic, format version,
+sequence number, entry count, block count, summary length, CRC-32 of
+the whole segment.  A torn segment write destroys the trailer and/or
+the checksum, so recovery detects and skips it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.disk.geometry import DiskGeometry, TRAILER_SIZE
+from repro.ld.types import BlockId, PhysAddr
+from repro.lld.summary import SummaryEntry, decode_entries, encode_entries
+
+#: magic(4s) version(H) pad(H) seq(Q) nentries(I) nblocks(I)
+#: summary_len(I) pad(I) crc(Q)
+TRAILER_FMT = "<4sHHQIIIIQ"
+TRAILER_MAGIC = b"LLDS"
+FORMAT_VERSION = 1
+
+assert struct.calcsize(TRAILER_FMT) == TRAILER_SIZE
+
+
+class SegmentBuffer:
+    """The current segment being filled in main memory.
+
+    Args:
+        geometry: Partition layout.
+        seq: This segment's log sequence number (strictly increasing
+            across all segments ever written).
+        segment_no: The physical segment this buffer will be written
+            to.
+    """
+
+    def __init__(self, geometry: DiskGeometry, seq: int, segment_no: int) -> None:
+        self.geometry = geometry
+        self.seq = seq
+        self.segment_no = segment_no
+        self._slot_data: List[bytes] = []
+        self._slot_owner: List[BlockId] = []
+        self._block_slot: Dict[BlockId, int] = {}
+        self.entries: List[SummaryEntry] = []
+        self._summary_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    def bytes_free(self) -> int:
+        """Bytes still available for data and summary combined."""
+        used = (
+            len(self._slot_data) * self.geometry.block_size + self._summary_bytes
+        )
+        return self.geometry.usable_size - used
+
+    def has_room(self, new_blocks: int, entry_bytes: int) -> bool:
+        """True if ``new_blocks`` data blocks plus ``entry_bytes`` of
+        summary fit without colliding."""
+        need = new_blocks * self.geometry.block_size + entry_bytes
+        return need <= self.bytes_free()
+
+    @property
+    def is_empty(self) -> bool:
+        """True if nothing has been placed in this buffer."""
+        return not self._slot_data and not self.entries
+
+    @property
+    def block_count(self) -> int:
+        """Number of distinct data blocks currently in the buffer."""
+        return len(self._slot_data)
+
+    @property
+    def entry_count(self) -> int:
+        """Number of summary entries currently in the buffer."""
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # Filling
+    # ------------------------------------------------------------------
+
+    def add_block(self, block_id: BlockId, data: bytes) -> PhysAddr:
+        """Place one block of data, deduplicating within this buffer.
+
+        The caller must have checked :meth:`has_room` first when the
+        block is new to this buffer.
+        """
+        if len(data) != self.geometry.block_size:
+            raise ValueError(
+                f"block data must be {self.geometry.block_size} bytes, "
+                f"got {len(data)}"
+            )
+        slot = self._block_slot.get(block_id)
+        if slot is None:
+            slot = len(self._slot_data)
+            if not self.has_room(1, 0):
+                raise RuntimeError("segment buffer overflow (missing room check)")
+            self._slot_data.append(data)
+            self._slot_owner.append(block_id)
+            self._block_slot[block_id] = slot
+        else:
+            self._slot_data[slot] = data
+        return PhysAddr(self.segment_no, slot)
+
+    def add_entry(self, entry: SummaryEntry) -> None:
+        """Append one summary entry (room must have been checked)."""
+        size = entry.encoded_size()
+        if size > self.bytes_free():
+            raise RuntimeError("segment summary overflow (missing room check)")
+        self.entries.append(entry)
+        self._summary_bytes += size
+
+    def contains_block(self, block_id: BlockId) -> bool:
+        """True if this buffer currently holds data for ``block_id``."""
+        return block_id in self._block_slot
+
+    def get_block(self, block_id: BlockId) -> bytes:
+        """Read a block's data out of the unwritten buffer."""
+        return self._slot_data[self._block_slot[block_id]]
+
+    def get_slot(self, slot: int) -> bytes:
+        """Read a data slot out of the unwritten buffer."""
+        return self._slot_data[slot]
+
+    def live_block_ids(self) -> Tuple[BlockId, ...]:
+        """The distinct block ids placed in this buffer."""
+        return tuple(self._block_slot.keys())
+
+    def iter_blocks(self):
+        """Yield (block id, slot, data) for every block in the buffer."""
+        for block_id, slot in self._block_slot.items():
+            yield block_id, slot, self._slot_data[slot]
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+
+    def seal(self) -> bytes:
+        """Serialize the buffer to a full segment image.
+
+        The image is exactly ``geometry.segment_size`` bytes: data
+        slots from the front, summary just before the trailer, CRC
+        over everything.
+        """
+        geo = self.geometry
+        image = bytearray(geo.segment_size)
+        for slot, data in enumerate(self._slot_data):
+            offset = slot * geo.block_size
+            image[offset : offset + geo.block_size] = data
+        summary = encode_entries(self.entries)
+        if len(summary) != self._summary_bytes:
+            raise RuntimeError("summary size accounting is inconsistent")
+        summary_start = geo.segment_size - TRAILER_SIZE - len(summary)
+        image[summary_start : summary_start + len(summary)] = summary
+        trailer = struct.pack(
+            TRAILER_FMT,
+            TRAILER_MAGIC,
+            FORMAT_VERSION,
+            0,
+            self.seq,
+            len(self.entries),
+            len(self._slot_data),
+            len(summary),
+            0,
+            0,  # crc placeholder
+        )
+        image[geo.segment_size - TRAILER_SIZE :] = trailer
+        crc = zlib.crc32(bytes(image[: geo.segment_size - 8]))
+        image[geo.segment_size - 8 :] = struct.pack("<Q", crc)
+        return bytes(image)
+
+
+@dataclasses.dataclass
+class DecodedSegment:
+    """A validated on-disk segment, ready for recovery or cleaning."""
+
+    segment_no: int
+    seq: int
+    entries: List[SummaryEntry]
+    block_count: int
+    raw: bytes
+    geometry: DiskGeometry
+
+    def slot_data(self, slot: int) -> bytes:
+        """Return the data of slot ``slot``."""
+        if not 0 <= slot < self.block_count:
+            raise ValueError(f"slot {slot} out of range for decoded segment")
+        offset = slot * self.geometry.block_size
+        return self.raw[offset : offset + self.geometry.block_size]
+
+
+def decode_segment(
+    raw: bytes, geometry: DiskGeometry, segment_no: int
+) -> Optional[DecodedSegment]:
+    """Validate and parse a raw segment image.
+
+    Returns None if the segment is not a valid LLD segment (never
+    written, torn, or corrupted) — recovery treats such segments as
+    free space.
+    """
+    if len(raw) != geometry.segment_size:
+        return None
+    trailer = raw[geometry.segment_size - TRAILER_SIZE :]
+    try:
+        (
+            magic,
+            version,
+            _pad,
+            seq,
+            nentries,
+            nblocks,
+            summary_len,
+            _pad2,
+            crc,
+        ) = struct.unpack(TRAILER_FMT, trailer)
+    except struct.error:  # pragma: no cover - trailer size is fixed
+        return None
+    if magic != TRAILER_MAGIC or version != FORMAT_VERSION:
+        return None
+    if zlib.crc32(raw[: geometry.segment_size - 8]) != crc:
+        return None
+    summary_start = geometry.segment_size - TRAILER_SIZE - summary_len
+    if summary_start < nblocks * geometry.block_size:
+        return None
+    summary = raw[summary_start : summary_start + summary_len]
+    try:
+        entries = list(decode_entries(summary))
+    except ValueError:
+        return None
+    if len(entries) != nentries:
+        return None
+    return DecodedSegment(
+        segment_no=segment_no,
+        seq=seq,
+        entries=entries,
+        block_count=nblocks,
+        raw=raw,
+        geometry=geometry,
+    )

@@ -1,0 +1,166 @@
+"""Segment usage accounting for allocation and cleaning.
+
+Tracks, for every physical segment, whether it is reserved for
+checkpoints, free, the current in-memory buffer's target, or an
+on-disk log segment — and for on-disk segments, how many of their
+data slots are still *live* (pointed at by the block-number-map).
+The segment cleaner picks victims from this table.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import DiskFullError
+
+
+class SegmentState(enum.Enum):
+    """Lifecycle states of a physical segment."""
+
+    RESERVED = "reserved"  # checkpoint region, never part of the log
+    FREE = "free"
+    CURRENT = "current"  # target of the in-memory buffer
+    DIRTY = "dirty"  # on disk, part of the log
+
+
+class SegmentUsage:
+    """Per-segment state, live-slot counts and log sequence numbers."""
+
+    def __init__(self, num_segments: int, reserved: int = 0) -> None:
+        if reserved >= num_segments:
+            raise ValueError("cannot reserve every segment for checkpoints")
+        self.num_segments = num_segments
+        self.reserved_count = reserved
+        self._state: List[SegmentState] = [
+            SegmentState.RESERVED if seg < reserved else SegmentState.FREE
+            for seg in range(num_segments)
+        ]
+        self._live: List[int] = [0] * num_segments
+        self._total: List[int] = [0] * num_segments
+        self._seq: List[int] = [-1] * num_segments
+        self._free: List[int] = list(range(num_segments - 1, reserved - 1, -1))
+        self._free_count = len(self._free)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Number of free segments available for new buffers."""
+        return self._free_count
+
+    def take_free(self, reserve: int = 0) -> int:
+        """Allocate a free segment as the next buffer target.
+
+        ``reserve`` segments are left untouchable: ordinary
+        allocations keep them for the cleaner and for deletions, so
+        a full disk remains recoverable (ENOSPC, not wedged).
+
+        Raises:
+            DiskFullError: If allocating would dip below ``reserve``.
+        """
+        if self._free_count <= reserve:
+            raise DiskFullError(
+                f"only {self._free_count} free segments remain "
+                f"(reserve is {reserve})"
+            )
+        while self._free:
+            seg = self._free.pop()
+            if self._state[seg] is SegmentState.FREE:
+                self._state[seg] = SegmentState.CURRENT
+                self._live[seg] = 0
+                self._seq[seg] = -1
+                self._free_count -= 1
+                return seg
+        raise DiskFullError("no free segments remain")
+
+    def mark_written(self, seg: int, seq: int, live_slots: int) -> None:
+        """Transition the current buffer's segment to on-disk state."""
+        self._state[seg] = SegmentState.DIRTY
+        self._seq[seg] = seq
+        self._live[seg] = live_slots
+        self._total[seg] = live_slots
+
+    def free_segment(self, seg: int) -> None:
+        """Return a cleaned (or invalid) segment to the free pool."""
+        if self._state[seg] is SegmentState.RESERVED:
+            raise ValueError(f"segment {seg} is reserved for checkpoints")
+        if self._state[seg] is not SegmentState.FREE:
+            self._free_count += 1
+        self._state[seg] = SegmentState.FREE
+        self._live[seg] = 0
+        self._total[seg] = 0
+        self._seq[seg] = -1
+        self._free.append(seg)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+
+    def retire_slot(self, seg: int) -> None:
+        """One slot of ``seg`` is no longer live (superseded/deleted)."""
+        if self._live[seg] > 0:
+            self._live[seg] -= 1
+
+    def live_slots(self, seg: int) -> int:
+        """Number of live data slots in ``seg``."""
+        return self._live[seg]
+
+    def set_live(self, seg: int, live: int) -> None:
+        """Set a segment's live count (recovery rebuild)."""
+        self._live[seg] = live
+
+    def total_slots(self, seg: int) -> int:
+        """Number of data slots written in ``seg`` (for readahead)."""
+        return self._total[seg]
+
+    def state(self, seg: int) -> SegmentState:
+        """Current lifecycle state of ``seg``."""
+        return self._state[seg]
+
+    def seq_of(self, seg: int) -> int:
+        """Log sequence number of an on-disk segment (-1 if none)."""
+        return self._seq[seg]
+
+    def restore(
+        self, seg: int, state: SegmentState, seq: int, live: int, total: int = 0
+    ) -> None:
+        """Install a segment's state wholesale (recovery rebuild)."""
+        was_free = self._state[seg] is SegmentState.FREE
+        self._state[seg] = state
+        self._seq[seg] = seq
+        self._live[seg] = live
+        self._total[seg] = total
+        now_free = state is SegmentState.FREE and seg >= self.reserved_count
+        if now_free and not was_free:
+            self._free.append(seg)
+            self._free_count += 1
+        elif was_free and not now_free:
+            self._free_count -= 1
+
+    # ------------------------------------------------------------------
+    # Cleaning support
+    # ------------------------------------------------------------------
+
+    def dirty_segments(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (segment, live slots, seq) for every on-disk log segment."""
+        for seg in range(self.reserved_count, self.num_segments):
+            if self._state[seg] is SegmentState.DIRTY:
+                yield seg, self._live[seg], self._seq[seg]
+
+    def utilization(self, seg: int, slots_per_segment: int) -> float:
+        """Fraction of ``seg``'s data capacity still live."""
+        if slots_per_segment <= 0:
+            return 0.0
+        return self._live[seg] / slots_per_segment
+
+    def snapshot(self) -> Dict[int, Tuple[str, int, int]]:
+        """Serializable view: seg -> (seq, live, total) for on-disk log
+        segments (used by checkpoints)."""
+        result = {}
+        for seg in range(self.reserved_count, self.num_segments):
+            if self._state[seg] is SegmentState.DIRTY:
+                result[seg] = (self._seq[seg], self._live[seg], self._total[seg])
+        return result

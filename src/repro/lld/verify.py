@@ -1,0 +1,257 @@
+"""Internal consistency verification for a live LLD instance.
+
+:func:`verify_lld` cross-checks the in-memory structures against each
+other and returns a list of human-readable violations (empty = sound):
+
+1. every alternative record hangs off the correct same-identifier
+   chain *and* the correct same-state chain (the perpendicular mesh
+   of Section 4),
+2. persistent block addresses point into on-disk (or current-buffer)
+   segments, and the per-segment live counts match the map exactly,
+3. every list version is well-formed in its own view: walking
+   ``first`` by successors visits ``count`` distinct members, each
+   claiming membership of that list, ending at ``last``,
+4. ARU shadow chains contain only SHADOW records owned by that ARU.
+
+Tests and the torture example run this after workloads; it is also a
+useful debugging aid for anyone extending the write path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.records import BlockVersion, ListVersion
+from repro.core.versions import VersionState
+from repro.ld.types import ARU_NONE
+from repro.lld.usage import SegmentState
+
+
+def verify_lld(lld) -> List[str]:
+    """Return a list of invariant violations (empty when sound)."""
+    problems: List[str] = []
+    problems += _verify_block_mesh(lld)
+    problems += _verify_list_mesh(lld)
+    problems += _verify_usage(lld)
+    problems += _verify_lists_well_formed(lld)
+    problems += _verify_segment_states(lld)
+    return problems
+
+
+def _verify_segment_states(lld) -> List[str]:
+    """At most one segment may be CURRENT: the active buffer's.
+
+    Anything else is a leaked segment (a buffer that was opened and
+    then abandoned without being written or freed)."""
+    problems: List[str] = []
+    current = [
+        seg
+        for seg in range(lld.geometry.num_segments)
+        if lld.usage.state(seg) is SegmentState.CURRENT
+    ]
+    expected = (
+        {lld._buffer.segment_no} if lld._buffer is not None else set()
+    )
+    leaked = [seg for seg in current if seg not in expected]
+    if leaked:
+        problems.append(f"leaked CURRENT segments: {leaked}")
+    return problems
+
+
+def _collect_state_members(lld):
+    committed_blocks = set(map(id, lld.committed_blocks))
+    committed_lists = set(map(id, lld.committed_lists))
+    shadow_blocks: Dict[int, int] = {}
+    shadow_lists: Dict[int, int] = {}
+    for aru_id in list(lld.arus.active_ids()):
+        record = lld.arus.get(aru_id)
+        for version in record.shadow_blocks:
+            shadow_blocks[id(version)] = int(aru_id)
+        for version in record.shadow_lists:
+            shadow_lists[id(version)] = int(aru_id)
+    return committed_blocks, committed_lists, shadow_blocks, shadow_lists
+
+
+def _verify_block_mesh(lld) -> List[str]:
+    problems: List[str] = []
+    committed, _cl, shadows, _sl = _collect_state_members(lld)
+    seen_alt_ids: Set[int] = set()
+    for block_id, root in lld.bmap.items():
+        persistent = root.persistent
+        if persistent is not None:
+            if persistent.state is not VersionState.PERSISTENT:
+                problems.append(
+                    f"block {block_id}: map entry in state "
+                    f"{persistent.state.name}"
+                )
+            if not persistent.allocated:
+                problems.append(
+                    f"block {block_id}: deallocated record kept in the map"
+                )
+        for alt in root.iter_alts():
+            seen_alt_ids.add(id(alt))
+            if alt.block_id != block_id:
+                problems.append(
+                    f"block {block_id}: chained record names "
+                    f"{alt.block_id}"
+                )
+            if alt.state is VersionState.COMMITTED:
+                if id(alt) not in committed:
+                    problems.append(
+                        f"block {block_id}: committed record missing from "
+                        "the committed state chain"
+                    )
+            elif alt.state is VersionState.SHADOW:
+                owner = shadows.get(id(alt))
+                if owner is None:
+                    problems.append(
+                        f"block {block_id}: shadow record missing from any "
+                        "ARU's shadow chain"
+                    )
+                elif owner != int(alt.aru_id):
+                    problems.append(
+                        f"block {block_id}: shadow record owned by ARU "
+                        f"{alt.aru_id} chained under ARU {owner}"
+                    )
+            else:
+                problems.append(
+                    f"block {block_id}: persistent record on the alt chain"
+                )
+    # Reverse direction: every state-chain member must be in the mesh.
+    for version in lld.committed_blocks:
+        if id(version) not in seen_alt_ids:
+            problems.append(
+                f"committed block record {version.block_id} missing from "
+                "its identifier chain"
+            )
+    return problems
+
+
+def _verify_list_mesh(lld) -> List[str]:
+    problems: List[str] = []
+    _cb, committed, _sb, shadows = _collect_state_members(lld)
+    seen_alt_ids: Set[int] = set()
+    for list_id, root in lld.ltable.items():
+        persistent = root.persistent
+        if persistent is not None and persistent.state is not (
+            VersionState.PERSISTENT
+        ):
+            problems.append(
+                f"list {list_id}: table entry in state {persistent.state.name}"
+            )
+        for alt in root.iter_alts():
+            seen_alt_ids.add(id(alt))
+            if alt.list_id != list_id:
+                problems.append(
+                    f"list {list_id}: chained record names {alt.list_id}"
+                )
+            if alt.state is VersionState.COMMITTED and id(alt) not in committed:
+                problems.append(
+                    f"list {list_id}: committed record missing from the "
+                    "committed state chain"
+                )
+            if alt.state is VersionState.SHADOW and id(alt) not in shadows:
+                problems.append(
+                    f"list {list_id}: shadow record missing from any ARU"
+                )
+    for version in lld.committed_lists:
+        if id(version) not in seen_alt_ids:
+            problems.append(
+                f"committed list record {version.list_id} missing from its "
+                "identifier chain"
+            )
+    return problems
+
+
+def _verify_usage(lld) -> List[str]:
+    problems: List[str] = []
+    live: Dict[int, int] = {}
+    for block_id, persistent in lld.bmap.persistent_blocks():
+        addr = persistent.address
+        if addr is None:
+            continue
+        state = lld.usage.state(addr.segment)
+        current = (
+            lld._buffer is not None and addr.segment == lld._buffer.segment_no
+        )
+        if state is not SegmentState.DIRTY and not current:
+            problems.append(
+                f"block {block_id}: persistent address {addr} points at a "
+                f"{state.value} segment"
+            )
+        live[addr.segment] = live.get(addr.segment, 0) + 1
+    for seg, live_count, _seq in lld.usage.dirty_segments():
+        expected = live.get(seg, 0)
+        if live_count != expected:
+            problems.append(
+                f"segment {seg}: usage table says {live_count} live slots, "
+                f"the map references {expected}"
+            )
+    return problems
+
+
+def _walk_view(lld, list_version: ListVersion, state: VersionState,
+               aru_id) -> Optional[List[int]]:
+    """Walk one list view via that view's successor fields."""
+    members: List[int] = []
+    seen: Set[int] = set()
+    cursor = list_version.first
+    while cursor is not None:
+        if int(cursor) in seen:
+            return None  # cycle
+        seen.add(int(cursor))
+        members.append(int(cursor))
+        root = lld.bmap.root(cursor)
+        if root is None:
+            return None
+        if state is VersionState.SHADOW:
+            block = root.find(VersionState.SHADOW, aru_id) or root.find(
+                VersionState.COMMITTED, ARU_NONE
+            ) or root.persistent
+        elif state is VersionState.COMMITTED:
+            block = root.find(VersionState.COMMITTED, ARU_NONE) or (
+                root.persistent
+            )
+        else:
+            # Persistent view.  A member may transiently lack a
+            # persistent record while its committed record waits for a
+            # later segment (the link folded first); fall back to it.
+            block = root.persistent or root.find(
+                VersionState.COMMITTED, ARU_NONE
+            )
+        if block is None:
+            return None
+        cursor = block.successor
+    return members
+
+
+def _verify_lists_well_formed(lld) -> List[str]:
+    problems: List[str] = []
+    for list_id, root in lld.ltable.items():
+        views = []
+        if root.persistent is not None:
+            views.append((root.persistent, VersionState.PERSISTENT, ARU_NONE))
+        for alt in root.iter_alts():
+            views.append((alt, alt.state, alt.aru_id))
+        for version, state, aru_id in views:
+            if not version.allocated:
+                continue
+            members = _walk_view(lld, version, state, aru_id)
+            if members is None:
+                problems.append(
+                    f"list {list_id} ({state.name}): broken or cyclic chain"
+                )
+                continue
+            if len(members) != version.count:
+                problems.append(
+                    f"list {list_id} ({state.name}): walk found "
+                    f"{len(members)} members, record claims {version.count}"
+                )
+            expected_last = members[-1] if members else None
+            actual_last = int(version.last) if version.last is not None else None
+            if expected_last != actual_last:
+                problems.append(
+                    f"list {list_id} ({state.name}): last is "
+                    f"{version.last}, walk ends at {expected_last}"
+                )
+    return problems

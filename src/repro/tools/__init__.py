@@ -1,0 +1,22 @@
+"""Operator tooling: disk-image inspection.
+
+``python -m repro.tools.lddump <image>`` prints what is on a saved
+logical-disk image — checkpoints, segment roster, summary entries,
+the recovered block/list tables, and (when the image holds a MinixFS)
+the file tree.  The same functionality is available as library
+functions in :mod:`repro.tools.inspect`.
+"""
+
+from repro.tools.inspect import (
+    describe_checkpoints,
+    describe_disk,
+    describe_fs,
+    describe_segments,
+)
+
+__all__ = [
+    "describe_checkpoints",
+    "describe_disk",
+    "describe_fs",
+    "describe_segments",
+]

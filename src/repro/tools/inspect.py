@@ -1,0 +1,184 @@
+"""Library functions behind the ``lddump`` inspection tool.
+
+Everything here is read-only over a :class:`~repro.disk.simdisk.
+SimulatedDisk` (usually loaded from an image file): no simulated time
+matters, no state is modified.  The functions return printable
+strings so both the CLI and tests can use them directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import LDError, MediaError
+from repro.fs.filesystem import MinixFS
+from repro.lld.checkpoint import CheckpointManager, default_slot_segments
+from repro.lld.recovery import peek_trailer_seq, recover
+from repro.lld.segment import decode_segment
+from repro.lld.summary import EntryKind
+
+
+def describe_disk(disk: SimulatedDisk) -> str:
+    """One-paragraph geometry and occupancy summary."""
+    geo = disk.geometry
+    written = len(disk._segments)
+    lines = [
+        "LD disk image",
+        f"  geometry : {geo.num_segments} segments x "
+        f"{geo.segment_size // 1024} KB ({geo.partition_size // (1024 * 1024)}"
+        f" MB), {geo.block_size} B blocks",
+        f"  segments : {written} of {geo.num_segments} ever written",
+    ]
+    return "\n".join(lines)
+
+
+def describe_checkpoints(
+    disk: SimulatedDisk, slot_segments: Optional[int] = None
+) -> str:
+    """Both checkpoint slots: validity, sequence, table sizes."""
+    slots = (
+        slot_segments
+        if slot_segments is not None
+        else default_slot_segments(disk.geometry)
+    )
+    manager = CheckpointManager(disk, slots)
+    lines = [f"checkpoint region: 2 slots x {slots} segment(s)"]
+    for slot in range(2):
+        parsed = manager._load_slot(slot)
+        if parsed is None:
+            lines.append(f"  slot {slot}: invalid or empty")
+            continue
+        lines.append(
+            f"  slot {slot}: ckpt_seq={parsed.ckpt_seq} "
+            f"last_log_seq={parsed.last_log_seq} "
+            f"blocks={len(parsed.blocks)} lists={len(parsed.lists)} "
+            f"segments={len(parsed.segments)}"
+        )
+    best = manager.load()
+    lines.append(f"  newest valid checkpoint: seq {best.ckpt_seq}")
+    return "\n".join(lines)
+
+
+def describe_segments(
+    disk: SimulatedDisk,
+    slot_segments: Optional[int] = None,
+    entries: bool = False,
+    limit: Optional[int] = None,
+) -> str:
+    """Per-segment roster: trailer seq, block/entry counts, validity.
+
+    With ``entries=True`` every summary entry is listed (verbose).
+    """
+    slots = (
+        slot_segments
+        if slot_segments is not None
+        else default_slot_segments(disk.geometry)
+    )
+    reserved = 2 * slots
+    geo = disk.geometry
+    lines: List[str] = [
+        f"log segments (skipping {reserved} reserved checkpoint segments):"
+    ]
+    shown = 0
+    for seg in range(reserved, geo.num_segments):
+        if seg not in disk._segments:
+            continue
+        if limit is not None and shown >= limit:
+            lines.append(f"  ... (limited to {limit} segments)")
+            break
+        try:
+            seq = peek_trailer_seq(disk, seg)
+        except MediaError:
+            lines.append(f"  segment {seg:4d}: UNREADABLE (media fault)")
+            shown += 1
+            continue
+        if seq is None:
+            lines.append(f"  segment {seg:4d}: invalid trailer")
+            shown += 1
+            continue
+        decoded = decode_segment(disk.read_segment(seg), geo, seg)
+        if decoded is None:
+            lines.append(
+                f"  segment {seg:4d}: seq {seq} — TORN/CORRUPT "
+                "(checksum failed)"
+            )
+            shown += 1
+            continue
+        commits = sum(
+            1 for e in decoded.entries if e.kind is EntryKind.COMMIT
+        )
+        lines.append(
+            f"  segment {seg:4d}: seq {decoded.seq:6d}  "
+            f"{decoded.block_count:3d} blocks  "
+            f"{len(decoded.entries):4d} entries  {commits:3d} commits"
+        )
+        shown += 1
+        if entries:
+            for entry in decoded.entries:
+                lines.append(
+                    f"      {entry.kind.name:<12s} tag={entry.aru_tag:<6d} "
+                    f"ts={entry.timestamp:<8d} a={entry.a} b={entry.b} "
+                    f"c={entry.c}"
+                )
+    if shown == 0:
+        lines.append("  (none written)")
+    return "\n".join(lines)
+
+
+def describe_fs(
+    disk: SimulatedDisk,
+    slot_segments: Optional[int] = None,
+    substrate: str = "lld",
+    journal_segments: int = 8,
+) -> str:
+    """Recover the logical disk read-only and print the file tree.
+
+    ``substrate`` selects the recovery procedure: ``"lld"`` (default)
+    or ``"jld"`` for images written by the journaling implementation.
+    """
+    survivor = disk.power_cycle()
+    if substrate == "jld":
+        from repro.jld import recover_jld
+
+        kwargs = {"journal_segments": journal_segments}
+        if slot_segments is not None:
+            kwargs["checkpoint_slot_segments"] = slot_segments
+        ld, jreport = recover_jld(survivor, **kwargs)
+        lines = [
+            f"recovered (jld): {jreport['entries_replayed']} entries from "
+            f"{jreport['segments_replayed']} journal segments "
+            f"(checkpoint seq {jreport['checkpoint_seq']})"
+        ]
+    else:
+        kwargs = {}
+        if slot_segments is not None:
+            kwargs["checkpoint_slot_segments"] = slot_segments
+        ld, report = recover(survivor, **kwargs)
+        lines = [
+            f"recovered: {report.entries_replayed} entries from "
+            f"{report.segments_replayed} segments "
+            f"(checkpoint seq {report.checkpoint_seq}, "
+            f"{report.arus_discarded} ARUs discarded)"
+        ]
+    try:
+        fs = MinixFS.mount(ld)
+    except LDError as exc:
+        lines.append(f"no mountable MinixFS: {exc}")
+        return "\n".join(lines)
+
+    def walk(path: str, depth: int) -> None:
+        for name in sorted(fs.listdir(path)):
+            child = path.rstrip("/") + "/" + name
+            info = fs.stat(child)
+            indent = "  " * depth
+            if info.is_dir:
+                lines.append(f"{indent}{name}/")
+                walk(child, depth + 1)
+            else:
+                suffix = f" ({info.nlinks} links)" if info.nlinks > 1 else ""
+                lines.append(f"{indent}{name}  {info.size} bytes{suffix}")
+
+    lines.append("/")
+    walk("/", 1)
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""``lddump`` — inspect a saved logical-disk image.
+
+Usage::
+
+    python -m repro.tools.lddump IMAGE [options]
+
+Options:
+    --segments         list every written log segment
+    --entries          ... including every summary entry (verbose)
+    --limit N          cap the number of segments listed
+    --checkpoints      show both checkpoint slots
+    --fs               recover (read-only) and print the file tree
+    --ckpt-segments N  checkpoint slot size, if non-default
+
+With no options, prints the disk summary plus checkpoints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import LDError
+from repro.tools.inspect import (
+    describe_checkpoints,
+    describe_disk,
+    describe_fs,
+    describe_segments,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lddump", description="Inspect a saved logical-disk image."
+    )
+    parser.add_argument("image", help="image file written by save_image()")
+    parser.add_argument("--segments", action="store_true")
+    parser.add_argument("--entries", action="store_true")
+    parser.add_argument("--limit", type=int, default=None)
+    parser.add_argument("--checkpoints", action="store_true")
+    parser.add_argument("--fs", action="store_true")
+    parser.add_argument("--ckpt-segments", type=int, default=None)
+    parser.add_argument(
+        "--substrate", choices=["lld", "jld"], default="lld",
+        help="recovery procedure for --fs (default: lld)",
+    )
+    parser.add_argument("--journal-segments", type=int, default=8)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        disk = SimulatedDisk.load_image(args.image)
+    except (OSError, LDError) as exc:
+        print(f"lddump: {exc}", file=sys.stderr)
+        return 1
+    sections = [describe_disk(disk)]
+    everything = not (args.segments or args.entries or args.fs)
+    if args.checkpoints or everything:
+        sections.append(
+            describe_checkpoints(disk, slot_segments=args.ckpt_segments)
+        )
+    if args.segments or args.entries:
+        sections.append(
+            describe_segments(
+                disk,
+                slot_segments=args.ckpt_segments,
+                entries=args.entries,
+                limit=args.limit,
+            )
+        )
+    if args.fs:
+        sections.append(
+            describe_fs(
+                disk,
+                slot_segments=args.ckpt_segments,
+                substrate=args.substrate,
+                journal_segments=args.journal_segments,
+            )
+        )
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

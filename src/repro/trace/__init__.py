@@ -1,0 +1,26 @@
+"""Operation tracing: record, persist, and replay LD call streams.
+
+A :class:`TraceRecorder` wraps any
+:class:`~repro.ld.interface.LogicalDisk` and records every call (with
+its arguments and results) into a :class:`Trace` that can be saved to
+a file and replayed later — onto the same implementation for
+regression testing, or onto a *different* one for differential
+comparison (the replay engine remaps identifiers, so a trace captured
+on LLD runs on JLD and vice versa).
+
+Typical uses:
+
+* capture a production-shaped workload once, replay it under
+  ``pytest-benchmark`` against every code change,
+* replay with ``verify_reads=True`` to assert byte-identical
+  behaviour across implementations or refactorings.
+"""
+
+from repro.trace.trace import (
+    Trace,
+    TraceRecorder,
+    TraceReplayError,
+    replay_trace,
+)
+
+__all__ = ["Trace", "TraceRecorder", "TraceReplayError", "replay_trace"]

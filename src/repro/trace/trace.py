@@ -1,0 +1,291 @@
+"""Trace recording and replay for logical-disk call streams.
+
+The on-disk trace format is line-oriented JSON (one operation per
+line) with block payloads hex-encoded; it favors debuggability over
+density (a text trace can be inspected, filtered and edited with
+ordinary tools).  The first line is a header carrying the format
+version and the block size the trace was captured at.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import LDError
+from repro.ld.interface import LogicalDisk
+from repro.ld.types import ARUId, BlockId, FIRST, ListId
+
+FORMAT_VERSION = 1
+
+#: Operations that allocate identifiers (their results are remapped).
+_ID_RESULTS = {"new_list": "list", "new_block": "block", "begin_aru": "aru"}
+
+
+@dataclasses.dataclass
+class TraceOp:
+    """One recorded operation."""
+
+    op: str
+    args: Dict[str, Any]
+    #: Identifier returned (new_list/new_block/begin_aru), else None.
+    result_id: Optional[int] = None
+    #: Hex digest of returned data (read), for verification.
+    read_hex: Optional[str] = None
+    #: Error type name when the call raised an LDError.
+    error: Optional[str] = None
+
+
+@dataclasses.dataclass
+class Trace:
+    """A recorded operation stream."""
+
+    block_size: int
+    ops: List[TraceOp] = dataclasses.field(default_factory=list)
+
+    def save(self, path) -> int:
+        """Write the trace; returns the number of operations saved."""
+        with open(path, "w", encoding="utf-8") as out:
+            out.write(
+                json.dumps(
+                    {"version": FORMAT_VERSION, "block_size": self.block_size}
+                )
+                + "\n"
+            )
+            for op in self.ops:
+                out.write(json.dumps(dataclasses.asdict(op)) + "\n")
+        return len(self.ops)
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as source:
+            header = json.loads(source.readline())
+            if header.get("version") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace version {header.get('version')}"
+                )
+            trace = cls(block_size=header["block_size"])
+            for line in source:
+                if line.strip():
+                    trace.ops.append(TraceOp(**json.loads(line)))
+        return trace
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class TraceRecorder:
+    """A recording proxy around a logical disk.
+
+    Exposes the same operation set; every call is forwarded and
+    recorded (including calls that raise ``LDError`` — the error is
+    part of the behaviour a replay must reproduce).
+    """
+
+    def __init__(self, ld: LogicalDisk) -> None:
+        self.ld = ld
+        self.trace = Trace(block_size=ld.geometry.block_size)  # type: ignore[attr-defined]
+
+    # -- recording helper ---------------------------------------------
+
+    def _record(self, op: str, args: Dict[str, Any], call):
+        entry = TraceOp(op=op, args=args)
+        try:
+            result = call()
+        except LDError as exc:
+            entry.error = type(exc).__name__
+            self.trace.ops.append(entry)
+            raise
+        if op in _ID_RESULTS:
+            entry.result_id = int(result)
+        elif op == "read":
+            entry.read_hex = result.hex()
+        self.trace.ops.append(entry)
+        return result
+
+    # -- proxied operations --------------------------------------------
+
+    def new_list(self, aru=None):
+        return self._record(
+            "new_list",
+            {"aru": int(aru) if aru is not None else None},
+            lambda: self.ld.new_list(aru=aru),
+        )
+
+    def new_block(self, list_id, predecessor=FIRST, aru=None):
+        return self._record(
+            "new_block",
+            {
+                "list": int(list_id),
+                "pred": None if predecessor is FIRST else int(predecessor),
+                "aru": int(aru) if aru is not None else None,
+            },
+            lambda: self.ld.new_block(list_id, predecessor, aru=aru),
+        )
+
+    def write(self, block_id, data, aru=None):
+        return self._record(
+            "write",
+            {
+                "block": int(block_id),
+                "data": data.hex(),
+                "aru": int(aru) if aru is not None else None,
+            },
+            lambda: self.ld.write(block_id, data, aru=aru),
+        )
+
+    def read(self, block_id, aru=None):
+        return self._record(
+            "read",
+            {
+                "block": int(block_id),
+                "aru": int(aru) if aru is not None else None,
+            },
+            lambda: self.ld.read(block_id, aru=aru),
+        )
+
+    def delete_block(self, block_id, aru=None):
+        return self._record(
+            "delete_block",
+            {
+                "block": int(block_id),
+                "aru": int(aru) if aru is not None else None,
+            },
+            lambda: self.ld.delete_block(block_id, aru=aru),
+        )
+
+    def delete_list(self, list_id, aru=None):
+        return self._record(
+            "delete_list",
+            {
+                "list": int(list_id),
+                "aru": int(aru) if aru is not None else None,
+            },
+            lambda: self.ld.delete_list(list_id, aru=aru),
+        )
+
+    def list_blocks(self, list_id, aru=None):
+        # Enumeration is read-only and id-valued; recorded without
+        # result payload (replay verification uses read()).
+        return self._record(
+            "list_blocks",
+            {
+                "list": int(list_id),
+                "aru": int(aru) if aru is not None else None,
+            },
+            lambda: self.ld.list_blocks(list_id, aru=aru),
+        )
+
+    def begin_aru(self):
+        return self._record("begin_aru", {}, self.ld.begin_aru)
+
+    def end_aru(self, aru):
+        return self._record(
+            "end_aru", {"aru": int(aru)}, lambda: self.ld.end_aru(aru)
+        )
+
+    def abort_aru(self, aru):
+        return self._record(
+            "abort_aru", {"aru": int(aru)}, lambda: self.ld.abort_aru(aru)
+        )
+
+    def flush(self):
+        return self._record("flush", {}, self.ld.flush)
+
+
+class TraceReplayError(LDError):
+    """Replay diverged from the recorded behaviour."""
+
+
+@dataclasses.dataclass
+class ReplayResult:
+    """Statistics from one replay."""
+
+    ops_replayed: int = 0
+    reads_verified: int = 0
+    errors_matched: int = 0
+
+
+def replay_trace(
+    trace: Trace, ld: LogicalDisk, verify_reads: bool = True
+) -> ReplayResult:
+    """Re-execute a trace against ``ld``.
+
+    Identifiers are remapped (the target may allocate differently),
+    recorded errors must re-occur identically, and — with
+    ``verify_reads`` — every read must return the recorded bytes.
+    """
+    if trace.block_size != ld.geometry.block_size:  # type: ignore[attr-defined]
+        raise TraceReplayError(
+            f"trace captured at block size {trace.block_size}, target uses "
+            f"{ld.geometry.block_size}"  # type: ignore[attr-defined]
+        )
+    lists: Dict[int, ListId] = {}
+    blocks: Dict[int, BlockId] = {}
+    arus: Dict[int, ARUId] = {}
+    result = ReplayResult()
+
+    def maru(value):
+        return arus[value] if value is not None else None
+
+    for index, entry in enumerate(trace.ops):
+        args = entry.args
+        try:
+            if entry.op == "new_list":
+                lists[entry.result_id] = ld.new_list(aru=maru(args["aru"]))
+            elif entry.op == "new_block":
+                pred = FIRST if args["pred"] is None else blocks[args["pred"]]
+                blocks[entry.result_id] = ld.new_block(
+                    lists[args["list"]], pred, aru=maru(args["aru"])
+                )
+            elif entry.op == "write":
+                ld.write(
+                    blocks[args["block"]],
+                    bytes.fromhex(args["data"]),
+                    aru=maru(args["aru"]),
+                )
+            elif entry.op == "read":
+                data = ld.read(blocks[args["block"]], aru=maru(args["aru"]))
+                if verify_reads and entry.read_hex is not None:
+                    if data.hex() != entry.read_hex:
+                        raise TraceReplayError(
+                            f"op {index}: read of block {args['block']} "
+                            "returned different data than recorded"
+                        )
+                    result.reads_verified += 1
+            elif entry.op == "delete_block":
+                ld.delete_block(blocks[args["block"]], aru=maru(args["aru"]))
+            elif entry.op == "delete_list":
+                ld.delete_list(lists[args["list"]], aru=maru(args["aru"]))
+            elif entry.op == "list_blocks":
+                ld.list_blocks(lists[args["list"]], aru=maru(args["aru"]))
+            elif entry.op == "begin_aru":
+                arus[entry.result_id] = ld.begin_aru()
+            elif entry.op == "end_aru":
+                ld.end_aru(arus[args["aru"]])
+            elif entry.op == "abort_aru":
+                ld.abort_aru(arus[args["aru"]])
+            elif entry.op == "flush":
+                ld.flush()
+            else:
+                raise TraceReplayError(f"op {index}: unknown op {entry.op!r}")
+        except LDError as exc:
+            if isinstance(exc, TraceReplayError):
+                raise
+            if entry.error != type(exc).__name__:
+                raise TraceReplayError(
+                    f"op {index} ({entry.op}): raised "
+                    f"{type(exc).__name__}, trace recorded "
+                    f"{entry.error or 'success'}"
+                ) from exc
+            result.errors_matched += 1
+        else:
+            if entry.error is not None:
+                raise TraceReplayError(
+                    f"op {index} ({entry.op}): succeeded, but the trace "
+                    f"recorded {entry.error}"
+                )
+        result.ops_replayed += 1
+    return result

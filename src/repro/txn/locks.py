@@ -1,0 +1,140 @@
+"""A strict two-phase lock manager with wait-die deadlock avoidance.
+
+Locks are held on arbitrary hashable resources (the transaction layer
+uses block and list identifiers).  Shared locks are compatible with
+shared locks; exclusive locks are compatible with nothing.  Lock
+upgrades (shared -> exclusive) are supported.
+
+Deadlock avoidance is the classic *wait-die* scheme: a transaction
+may wait only for **older** transactions (smaller timestamp); when a
+younger one wants a lock an older one holds, the younger requester
+"dies" (:class:`~repro.errors.DeadlockError`) and is expected to
+abort and retry with its original timestamp.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Dict, Hashable, Set
+
+from repro.errors import DeadlockError, LockError
+
+
+class LockMode(enum.Enum):
+    """Lock compatibility modes."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class _LockState:
+    """Holders (by owner id -> mode) of one resource's lock."""
+
+    __slots__ = ("holders",)
+
+    def __init__(self) -> None:
+        self.holders: Dict[int, LockMode] = {}
+
+
+class LockManager:
+    """Grants shared/exclusive locks to timestamp-ordered owners."""
+
+    def __init__(self, timeout_s: float = 10.0) -> None:
+        self._mutex = threading.Lock()
+        self._changed = threading.Condition(self._mutex)
+        self._locks: Dict[Hashable, _LockState] = {}
+        #: owner id -> priority timestamp (smaller = older = wins)
+        self._owner_ts: Dict[int, int] = {}
+        self.timeout_s = timeout_s
+        self.grants = 0
+        self.waits = 0
+        self.deaths = 0
+
+    def register(self, owner: int, timestamp: int) -> None:
+        """Introduce an owner with its wait-die priority timestamp."""
+        with self._mutex:
+            self._owner_ts[owner] = timestamp
+
+    def acquire(self, owner: int, resource: Hashable, mode: LockMode) -> None:
+        """Acquire (or upgrade to) ``mode`` on ``resource``.
+
+        Raises:
+            DeadlockError: If wait-die decides this owner must abort.
+            LockError: If the owner was never registered, or the wait
+                times out (treated as a deadlock symptom).
+        """
+        with self._changed:
+            if owner not in self._owner_ts:
+                raise LockError(f"owner {owner} is not registered")
+            while True:
+                # Re-fetch each iteration: release_all drops empty
+                # lock states from the table while we wait, so a
+                # pre-wait reference could be an orphaned object.
+                state = self._locks.setdefault(resource, _LockState())
+                if self._compatible(state, owner, mode):
+                    state.holders[owner] = self._merge_mode(state, owner, mode)
+                    self.grants += 1
+                    return
+                self._check_wait_die(state, owner)
+                self.waits += 1
+                if not self._changed.wait(timeout=self.timeout_s):
+                    raise LockError(
+                        f"timed out waiting for {mode.value} lock on "
+                        f"{resource!r}"
+                    )
+
+    def _merge_mode(
+        self, state: _LockState, owner: int, mode: LockMode
+    ) -> LockMode:
+        held = state.holders.get(owner)
+        if held is LockMode.EXCLUSIVE or mode is LockMode.EXCLUSIVE:
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+    def _compatible(self, state: _LockState, owner: int, mode: LockMode) -> bool:
+        for holder, held_mode in state.holders.items():
+            if holder == owner:
+                continue
+            if mode is LockMode.EXCLUSIVE or held_mode is LockMode.EXCLUSIVE:
+                return False
+        return True
+
+    def _check_wait_die(self, state: _LockState, owner: int) -> None:
+        my_ts = self._owner_ts[owner]
+        for holder in state.holders:
+            if holder == owner:
+                continue
+            holder_ts = self._owner_ts.get(holder, -1)
+            if my_ts > holder_ts:
+                self.deaths += 1
+                raise DeadlockError(
+                    f"wait-die: owner {owner} (ts {my_ts}) must not wait "
+                    f"for older owner {holder} (ts {holder_ts})"
+                )
+
+    def release_all(self, owner: int) -> int:
+        """Drop every lock the owner holds; returns how many."""
+        with self._changed:
+            released = 0
+            empty = []
+            for resource, state in self._locks.items():
+                if owner in state.holders:
+                    del state.holders[owner]
+                    released += 1
+                if not state.holders:
+                    empty.append(resource)
+            for resource in empty:
+                del self._locks[resource]
+            self._owner_ts.pop(owner, None)
+            self._changed.notify_all()
+            return released
+
+    def held_by(self, owner: int) -> Set[Hashable]:
+        """Resources the owner currently holds locks on."""
+        with self._mutex:
+            return {
+                resource
+                for resource, state in self._locks.items()
+                if owner in state.holders
+            }

@@ -1,0 +1,31 @@
+"""Workload generators for the paper's benchmarks.
+
+* :mod:`repro.workloads.smallfile` — the small-file experiment of
+  Figure 5: create+write, read, delete many 1 KB / 10 KB files.
+* :mod:`repro.workloads.largefile` — the large-file experiment of
+  Figure 6: sequential write, sequential read, random write, random
+  read, sequential re-read of one 78.125 MB file.
+* :mod:`repro.workloads.arulat` — the Section 5.3 microbenchmark:
+  begin and end an empty ARU many times.
+* :mod:`repro.workloads.generator` — synthetic mixed workloads for
+  torture tests and the cleaner ablation.
+
+All timings are *simulated* seconds from the shared
+:class:`~repro.disk.clock.SimClock`.
+"""
+
+from repro.workloads.arulat import ARULatencyResult, run_aru_latency
+from repro.workloads.largefile import LargeFileResult, run_large_file
+from repro.workloads.postmark import PostmarkResult, run_postmark
+from repro.workloads.smallfile import SmallFileResult, run_small_files
+
+__all__ = [
+    "ARULatencyResult",
+    "LargeFileResult",
+    "PostmarkResult",
+    "SmallFileResult",
+    "run_aru_latency",
+    "run_large_file",
+    "run_postmark",
+    "run_small_files",
+]

@@ -1,0 +1,176 @@
+"""Synthetic mixed workloads: torture tests and cleaner pressure.
+
+Two generators:
+
+* :func:`random_fs_ops` — a reproducible stream of file-system
+  operations (create/write/read/unlink/mkdir/rename) used by the
+  crash-torture tests and examples.
+* :func:`overwrite_pressure` — repeatedly overwrites a working set of
+  blocks to drive the disk toward full and force the segment cleaner
+  to run (the cleaner ablation uses this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import FSError
+from repro.fs.filesystem import MinixFS
+from repro.ld.interface import LogicalDisk
+from repro.ld.types import BlockId, ListId
+
+
+@dataclasses.dataclass
+class FsOpTrace:
+    """What :func:`random_fs_ops` did (for replay and assertions)."""
+
+    ops: List[str] = dataclasses.field(default_factory=list)
+    #: path -> expected contents (the model the FS must match)
+    expected: Dict[str, bytes] = dataclasses.field(default_factory=dict)
+    dirs: List[str] = dataclasses.field(default_factory=list)
+
+
+def random_fs_ops(
+    fs: MinixFS,
+    n_ops: int,
+    seed: int = 0,
+    max_file_kb: int = 8,
+    sync_every: Optional[int] = 25,
+    name_prefix: str = "",
+) -> FsOpTrace:
+    """Apply ``n_ops`` random operations, tracking expected state.
+
+    Returns the trace with the model contents; callers assert the
+    file system matches (possibly after a crash — in which case only
+    synced state is guaranteed, and callers compare against a
+    snapshot taken at the last sync).
+    """
+    rng = random.Random(seed)
+    trace = FsOpTrace(dirs=["/"])
+    counter = 0
+    tag = name_prefix
+    for index in range(n_ops):
+        roll = rng.random()
+        if roll < 0.08 and len(trace.dirs) < 12:
+            path = f"{rng.choice(trace.dirs)}".rstrip("/") + f"/{tag}dir{counter}"
+            counter += 1
+            fs.mkdir(path)
+            trace.dirs.append(path)
+            trace.ops.append(f"mkdir {path}")
+        elif roll < 0.45 or not trace.expected:
+            parent = rng.choice(trace.dirs).rstrip("/")
+            path = f"{parent}/{tag}file{counter}"
+            counter += 1
+            size = rng.randrange(0, max_file_kb * 1024)
+            data = rng.getrandbits(8 * max(size, 1)).to_bytes(
+                max(size, 1), "little"
+            )[:size]
+            fs.create(path)
+            if data:
+                fs.write_file(path, data)
+            trace.expected[path] = data
+            trace.ops.append(f"create {path} ({size}B)")
+        elif roll < 0.65:
+            path = rng.choice(sorted(trace.expected))
+            size = rng.randrange(0, max_file_kb * 1024)
+            offset = rng.randrange(0, max(1, len(trace.expected[path]) + 1))
+            data = bytes((rng.randrange(256),)) * max(size, 0)
+            if data:
+                fs.write_file(path, data, offset=offset)
+                old = trace.expected[path]
+                if offset > len(old):
+                    old = old + b"\x00" * (offset - len(old))
+                trace.expected[path] = (
+                    old[:offset] + data + old[offset + len(data):]
+                )
+            trace.ops.append(f"write {path} @{offset} ({size}B)")
+        elif roll < 0.85:
+            path = rng.choice(sorted(trace.expected))
+            fs.unlink(path)
+            del trace.expected[path]
+            trace.ops.append(f"unlink {path}")
+        else:
+            path = rng.choice(sorted(trace.expected))
+            parent = rng.choice(trace.dirs).rstrip("/")
+            new_path = f"{parent}/{tag}moved{counter}"
+            counter += 1
+            try:
+                fs.rename(path, new_path)
+            except FSError:
+                continue
+            trace.expected[new_path] = trace.expected.pop(path)
+            trace.ops.append(f"rename {path} -> {new_path}")
+        if sync_every and index % sync_every == sync_every - 1:
+            fs.sync()
+            trace.ops.append("sync")
+    return trace
+
+
+def verify_against_model(fs: MinixFS, expected: Dict[str, bytes]) -> List[str]:
+    """Compare the file system against model contents.
+
+    Returns a list of human-readable mismatches (empty = consistent).
+    """
+    problems: List[str] = []
+    for path, data in sorted(expected.items()):
+        if not fs.exists(path):
+            problems.append(f"missing file {path}")
+            continue
+        actual = fs.read_file(path)
+        if actual != data:
+            problems.append(
+                f"contents of {path} differ "
+                f"({len(actual)}B vs expected {len(data)}B)"
+            )
+    return problems
+
+
+def overwrite_pressure(
+    ld: LogicalDisk,
+    working_set_blocks: int,
+    n_writes: int,
+    seed: int = 0,
+    payload: Optional[Callable[[int], bytes]] = None,
+    hot_fraction: float = 1.0,
+    hot_weight: float = 0.0,
+) -> List[BlockId]:
+    """Allocate a working set, then overwrite random members.
+
+    Drives segment turnover so the cleaner has work to do; returns
+    the working-set block ids so callers can verify contents after
+    cleaning.
+
+    ``hot_fraction``/``hot_weight`` skew the overwrites: with
+    probability ``hot_weight`` the victim comes from the first
+    ``hot_fraction`` of the working set.  The default is uniform.
+    A hot/cold split (e.g. 0.1/0.9) is the workload where the
+    cost-benefit cleaner beats greedy, per the LFS literature.
+    """
+    rng = random.Random(seed)
+    block_size = ld.geometry.block_size  # type: ignore[attr-defined]
+    make = payload or (
+        lambda index: (f"block-{index}-".encode() * 64)[:block_size]
+    )
+    lst = ld.new_list()
+    blocks: List[BlockId] = []
+    previous = None
+    for index in range(working_set_blocks):
+        if previous is None:
+            block = ld.new_block(lst)
+        else:
+            block = ld.new_block(lst, predecessor=previous)
+        ld.write(block, make(index))
+        blocks.append(block)
+        previous = block
+    ld.flush()
+    hot_count = max(1, int(working_set_blocks * hot_fraction))
+    for _index in range(n_writes):
+        if hot_weight and rng.random() < hot_weight:
+            victim = rng.randrange(hot_count)
+        else:
+            victim = rng.randrange(working_set_blocks)
+        ld.write(blocks[victim], make(victim))
+    ld.flush()
+    return blocks

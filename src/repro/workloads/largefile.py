@@ -1,0 +1,116 @@
+"""The large-file benchmark (Figure 6).
+
+One file (78.125 MB in the paper) is:
+
+1. written sequentially (``write1``),
+2. read sequentially (``read1``),
+3. re-written in random block order (``write2``),
+4. read in random block order (``read2``),
+5. read sequentially again (``read3``).
+
+Throughput is MB/second of simulated time per phase.  The shapes the
+paper reports: both writes run near disk bandwidth (the log absorbs
+random writes), read1 is fast (sequential layout, readahead), read2
+is seek-bound, and read3 — sequential reads over the randomly
+re-written layout — stays slow because the log scattered the blocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List
+
+from repro.fs.filesystem import MinixFS
+
+PHASES = ("write1", "read1", "write2", "read2", "read3")
+
+
+@dataclasses.dataclass
+class LargeFileResult:
+    """MB/s (simulated) per phase of the large-file experiment."""
+
+    file_size: int
+    throughput_mbps: Dict[str, float]
+    phase_seconds: Dict[str, float]
+
+    def phase(self, name: str) -> float:
+        """Throughput of one phase in MB/second."""
+        return self.throughput_mbps[name]
+
+
+def run_large_file(
+    fs: MinixFS,
+    file_size: int = 20_000 * 4096,
+    path: str = "/big.dat",
+    seed: int = 42,
+) -> LargeFileResult:
+    """Run the five phases over one large file."""
+    clock = fs.ld.clock  # type: ignore[attr-defined]
+    block_size = fs.block_size
+    if file_size % block_size:
+        raise ValueError("file_size must be a whole number of blocks")
+    n_blocks = file_size // block_size
+    rng = random.Random(seed)
+    write_order: List[int] = list(range(n_blocks))
+    rng.shuffle(write_order)
+    # read2 uses an independent permutation: reading back in write2's
+    # order would walk the log sequentially and hide the seek cost.
+    read_order: List[int] = list(range(n_blocks))
+    random.Random(seed + 1).shuffle(read_order)
+    chunk = _chunk(block_size)
+    mb = file_size / (1024.0 * 1024.0)
+
+    fs.create(path)
+    throughput: Dict[str, float] = {}
+    seconds: Dict[str, float] = {}
+
+    def timed(phase: str, body) -> None:
+        start = clock.now_us
+        body()
+        elapsed = (clock.now_us - start) / 1e6
+        seconds[phase] = elapsed
+        throughput[phase] = mb / elapsed
+
+    def write_seq() -> None:
+        handle = fs.open(path)
+        for _index in range(n_blocks):
+            handle.write(chunk)
+        handle.close()
+        fs.sync()
+
+    def read_seq() -> None:
+        handle = fs.open(path)
+        for _index in range(n_blocks):
+            data = handle.read(block_size)
+            if len(data) != block_size:
+                raise AssertionError("short read in sequential phase")
+        handle.close()
+
+    def write_random() -> None:
+        for index in write_order:
+            fs.write_file(path, chunk, offset=index * block_size)
+        fs.sync()
+
+    def read_random() -> None:
+        for index in read_order:
+            data = fs.read_file(path, offset=index * block_size, size=block_size)
+            if len(data) != block_size:
+                raise AssertionError("short read in random phase")
+
+    timed("write1", write_seq)
+    timed("read1", read_seq)
+    timed("write2", write_random)
+    timed("read2", read_random)
+    timed("read3", read_seq)
+
+    return LargeFileResult(
+        file_size=file_size,
+        throughput_mbps=throughput,
+        phase_seconds=seconds,
+    )
+
+
+def _chunk(block_size: int) -> bytes:
+    """One block of deterministic data."""
+    return bytes((index * 131 + 17) % 256 for index in range(block_size))

@@ -1,0 +1,108 @@
+"""A PostMark-style mixed small-file workload.
+
+PostMark (Katcher, 1997 — contemporary with the paper) models mail
+and news servers: a pool of small files churned by transactions, each
+either create/delete or read/append.  It complements the paper's
+micro-benchmarks with a mixed, stateful load whose meta-data
+operations all run through the file system's ARUs.
+
+Deterministic given the seed; reports transactions/second of
+simulated time plus the operation mix actually executed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List
+
+from repro.fs.filesystem import MinixFS
+
+
+@dataclasses.dataclass
+class PostmarkResult:
+    """Outcome of one PostMark run."""
+
+    transactions: int
+    elapsed_s: float
+    tps: float
+    ops: Dict[str, int]
+    files_at_end: int
+
+
+def run_postmark(
+    fs: MinixFS,
+    n_files: int = 200,
+    n_transactions: int = 1000,
+    min_size: int = 512,
+    max_size: int = 8 * 1024,
+    read_bias: float = 0.5,
+    seed: int = 1994,
+) -> PostmarkResult:
+    """Run the workload: build the pool, churn it, report.
+
+    Args:
+        fs: A mounted file system (any LD substrate).
+        n_files: Initial pool size.
+        n_transactions: Churn transactions to execute.
+        min_size / max_size: File size range.
+        read_bias: Probability a transaction is read/append rather
+            than create/delete.
+        seed: RNG seed (the run is fully deterministic).
+    """
+    rng = random.Random(seed)
+    clock = fs.ld.clock  # type: ignore[attr-defined]
+
+    def make_data(size: int) -> bytes:
+        chunk = bytes(rng.randrange(32, 127) for _ in range(64))
+        return (chunk * (size // 64 + 1))[:size]
+
+    fs.mkdir("/postmark")
+    pool: List[str] = []
+    counter = 0
+    for _ in range(n_files):
+        path = f"/postmark/f{counter}"
+        counter += 1
+        fs.create(path)
+        fs.write_file(path, make_data(rng.randrange(min_size, max_size)))
+        pool.append(path)
+    fs.sync()
+
+    ops = {"create": 0, "delete": 0, "read": 0, "append": 0}
+    start = clock.now_us
+    for _ in range(n_transactions):
+        if rng.random() < read_bias and pool:
+            # Read or append an existing file.
+            path = pool[rng.randrange(len(pool))]
+            if rng.random() < 0.5:
+                fs.read_file(path)
+                ops["read"] += 1
+            else:
+                extra = make_data(rng.randrange(64, 1024))
+                size = fs.stat(path).size
+                fs.write_file(path, extra, offset=size)
+                ops["append"] += 1
+        else:
+            # Create or delete.
+            if pool and (rng.random() < 0.5 or len(pool) > 2 * n_files):
+                index = rng.randrange(len(pool))
+                fs.unlink(pool.pop(index))
+                ops["delete"] += 1
+            else:
+                path = f"/postmark/f{counter}"
+                counter += 1
+                fs.create(path)
+                fs.write_file(
+                    path, make_data(rng.randrange(min_size, max_size))
+                )
+                pool.append(path)
+                ops["create"] += 1
+    fs.sync()
+    elapsed_s = (clock.now_us - start) / 1e6
+    return PostmarkResult(
+        transactions=n_transactions,
+        elapsed_s=elapsed_s,
+        tps=n_transactions / elapsed_s,
+        ops=ops,
+        files_at_end=len(pool),
+    )

@@ -1,0 +1,116 @@
+"""Unit tests for the checkpoint format and manager."""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import DiskFullError
+from repro.lld.checkpoint import (
+    BlockSnapshot,
+    CheckpointData,
+    CheckpointManager,
+    ListSnapshot,
+    default_slot_segments,
+)
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(DiskGeometry.small(num_segments=16))
+
+
+def sample_data(seq=1):
+    return CheckpointData(
+        ckpt_seq=seq,
+        last_log_seq=42,
+        next_block_id=100,
+        next_list_id=50,
+        next_aru_id=7,
+        blocks=[
+            BlockSnapshot(1, 2, 3, 10, 4, 5, True),
+            BlockSnapshot(2, 0, 3, 11, 0, 0, False),
+        ],
+        lists=[ListSnapshot(3, 1, 2, 2, 12)],
+        segments={4: (9, 3, 8), 5: (10, 0, 2)},
+    )
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, disk):
+        mgr = CheckpointManager(disk, slot_segments=1)
+        mgr.write(sample_data())
+        loaded = mgr.load()
+        assert loaded.ckpt_seq == 1
+        assert loaded.last_log_seq == 42
+        assert loaded.next_block_id == 100
+        assert loaded.next_list_id == 50
+        assert loaded.next_aru_id == 7
+        assert len(loaded.blocks) == 2
+        assert loaded.blocks[0].has_addr
+        assert not loaded.blocks[1].has_addr
+        assert loaded.lists[0].count == 2
+        assert loaded.segments == {4: (9, 3, 8), 5: (10, 0, 2)}
+
+    def test_empty_disk_loads_empty(self, disk):
+        mgr = CheckpointManager(disk, slot_segments=1)
+        loaded = mgr.load()
+        assert loaded.ckpt_seq == 0
+        assert loaded.blocks == []
+
+    def test_newest_checkpoint_wins(self, disk):
+        mgr = CheckpointManager(disk, slot_segments=1)
+        mgr.write(sample_data(seq=1))
+        newer = sample_data(seq=2)
+        newer.next_block_id = 999
+        mgr.write(newer)
+        assert mgr.load().next_block_id == 999
+
+    def test_slots_alternate(self, disk):
+        mgr = CheckpointManager(disk, slot_segments=1)
+        assert mgr._slot_base(1) != mgr._slot_base(2)
+        assert mgr._slot_base(1) == mgr._slot_base(3)
+
+    def test_corrupt_new_slot_falls_back(self, disk):
+        mgr = CheckpointManager(disk, slot_segments=1)
+        mgr.write(sample_data(seq=1))
+        mgr.write(sample_data(seq=2))
+        # Smash the slot holding checkpoint 2.
+        base = mgr._slot_base(2)
+        disk.write_segment(base, b"\xff" * disk.geometry.segment_size)
+        assert mgr.load().ckpt_seq == 1
+
+    def test_oversized_checkpoint_rejected(self, disk):
+        mgr = CheckpointManager(disk, slot_segments=1)
+        data = sample_data()
+        data.blocks = [
+            BlockSnapshot(index, 0, 0, 0, 0, 0, False)
+            for index in range(100_000)
+        ]
+        with pytest.raises(DiskFullError):
+            mgr.write(data)
+
+    def test_multi_segment_checkpoint(self, disk):
+        mgr = CheckpointManager(disk, slot_segments=3)
+        data = sample_data()
+        # Big enough to spill into the second chunk of the slot.
+        per_segment = disk.geometry.segment_size // 41
+        data.blocks = [
+            BlockSnapshot(index + 1, 0, 1, index, 2, index, True)
+            for index in range(per_segment + 50)
+        ]
+        mgr.write(data)
+        loaded = mgr.load()
+        assert len(loaded.blocks) == per_segment + 50
+        assert loaded.blocks[-1].block_id == per_segment + 50
+
+
+class TestSizing:
+    def test_default_slot_segments_scale_with_partition(self):
+        small = default_slot_segments(DiskGeometry.small(num_segments=16))
+        large = default_slot_segments(DiskGeometry.paper_partition())
+        assert small >= 1
+        assert large >= small
+
+    def test_default_never_eats_partition(self):
+        geo = DiskGeometry.small(num_segments=16)
+        assert 2 * default_slot_segments(geo) < geo.num_segments

@@ -1,0 +1,107 @@
+"""Unit tests for the simulated clock and CPU cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.disk.clock import CostMeter, CostModel, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start_us=500.0).now_us == 500.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_us(12.5)
+        clock.advance_us(7.5)
+        assert clock.now_us == 20.0
+
+    def test_advance_zero_is_allowed(self):
+        clock = SimClock()
+        clock.advance_us(0.0)
+        assert clock.now_us == 0.0
+
+    def test_advance_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_us(-1.0)
+
+    def test_now_s_converts_units(self):
+        clock = SimClock()
+        clock.advance_us(2_500_000)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_ticks_are_unique_and_increasing(self):
+        clock = SimClock()
+        ticks = [clock.tick() for _ in range(100)]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == 100
+
+    def test_ticks_do_not_advance_time(self):
+        clock = SimClock()
+        clock.tick()
+        assert clock.now_us == 0.0
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        mark = clock.now_us
+        clock.advance_us(42.0)
+        assert clock.elapsed_since_us(mark) == 42.0
+
+
+class TestCostModel:
+    def test_defaults_are_positive(self):
+        model = CostModel()
+        for field in dataclasses.fields(model):
+            assert getattr(model, field.name) >= 0, field.name
+
+    def test_scaled(self):
+        model = CostModel()
+        doubled = model.scaled(2.0)
+        assert doubled.block_copy_us == pytest.approx(2 * model.block_copy_us)
+        assert doubled.aru_begin_us == pytest.approx(2 * model.aru_begin_us)
+
+    def test_scaled_is_new_instance(self):
+        model = CostModel()
+        assert model.scaled(1.0) is not model
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CostModel().ld_call_us = 5.0
+
+
+class TestCostMeter:
+    def test_charge_advances_clock(self):
+        clock = SimClock()
+        meter = CostMeter(clock, CostModel(ld_call_us=3.0))
+        meter.charge("ld_call_us")
+        assert clock.now_us == 3.0
+
+    def test_charge_count(self):
+        clock = SimClock()
+        meter = CostMeter(clock, CostModel(chain_hop_us=1.5))
+        meter.charge("chain_hop_us", 4)
+        assert clock.now_us == pytest.approx(6.0)
+        assert meter.counters["chain_hop_us"] == 4
+
+    def test_charge_unknown_category(self):
+        meter = CostMeter(SimClock(), CostModel())
+        with pytest.raises(AttributeError):
+            meter.charge("not_a_cost")
+
+    def test_total_charged(self):
+        meter = CostMeter(SimClock(), CostModel(ld_call_us=2.0, fs_call_us=5.0))
+        meter.charge("ld_call_us")
+        meter.charge("fs_call_us", 2)
+        assert meter.total_charged_us() == pytest.approx(12.0)
+
+    def test_reset_counters_keeps_clock(self):
+        clock = SimClock()
+        meter = CostMeter(clock, CostModel(ld_call_us=2.0))
+        meter.charge("ld_call_us")
+        meter.reset_counters()
+        assert meter.counters == {}
+        assert clock.now_us == 2.0

@@ -1,0 +1,105 @@
+"""Unit tests for the ARU table and the list-operation log."""
+
+import pytest
+
+from repro.core.aru import ARUTable
+from repro.core.oplog import ListOp, ListOpKind, ListOpLog
+from repro.disk.clock import CostMeter, CostModel, SimClock
+from repro.errors import BadARUError, ConcurrencyError
+from repro.ld.types import ARUId, BlockId, ListId
+
+
+class TestARUTable:
+    def test_ids_are_unique_and_increasing(self):
+        table = ARUTable()
+        ids = [table.begin(timestamp=index).aru_id for index in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+    def test_ids_start_at_one(self):
+        assert ARUTable().begin(0).aru_id == ARUId(1)
+
+    def test_get_active(self):
+        table = ARUTable()
+        record = table.begin(0)
+        assert table.get(record.aru_id) is record
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(BadARUError):
+            ARUTable().get(ARUId(99))
+
+    def test_finish_removes(self):
+        table = ARUTable()
+        record = table.begin(0)
+        table.finish(record.aru_id, committed=True)
+        with pytest.raises(BadARUError):
+            table.get(record.aru_id)
+        assert table.total_committed == 1
+
+    def test_finish_twice_raises(self):
+        table = ARUTable()
+        record = table.begin(0)
+        table.finish(record.aru_id, committed=False)
+        with pytest.raises(BadARUError):
+            table.finish(record.aru_id, committed=False)
+
+    def test_sequential_mode_allows_one(self):
+        table = ARUTable(concurrent=False)
+        record = table.begin(0)
+        with pytest.raises(ConcurrencyError):
+            table.begin(1)
+        table.finish(record.aru_id, committed=True)
+        table.begin(2)  # allowed again
+
+    def test_concurrent_mode_allows_many(self):
+        table = ARUTable(concurrent=True)
+        records = [table.begin(index) for index in range(20)]
+        assert table.active_count == 20
+        assert sorted(table.active_ids()) == sorted(r.aru_id for r in records)
+
+    def test_set_next_id_never_goes_backwards(self):
+        table = ARUTable()
+        table.set_next_id(50)
+        assert table.begin(0).aru_id == ARUId(50)
+        table.set_next_id(10)  # ignored: already past
+        assert table.begin(0).aru_id == ARUId(51)
+
+    def test_contains(self):
+        table = ARUTable()
+        record = table.begin(0)
+        assert record.aru_id in table
+        assert ARUId(999) not in table
+
+
+class TestListOpLog:
+    def test_append_and_replay_order(self):
+        log = ListOpLog()
+        ops = [
+            ListOp(ListOpKind.INSERT, ListId(1), BlockId(2), None),
+            ListOp(ListOpKind.DELETE_BLOCK, ListId(1), BlockId(2)),
+            ListOp(ListOpKind.DELETE_LIST, ListId(1)),
+        ]
+        for op in ops:
+            log.append(op)
+        assert list(log.replay()) == ops
+        assert len(log) == 3
+
+    def test_append_charges_meter(self):
+        meter = CostMeter(SimClock(), CostModel(listop_log_us=2.0))
+        log = ListOpLog()
+        log.append(ListOp(ListOpKind.DELETE_LIST, ListId(1)), meter)
+        assert meter.counters["listop_log_us"] == 1
+
+    def test_clear(self):
+        log = ListOpLog()
+        log.append(ListOp(ListOpKind.DELETE_LIST, ListId(1)))
+        log.clear()
+        assert len(log) == 0
+
+    def test_insert_requires_block(self):
+        with pytest.raises(ValueError):
+            ListOp(ListOpKind.INSERT, ListId(1))
+
+    def test_delete_list_needs_no_block(self):
+        op = ListOp(ListOpKind.DELETE_LIST, ListId(4))
+        assert op.block_id is None

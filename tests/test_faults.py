@@ -1,0 +1,83 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.disk.faults import CrashPlan, FaultInjector, MediaFault, _flip_bits
+from repro.errors import DiskCrashedError, MediaError
+
+
+class TestCrashPlan:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            CrashPlan(after_writes=-1)
+
+    def test_zero_budget_crashes_first_write(self):
+        injector = FaultInjector(CrashPlan(after_writes=0))
+        assert injector.on_write(0, 1000) == 0
+        assert injector.crashed
+
+
+class TestMediaFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MediaFault(0, kind="melted")
+
+
+class TestFaultInjector:
+    def test_no_faults_passthrough(self):
+        injector = FaultInjector()
+        assert injector.on_write(0, 100) is None
+        assert injector.on_read(0, b"abc") == b"abc"
+
+    def test_crash_after_n_writes(self):
+        injector = FaultInjector(CrashPlan(after_writes=2))
+        assert injector.on_write(0, 100) is None
+        assert injector.on_write(1, 100) is None
+        assert injector.on_write(2, 100) == 0  # dropped whole
+        assert injector.crashed
+
+    def test_torn_write_keeps_prefix(self):
+        injector = FaultInjector(CrashPlan(after_writes=0, torn=True, seed=3))
+        surviving = injector.on_write(0, 1000)
+        assert 1 <= surviving < 1000
+
+    def test_torn_write_deterministic(self):
+        a = FaultInjector(CrashPlan(after_writes=0, torn=True, seed=9))
+        b = FaultInjector(CrashPlan(after_writes=0, torn=True, seed=9))
+        assert a.on_write(0, 4096) == b.on_write(0, 4096)
+
+    def test_io_after_crash_raises(self):
+        injector = FaultInjector(CrashPlan(after_writes=0))
+        injector.on_write(0, 10)
+        with pytest.raises(DiskCrashedError):
+            injector.on_write(1, 10)
+        with pytest.raises(DiskCrashedError):
+            injector.on_read(0, b"x")
+
+    def test_power_cycle_restores_io(self):
+        injector = FaultInjector(CrashPlan(after_writes=0))
+        injector.on_write(0, 10)
+        injector.power_cycle()
+        assert injector.on_read(0, b"x") == b"x"
+        assert injector.on_write(1, 10) is None  # plan cleared
+
+    def test_unreadable_media_fault(self):
+        injector = FaultInjector(media_faults={3: MediaFault(3, "unreadable")})
+        with pytest.raises(MediaError):
+            injector.on_read(3, b"data")
+        assert injector.on_read(4, b"data") == b"data"
+
+    def test_corrupt_media_fault_flips_bits(self):
+        injector = FaultInjector()
+        injector.add_media_fault(MediaFault(1, "corrupt"))
+        assert injector.on_read(1, b"\x00\xff") == b"\xff\x00"
+
+    def test_clear_media_fault(self):
+        injector = FaultInjector()
+        injector.add_media_fault(MediaFault(1, "unreadable"))
+        injector.clear_media_fault(1)
+        assert injector.on_read(1, b"ok") == b"ok"
+
+    def test_flip_bits_involution(self):
+        data = bytes(range(256))
+        assert _flip_bits(_flip_bits(data)) == data

@@ -1,0 +1,302 @@
+"""Functional tests for the MinixLLD file system."""
+
+import pytest
+
+from repro.core.visibility import Visibility
+from repro.errors import (
+    DirectoryNotEmptyFSError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    FSError,
+    IsADirectoryFSError,
+    NoSpaceFSError,
+    NotADirectoryFSError,
+)
+from repro.fs import MinixFS, fsck
+from repro.fs.inode import InodeKind
+
+from tests.conftest import make_lld
+
+
+@pytest.fixture
+def fs():
+    lld = make_lld(num_segments=128)
+    return MinixFS.mkfs(lld, n_inodes=128)
+
+
+class TestNamespace:
+    def test_fresh_root_is_empty(self, fs):
+        assert fs.listdir("/") == []
+
+    def test_create_and_list(self, fs):
+        fs.create("/hello.txt")
+        assert fs.listdir("/") == ["hello.txt"]
+        assert fs.exists("/hello.txt")
+
+    def test_create_duplicate_rejected(self, fs):
+        fs.create("/a")
+        with pytest.raises(FileExistsFSError):
+            fs.create("/a")
+
+    def test_create_in_missing_dir(self, fs):
+        with pytest.raises(FileNotFoundFSError):
+            fs.create("/nosuch/file")
+
+    def test_create_under_file_rejected(self, fs):
+        fs.create("/plain")
+        with pytest.raises(NotADirectoryFSError):
+            fs.create("/plain/child")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(FSError):
+            fs.create("relative.txt")
+
+    def test_bad_names_rejected(self, fs):
+        for name in ("/.", "/..", "/" + "x" * 40, "/nul\x00l"):
+            with pytest.raises(FSError):
+                fs.create(name)
+
+    def test_mkdir_nested(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.create("/a/b/c.txt")
+        assert fs.listdir("/a/b") == ["c.txt"]
+
+    def test_unlink(self, fs):
+        fs.create("/gone")
+        fs.unlink("/gone")
+        assert not fs.exists("/gone")
+        assert fs.listdir("/") == []
+
+    def test_unlink_missing(self, fs):
+        with pytest.raises(FileNotFoundFSError):
+            fs.unlink("/ghost")
+
+    def test_unlink_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryFSError):
+            fs.unlink("/d")
+
+    def test_rmdir(self, fs):
+        fs.mkdir("/d")
+        fs.rmdir("/d")
+        assert not fs.exists("/d")
+
+    def test_rmdir_nonempty_rejected(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        with pytest.raises(DirectoryNotEmptyFSError):
+            fs.rmdir("/d")
+
+    def test_rmdir_file_rejected(self, fs):
+        fs.create("/f")
+        with pytest.raises(NotADirectoryFSError):
+            fs.rmdir("/f")
+
+    def test_rename_same_dir(self, fs):
+        fs.create("/old")
+        fs.write_file("/old", b"contents")
+        fs.rename("/old", "/new")
+        assert not fs.exists("/old")
+        assert fs.read_file("/new") == b"contents"
+
+    def test_rename_across_dirs(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/b")
+        fs.create("/a/f")
+        fs.rename("/a/f", "/b/g")
+        assert fs.listdir("/a") == []
+        assert fs.listdir("/b") == ["g"]
+
+    def test_rename_onto_existing_rejected(self, fs):
+        fs.create("/x")
+        fs.create("/y")
+        with pytest.raises(FileExistsFSError):
+            fs.rename("/x", "/y")
+
+    def test_name_reuse_after_unlink(self, fs):
+        fs.create("/cycle")
+        fs.unlink("/cycle")
+        fs.create("/cycle")
+        assert fs.exists("/cycle")
+
+    def test_many_files_grow_directory(self):
+        """More entries than one block holds forces directory growth
+        inside the create ARU."""
+        fs = MinixFS.mkfs(make_lld(num_segments=128), n_inodes=512)
+        per_block = fs.block_size // 32
+        names = [f"/f{index:04d}" for index in range(per_block + 10)]
+        for name in names:
+            fs.create(name)
+        assert sorted(fs.listdir("/")) == sorted(n[1:] for n in names)
+        assert fsck(fs).clean
+
+    def test_inode_exhaustion(self):
+        lld = make_lld(num_segments=128)
+        fs = MinixFS.mkfs(lld, n_inodes=4)
+        fs.create("/one")  # root is ino 1
+        fs.create("/two")
+        fs.create("/three")
+        with pytest.raises(NoSpaceFSError):
+            fs.create("/four")
+
+    def test_stat(self, fs):
+        fs.create("/s")
+        fs.write_file("/s", b"12345")
+        info = fs.stat("/s")
+        assert info.kind is InodeKind.REGULAR
+        assert info.size == 5
+        assert info.nlinks == 1
+        dir_info = fs.stat("/")
+        assert dir_info.kind is InodeKind.DIRECTORY
+
+
+class TestData:
+    def test_empty_file_reads_empty(self, fs):
+        fs.create("/empty")
+        assert fs.read_file("/empty") == b""
+
+    def test_write_read_roundtrip(self, fs):
+        fs.create("/f")
+        fs.write_file("/f", b"hello world")
+        assert fs.read_file("/f") == b"hello world"
+
+    def test_multi_block_file(self, fs):
+        data = bytes(range(256)) * 64  # 16 KB = 4 blocks
+        fs.create("/big")
+        fs.write_file("/big", data)
+        assert fs.read_file("/big") == data
+
+    def test_overwrite_middle(self, fs):
+        fs.create("/f")
+        fs.write_file("/f", b"a" * 10000)
+        fs.write_file("/f", b"XYZ", offset=5000)
+        data = fs.read_file("/f")
+        assert data[4999:5004] == b"aXYZa"
+        assert len(data) == 10000
+
+    def test_extend_with_offset_write(self, fs):
+        fs.create("/f")
+        fs.write_file("/f", b"end", offset=9000)
+        data = fs.read_file("/f")
+        assert len(data) == 9003
+        assert data[:10] == b"\x00" * 10
+        assert data[-3:] == b"end"
+
+    def test_partial_read(self, fs):
+        fs.create("/f")
+        fs.write_file("/f", b"0123456789")
+        assert fs.read_file("/f", offset=3, size=4) == b"3456"
+
+    def test_read_past_eof(self, fs):
+        fs.create("/f")
+        fs.write_file("/f", b"short")
+        assert fs.read_file("/f", offset=100) == b""
+        assert fs.read_file("/f", offset=3, size=100) == b"rt"
+
+    def test_write_to_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryFSError):
+            fs.write_file("/d", b"nope")
+
+    def test_truncate_shrinks(self, fs):
+        fs.create("/t")
+        fs.write_file("/t", b"z" * 10000)
+        fs.truncate("/t", 100)
+        assert fs.read_file("/t") == b"z" * 100
+        assert fs.stat("/t").size == 100
+
+    def test_truncate_to_zero_frees_blocks(self, fs):
+        fs.create("/t")
+        fs.write_file("/t", b"z" * 20000)
+        fs.truncate("/t", 0)
+        assert fs.read_file("/t") == b""
+        info = fs.stat("/t")
+        assert fs.ld.list_blocks(info.list_id) == []
+
+    def test_data_survives_sync_and_remount(self, fs):
+        fs.create("/persist")
+        fs.write_file("/persist", b"durable bytes")
+        fs.sync()
+        remounted = MinixFS.mount(fs.ld)
+        assert remounted.read_file("/persist") == b"durable bytes"
+
+
+class TestFileHandles:
+    def test_sequential_write_then_read(self, fs):
+        fs.create("/h")
+        with fs.open("/h") as handle:
+            handle.write(b"one")
+            handle.write(b"two")
+        with fs.open("/h") as handle:
+            assert handle.read() == b"onetwo"
+
+    def test_seek_and_tell(self, fs):
+        fs.create("/h")
+        fs.write_file("/h", b"abcdef")
+        handle = fs.open("/h")
+        handle.seek(2)
+        assert handle.tell() == 2
+        assert handle.read(2) == b"cd"
+        assert handle.tell() == 4
+
+    def test_open_create(self, fs):
+        with fs.open("/auto", create=True) as handle:
+            handle.write(b"made")
+        assert fs.read_file("/auto") == b"made"
+
+    def test_closed_handle_rejects_io(self, fs):
+        fs.create("/h")
+        handle = fs.open("/h")
+        handle.close()
+        with pytest.raises(FSError):
+            handle.read()
+
+    def test_open_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectoryFSError):
+            fs.open("/d")
+
+
+class TestMountingRules:
+    def test_mount_virgin_disk_fails(self):
+        lld = make_lld()
+        with pytest.raises(FSError):
+            MinixFS.mount(lld)
+
+    def test_mkfs_on_used_disk_fails(self):
+        lld = make_lld()
+        lld.new_list()  # consumes list id 1
+        with pytest.raises(FSError):
+            MinixFS.mkfs(lld)
+
+    def test_committed_only_visibility_rejected(self):
+        lld = make_lld(visibility=Visibility.COMMITTED_ONLY)
+        with pytest.raises(FSError):
+            MinixFS.mkfs(lld)
+
+    def test_bad_delete_policy_rejected(self):
+        lld = make_lld()
+        with pytest.raises(ValueError):
+            MinixFS.mkfs(lld, delete_policy="eventually")
+
+    def test_whole_list_policy_roundtrip(self):
+        lld = make_lld(num_segments=128)
+        fs = MinixFS.mkfs(lld, delete_policy="whole_list")
+        fs.create("/f")
+        fs.write_file("/f", b"d" * 20000)
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        assert fsck(fs).clean
+
+    def test_no_aru_mode_works_without_crash(self):
+        """use_arus=False (the 'old' Minix) still functions normally —
+        it just loses crash atomicity of meta-data."""
+        lld = make_lld(num_segments=128, aru_mode="sequential")
+        fs = MinixFS.mkfs(lld, use_arus=False)
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        fs.write_file("/d/f", b"plain")
+        fs.unlink("/d/f")
+        fs.rmdir("/d")
+        assert fs.listdir("/") == []

@@ -1,0 +1,117 @@
+"""Tests for the consistency checker itself: it must actually detect
+the corruption classes it claims to (otherwise the 'fsck is clean
+after every crash' tests prove nothing)."""
+
+import pytest
+
+from repro.fs import MinixFS, fsck
+from repro.fs.directory import Dirent, patch_block
+from repro.fs.inode import Inode, InodeKind, locate, patch_block as patch_inode
+
+from tests.conftest import make_lld
+
+
+@pytest.fixture
+def fs():
+    lld = make_lld(num_segments=128)
+    fs = MinixFS.mkfs(lld, n_inodes=128)
+    fs.mkdir("/d")
+    fs.create("/d/file")
+    fs.write_file("/d/file", b"contents")
+    return fs
+
+
+def _raw_inode_write(fs, ino, inode):
+    """Bypass the FS: stomp an i-node record directly."""
+    index, offset = locate(ino, fs.block_size)
+    block = fs._inode_blocks[index]
+    raw = fs.ld.read(block)
+    fs.ld.write(block, patch_inode(raw, offset, inode.encode()))
+    fs._inodes.pop(ino, None)
+
+
+class TestDetectsCorruption:
+    def test_clean_on_healthy_fs(self, fs):
+        report = fsck(fs)
+        assert report.clean
+        assert report.files == 1
+        assert report.directories == 2  # root + /d
+
+    def test_detects_dangling_dirent(self, fs):
+        """Directory entry pointing at a free i-node."""
+        info = fs.stat("/d/file")
+        _raw_inode_write(fs, info.ino, Inode(info.ino))  # mark free
+        report = fsck(fs)
+        assert not report.clean
+        assert any(p.kind == "dangling" for p in report.problems)
+
+    def test_detects_orphan_inode(self, fs):
+        """Allocated i-node referenced by no directory."""
+        orphan = Inode(50, InodeKind.REGULAR, nlinks=1, size=0, list_id=999)
+        _raw_inode_write(fs, 50, orphan)
+        report = fsck(fs)
+        assert not report.clean
+        assert any(p.kind == "orphan" for p in report.problems)
+
+    def test_detects_bad_nlinks(self, fs):
+        info = fs.stat("/d/file")
+        broken = Inode(
+            info.ino, InodeKind.REGULAR, nlinks=7, size=info.size,
+            list_id=info.list_id,
+        )
+        _raw_inode_write(fs, info.ino, broken)
+        report = fsck(fs)
+        assert any(p.kind == "nlinks" for p in report.problems)
+
+    def test_detects_size_beyond_blocks(self, fs):
+        info = fs.stat("/d/file")
+        liar = Inode(
+            info.ino, InodeKind.REGULAR, nlinks=1,
+            size=10 * fs.block_size, list_id=info.list_id,
+        )
+        _raw_inode_write(fs, info.ino, liar)
+        report = fsck(fs)
+        assert any(p.kind == "size" for p in report.problems)
+
+    def test_detects_missing_data_list(self, fs):
+        info = fs.stat("/d/file")
+        broken = Inode(
+            info.ino, InodeKind.REGULAR, nlinks=1, size=0, list_id=4242
+        )
+        _raw_inode_write(fs, info.ino, broken)
+        report = fsck(fs)
+        assert any(p.kind == "data-list" for p in report.problems)
+
+    def test_detects_shared_data_list(self, fs):
+        file_info = fs.stat("/d/file")
+        fs.create("/other")
+        other_info = fs.stat("/other")
+        clone = Inode(
+            other_info.ino, InodeKind.REGULAR, nlinks=1,
+            size=file_info.size, list_id=file_info.list_id,
+        )
+        _raw_inode_write(fs, other_info.ino, clone)
+        report = fsck(fs)
+        assert any(p.kind == "shared-list" for p in report.problems)
+
+    def test_detects_unallocated_root(self, fs):
+        _raw_inode_write(fs, 1, Inode(1))
+        report = fsck(fs)
+        assert any(p.kind == "root" for p in report.problems)
+
+    def test_detects_cycle_via_duplicate_entry(self, fs):
+        """Two dirents naming the same directory — reached twice."""
+        d_info = fs.stat("/d")
+        root_block = fs._blocks_of(1)[0]
+        raw = fs.ld.read(root_block)
+        from repro.fs.directory import find_free_slot
+
+        slot = find_free_slot(raw)
+        fs.ld.write(
+            root_block, patch_block(raw, slot, Dirent(d_info.ino, "alias"))
+        )
+        fs._dir_cache.clear()
+        report = fsck(fs)
+        assert any(
+            p.kind in ("cycle", "nlinks") for p in report.problems
+        )

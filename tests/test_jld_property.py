@@ -1,0 +1,135 @@
+"""Property-based crash-atomicity tests for JLD.
+
+The same all-or-nothing invariant test the LLD suite runs, against
+the journaling substrate: for any schedule and crash point, flushed
+committed ARUs are complete and everything else is invisible.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disk.faults import CrashPlan, FaultInjector
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import DiskCrashedError, LDError
+from repro.jld import JLD, recover_jld
+from repro.ld.types import FIRST
+
+crash_schedule = st.lists(
+    st.sampled_from(["aru_file", "simple_write", "flush", "apply", "open_aru"]),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestJLDCrashAtomicity:
+    @settings(max_examples=35, deadline=None)
+    @given(
+        schedule=crash_schedule,
+        crash_after=st.integers(0, 25),
+        torn=st.booleans(),
+        seed=st.integers(0, 50),
+    )
+    def test_all_or_nothing(self, schedule, crash_after, torn, seed):
+        injector = FaultInjector(
+            CrashPlan(after_writes=crash_after, torn=torn, seed=seed)
+        )
+        geo = DiskGeometry.small(num_segments=64)
+        disk = SimulatedDisk(geo, injector=injector)
+        jld = JLD(disk, journal_segments=6, checkpoint_slot_segments=1)
+        flushed_files = {}
+        pending_files = {}
+        serial = 0
+        try:
+            lst = jld.new_list()
+            jld.flush()
+            for action in schedule:
+                if action == "aru_file":
+                    serial += 1
+                    aru = jld.begin_aru()
+                    parts = []
+                    for part in range(2):
+                        block = jld.new_block(lst, aru=aru)
+                        payload = f"f{serial}p{part}".encode()
+                        jld.write(block, payload, aru=aru)
+                        parts.append((block, payload))
+                    jld.end_aru(aru)
+                    pending_files[serial] = parts
+                elif action == "simple_write":
+                    serial += 1
+                    block = jld.new_block(lst)
+                    jld.write(block, f"s{serial}".encode())
+                elif action == "open_aru":
+                    serial += 1
+                    aru = jld.begin_aru()
+                    block = jld.new_block(lst, aru=aru)
+                    jld.write(block, b"never", aru=aru)
+                elif action == "apply":
+                    if not jld.arus.active_count:
+                        jld.apply()
+                        flushed_files.update(pending_files)
+                        pending_files.clear()
+                else:
+                    jld.flush()
+                    flushed_files.update(pending_files)
+                    pending_files.clear()
+        except DiskCrashedError:
+            pass
+        else:
+            try:
+                jld.flush()
+                flushed_files.update(pending_files)
+                pending_files.clear()
+            except DiskCrashedError:
+                pass
+
+        jld2, _report = recover_jld(
+            disk.power_cycle(), journal_segments=6, checkpoint_slot_segments=1
+        )
+        for parts in flushed_files.values():
+            for block, payload in parts:
+                assert jld2.read(block).startswith(payload)
+        for parts in pending_files.values():
+            survivals = []
+            for block, payload in parts:
+                try:
+                    survivals.append(jld2.read(block).startswith(payload))
+                except LDError:
+                    survivals.append(False)
+            assert all(survivals) or not any(survivals), survivals
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_blocks=st.integers(1, 25),
+        crash_after=st.integers(1, 40),
+        seed=st.integers(0, 20),
+    )
+    def test_apply_crash_never_loses_committed_data(
+        self, n_blocks, crash_after, seed
+    ):
+        """Crashing anywhere in an apply pass (journal flush, home
+        writes, checkpoint) must preserve all previously flushed
+        data."""
+        geo = DiskGeometry.small(num_segments=64)
+        injector = FaultInjector(CrashPlan(after_writes=crash_after, seed=seed))
+        disk = SimulatedDisk(geo, injector=injector)
+        jld = JLD(disk, journal_segments=4, checkpoint_slot_segments=1)
+        written = []
+        try:
+            lst = jld.new_list()
+            previous = FIRST
+            for index in range(n_blocks):
+                block = jld.new_block(lst, predecessor=previous)
+                jld.write(block, f"v{index}".encode())
+                previous = block
+                jld.flush()
+                written.append((block, f"v{index}".encode()))
+                if index % 3 == 2:
+                    jld.apply()
+        except DiskCrashedError:
+            pass
+        jld2, _report = recover_jld(
+            disk.power_cycle(), journal_segments=4, checkpoint_slot_segments=1
+        )
+        for block, payload in written:
+            assert jld2.read(block).startswith(payload)

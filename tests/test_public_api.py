@@ -1,0 +1,75 @@
+"""Tests for the top-level public API (`repro` package root)."""
+
+import pytest
+
+import repro
+from repro import JLD, LLD, Visibility, make_system, recover
+
+
+class TestMakeSystem:
+    def test_defaults(self):
+        system = make_system()
+        assert isinstance(system.ld, LLD)
+        assert system.clock is system.disk.clock
+        lst = system.ld.new_list()
+        block = system.ld.new_block(lst)
+        system.ld.write(block, b"hello")
+        assert system.ld.read(block).startswith(b"hello")
+
+    def test_paper_partition_parameters(self):
+        system = make_system(
+            num_segments=800, segment_size=512 * 1024,
+            checkpoint_slot_segments=4,
+        )
+        geo = system.disk.geometry
+        assert geo.partition_size == 400 * 1024 * 1024
+        assert geo.block_size == 4096
+
+    def test_sequential_mode(self):
+        system = make_system(aru_mode="sequential")
+        assert not system.ld.concurrent
+
+    def test_jld_substrate(self):
+        system = make_system(substrate="jld", num_segments=64)
+        assert isinstance(system.ld, JLD)
+        lst = system.ld.new_list()
+        block = system.ld.new_block(lst)
+        system.ld.write(block, b"journaled")
+        assert system.ld.read(block).startswith(b"journaled")
+
+    def test_jld_rejects_sequential(self):
+        with pytest.raises(ValueError):
+            make_system(substrate="jld", aru_mode="sequential")
+
+    def test_unknown_substrate_rejected(self):
+        with pytest.raises(ValueError):
+            make_system(substrate="raid")
+
+    def test_visibility_option(self):
+        system = make_system(visibility=Visibility.COMMITTED_ONLY)
+        assert system.ld.visibility is Visibility.COMMITTED_ONLY
+
+    def test_recover_roundtrip(self):
+        system = make_system(num_segments=64, checkpoint_slot_segments=2)
+        lst = system.ld.new_list()
+        block = system.ld.new_block(lst)
+        system.ld.write(block, b"public api")
+        system.ld.flush()
+        recovered, report = recover(
+            system.disk.power_cycle(), checkpoint_slot_segments=2
+        )
+        assert recovered.read(block).startswith(b"public api")
+        assert report.entries_replayed > 0
+
+
+class TestExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_both_substrates_exported(self):
+        assert repro.LLD is LLD
+        assert repro.JLD is JLD

@@ -1,0 +1,153 @@
+"""Unit tests for alternative records and the perpendicular chains."""
+
+import pytest
+
+from repro.core.records import BlockVersion, ChainRoot, ListVersion, StateChain
+from repro.core.versions import VersionState
+from repro.disk.clock import CostMeter, CostModel, SimClock
+from repro.ld.types import ARU_NONE, ARUId, BlockId, ListId, PhysAddr
+
+
+def _shadow(block_id, aru, ts=0):
+    return BlockVersion(
+        BlockId(block_id), VersionState.SHADOW, aru_id=ARUId(aru), timestamp=ts
+    )
+
+
+def _committed(block_id, ts=0):
+    return BlockVersion(BlockId(block_id), VersionState.COMMITTED, timestamp=ts)
+
+
+class TestChainRoot:
+    def test_empty(self):
+        root = ChainRoot()
+        assert root.empty
+        assert root.find(VersionState.COMMITTED, ARU_NONE) is None
+
+    def test_push_and_find_committed(self):
+        root = ChainRoot()
+        version = _committed(1)
+        root.push_alt(version)
+        assert root.find(VersionState.COMMITTED, ARU_NONE) is version
+        assert not root.empty
+
+    def test_find_shadow_by_aru(self):
+        root = ChainRoot()
+        a = _shadow(1, aru=1)
+        b = _shadow(1, aru=2)
+        root.push_alt(a)
+        root.push_alt(b)
+        assert root.find(VersionState.SHADOW, ARUId(1)) is a
+        assert root.find(VersionState.SHADOW, ARUId(2)) is b
+        assert root.find(VersionState.SHADOW, ARUId(3)) is None
+
+    def test_n_plus_2_versions(self):
+        """Section 3.3: n active ARUs -> up to n+2 versions coexist."""
+        root = ChainRoot()
+        root.persistent = BlockVersion(BlockId(1), VersionState.PERSISTENT)
+        root.push_alt(_committed(1))
+        for aru in range(1, 6):
+            root.push_alt(_shadow(1, aru=aru))
+        assert len(list(root.iter_alts())) == 6  # 5 shadows + 1 committed
+        assert root.persistent is not None  # + persistent = n + 2
+
+    def test_remove_alt(self):
+        root = ChainRoot()
+        a, b, c = _shadow(1, 1), _committed(1), _shadow(1, 2)
+        for version in (a, b, c):
+            root.push_alt(version)
+        root.remove_alt(b)
+        assert list(root.iter_alts()) == [c, a]
+        root.remove_alt(c)
+        root.remove_alt(a)
+        assert root.empty
+
+    def test_remove_missing_raises(self):
+        root = ChainRoot()
+        with pytest.raises(ValueError):
+            root.remove_alt(_committed(1))
+
+    def test_newest_shadow_by_timestamp(self):
+        root = ChainRoot()
+        old = _shadow(1, aru=1, ts=5)
+        new = _shadow(1, aru=2, ts=9)
+        root.push_alt(new)
+        root.push_alt(old)
+        assert root.newest_shadow() is new
+
+    def test_find_charges_chain_hops(self):
+        meter = CostMeter(SimClock(), CostModel(chain_hop_us=1.0))
+        root = ChainRoot()
+        for aru in range(1, 4):
+            root.push_alt(_shadow(1, aru=aru))
+        root.find(VersionState.COMMITTED, ARU_NONE, meter)
+        assert meter.counters["chain_hop_us"] == 3
+
+
+class TestStateChain:
+    def test_push_and_iterate(self):
+        chain = StateChain()
+        versions = [_committed(index) for index in range(3)]
+        for version in versions:
+            chain.push(version)
+        assert list(chain) == list(reversed(versions))
+        assert len(chain) == 3
+
+    def test_drain_empties(self):
+        chain = StateChain()
+        for index in range(4):
+            chain.push(_committed(index))
+        drained = list(chain.drain())
+        assert len(drained) == 4
+        assert len(chain) == 0
+        assert all(v.next_same_state is None for v in drained)
+
+    def test_remove_middle(self):
+        chain = StateChain()
+        a, b, c = _committed(1), _committed(2), _committed(3)
+        for version in (a, b, c):
+            chain.push(version)
+        chain.remove(b)
+        assert list(chain) == [c, a]
+        assert len(chain) == 2
+
+    def test_remove_while_iterating(self):
+        chain = StateChain()
+        versions = [_committed(index) for index in range(5)]
+        for version in versions:
+            chain.push(version)
+        for version in chain:
+            chain.remove(version)
+        assert len(chain) == 0
+
+    def test_remove_missing_raises(self):
+        chain = StateChain()
+        with pytest.raises(ValueError):
+            chain.remove(_committed(9))
+
+
+class TestVersionRecords:
+    def test_block_copy_from(self):
+        src = _committed(1)
+        src.allocated = True
+        src.address = PhysAddr(3, 4)
+        src.successor = BlockId(9)
+        src.list_id = ListId(2)
+        src.timestamp = 77
+        dst = _shadow(1, aru=1)
+        dst.copy_from(src)
+        assert dst.address == PhysAddr(3, 4)
+        assert dst.successor == BlockId(9)
+        assert dst.list_id == ListId(2)
+        assert dst.timestamp == 77
+        assert dst.state is VersionState.SHADOW  # state not copied
+
+    def test_list_copy_from(self):
+        src = ListVersion(ListId(1), VersionState.COMMITTED)
+        src.first = BlockId(5)
+        src.last = BlockId(7)
+        src.count = 3
+        dst = ListVersion(ListId(1), VersionState.SHADOW, aru_id=ARUId(2))
+        dst.copy_from(src)
+        assert (dst.first, dst.last, dst.count) == (BlockId(5), BlockId(7), 3)
+        assert dst.aru_id == ARUId(2)

@@ -1,0 +1,134 @@
+"""Direct unit tests for the recovery replay state machine.
+
+The black-box recovery tests cover whole-system behaviour; these pin
+down the per-entry transition function — including the conflict
+(return-False) branches a healthy log never exercises but a damaged
+one might.
+"""
+
+import pytest
+
+from repro.lld.recovery import _ReplayState
+from repro.lld.summary import EntryKind, SummaryEntry
+
+
+def apply(state, kind, tag=0, ts=1, a=0, b=0, c=0, seg=5):
+    return state.apply(SummaryEntry(kind, tag, ts, a, b, c), seg)
+
+
+@pytest.fixture
+def state():
+    replay = _ReplayState()
+    assert apply(replay, EntryKind.NEW_LIST, a=1)
+    assert apply(replay, EntryKind.ALLOC_BLOCK, a=10, b=1)
+    assert apply(replay, EntryKind.ALLOC_BLOCK, a=11, b=1)
+    assert apply(replay, EntryKind.LINK, a=1, b=10, c=0)   # [10]
+    assert apply(replay, EntryKind.LINK, a=1, b=11, c=10)  # [10, 11]
+    return replay
+
+
+class TestHappyPath:
+    def test_structure(self, state):
+        assert state.lists[1][1] == 10  # first
+        assert state.lists[1][2] == 11  # last
+        assert state.lists[1][3] == 2   # count
+        assert state.blocks[10][2] == 11  # successor
+        assert state.blocks[10][3] == 1   # list id
+
+    def test_write_sets_address(self, state):
+        assert apply(state, EntryKind.WRITE, a=10, b=7, seg=9)
+        assert state.blocks[10][1] == (9, 7)
+
+    def test_delete_block_unlinks(self, state):
+        assert apply(state, EntryKind.DELETE_BLOCK, a=10)
+        assert 10 not in state.blocks
+        assert state.lists[1][1] == 11
+        assert state.lists[1][3] == 1
+
+    def test_delete_last_block_updates_last(self, state):
+        assert apply(state, EntryKind.DELETE_BLOCK, a=11)
+        assert state.lists[1][2] == 10
+        assert state.blocks[10][2] == 0
+
+    def test_delete_list_removes_members(self, state):
+        assert apply(state, EntryKind.DELETE_LIST, a=1)
+        assert 1 not in state.lists
+        assert 10 not in state.blocks
+        assert 11 not in state.blocks
+
+    def test_link_first_into_populated_list(self, state):
+        assert apply(state, EntryKind.ALLOC_BLOCK, a=12, b=1)
+        assert apply(state, EntryKind.LINK, a=1, b=12, c=0)
+        assert state.lists[1][1] == 12
+        assert state.blocks[12][2] == 10
+
+    def test_commit_is_stateless(self, state):
+        before = dict(state.blocks)
+        assert apply(state, EntryKind.COMMIT, tag=3, a=5)
+        assert state.blocks == before
+
+    def test_max_ids_tracked(self, state):
+        assert state.max_block == 11
+        assert state.max_list == 1
+
+
+class TestConflictBranches:
+    def test_write_to_unknown_block(self, state):
+        assert not apply(state, EntryKind.WRITE, a=99, b=0)
+
+    def test_delete_unknown_block(self, state):
+        assert not apply(state, EntryKind.DELETE_BLOCK, a=99)
+
+    def test_delete_unknown_list(self, state):
+        assert not apply(state, EntryKind.DELETE_LIST, a=99)
+
+    def test_link_into_unknown_list(self, state):
+        assert not apply(state, EntryKind.LINK, a=99, b=10, c=0)
+
+    def test_link_unknown_block(self, state):
+        assert not apply(state, EntryKind.LINK, a=1, b=99, c=0)
+
+    def test_link_already_member(self, state):
+        assert not apply(state, EntryKind.LINK, a=1, b=10, c=0)
+
+    def test_link_after_foreign_predecessor(self, state):
+        assert apply(state, EntryKind.NEW_LIST, a=2)
+        assert apply(state, EntryKind.ALLOC_BLOCK, a=20, b=2)
+        # Predecessor 10 belongs to list 1, not list 2.
+        assert not apply(state, EntryKind.LINK, a=2, b=20, c=10)
+
+
+class TestSweep:
+    def test_orphans_freed(self, state):
+        assert apply(state, EntryKind.ALLOC_BLOCK, a=30, b=1)
+        orphans = state.sweep_orphans()
+        assert orphans == [30]
+        assert 30 not in state.blocks
+        assert 10 in state.blocks  # members untouched
+
+    def test_sweep_on_consistent_state_is_noop(self, state):
+        assert state.sweep_orphans() == []
+
+    def test_checkpoint_loading(self):
+        from repro.lld.checkpoint import (
+            BlockSnapshot,
+            CheckpointData,
+            ListSnapshot,
+        )
+
+        ckpt = CheckpointData(
+            ckpt_seq=1,
+            last_log_seq=5,
+            next_block_id=50,
+            next_list_id=9,
+            next_aru_id=3,
+            blocks=[BlockSnapshot(4, 0, 2, 7, 1, 3, True)],
+            lists=[ListSnapshot(2, 4, 4, 1, 7)],
+            segments={},
+        )
+        state = _ReplayState()
+        state.load_checkpoint(ckpt)
+        assert state.blocks[4][1] == (1, 3)
+        assert state.lists[2][1] == 4
+        # Checkpointed members survive the sweep.
+        assert state.sweep_orphans() == []

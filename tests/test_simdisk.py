@@ -1,0 +1,101 @@
+"""Unit tests for the simulated disk."""
+
+import pytest
+
+from repro.disk.faults import CrashPlan, FaultInjector
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import DiskCrashedError
+
+
+@pytest.fixture
+def geo():
+    return DiskGeometry.small(num_segments=8)
+
+
+@pytest.fixture
+def disk(geo):
+    return SimulatedDisk(geo)
+
+
+def _image(geo, fill):
+    return bytes([fill]) * geo.segment_size
+
+
+class TestReadWrite:
+    def test_roundtrip(self, disk, geo):
+        disk.write_segment(2, _image(geo, 0xAB))
+        assert disk.read_segment(2) == _image(geo, 0xAB)
+
+    def test_unwritten_reads_zero(self, disk, geo):
+        assert disk.read_segment(5) == b"\x00" * geo.segment_size
+
+    def test_partial_read(self, disk, geo):
+        disk.write_segment(1, bytes(range(256)) * (geo.segment_size // 256))
+        assert disk.read(1, 0, 4) == b"\x00\x01\x02\x03"
+        assert disk.read(1, 256, 2) == b"\x00\x01"
+
+    def test_write_wrong_size_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.write_segment(0, b"short")
+
+    def test_read_out_of_bounds_rejected(self, disk, geo):
+        with pytest.raises(ValueError):
+            disk.read(0, geo.segment_size - 1, 2)
+
+    def test_write_charges_time(self, disk, geo):
+        before = disk.clock.now_us
+        disk.write_segment(0, _image(geo, 1))
+        assert disk.clock.now_us > before
+
+    def test_counters(self, disk, geo):
+        disk.write_segment(0, _image(geo, 1))
+        disk.read_segment(0)
+        stats = disk.stats()
+        assert stats["writes"] == 1
+        assert stats["reads"] == 1
+
+
+class TestCrash:
+    def test_dropped_write_leaves_old_content(self, geo):
+        disk = SimulatedDisk(geo, injector=FaultInjector(CrashPlan(after_writes=1)))
+        disk.write_segment(0, _image(geo, 0x11))
+        with pytest.raises(DiskCrashedError):
+            disk.write_segment(0, _image(geo, 0x22))
+        survivor = disk.power_cycle()
+        assert survivor.read_segment(0) == _image(geo, 0x11)
+
+    def test_torn_write_mixes_content(self, geo):
+        disk = SimulatedDisk(
+            geo,
+            injector=FaultInjector(CrashPlan(after_writes=1, torn=True, seed=5)),
+        )
+        disk.write_segment(0, _image(geo, 0x11))
+        with pytest.raises(DiskCrashedError):
+            disk.write_segment(0, _image(geo, 0x22))
+        survivor = disk.power_cycle()
+        data = survivor.read_segment(0)
+        assert data[0] == 0x22  # prefix of the torn write
+        assert data[-1] == 0x11  # old tail preserved
+        assert data != _image(geo, 0x22)
+
+    def test_crashed_property(self, geo):
+        disk = SimulatedDisk(geo, injector=FaultInjector(CrashPlan(after_writes=0)))
+        assert not disk.crashed
+        with pytest.raises(DiskCrashedError):
+            disk.write_segment(0, _image(geo, 1))
+        assert disk.crashed
+
+    def test_power_cycle_shares_clock(self, geo):
+        disk = SimulatedDisk(geo, injector=FaultInjector(CrashPlan(after_writes=0)))
+        with pytest.raises(DiskCrashedError):
+            disk.write_segment(0, _image(geo, 1))
+        survivor = disk.power_cycle()
+        assert survivor.clock is disk.clock
+
+    def test_reads_fail_while_crashed(self, geo):
+        disk = SimulatedDisk(geo, injector=FaultInjector(CrashPlan(after_writes=0)))
+        with pytest.raises(DiskCrashedError):
+            disk.write_segment(0, _image(geo, 1))
+        with pytest.raises(DiskCrashedError):
+            disk.read_segment(0)

@@ -1,0 +1,139 @@
+"""Tests for disk images and the lddump inspection tool."""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import CorruptionError
+from repro.fs import MinixFS
+from repro.lld.lld import LLD
+from repro.tools.inspect import (
+    describe_checkpoints,
+    describe_disk,
+    describe_fs,
+    describe_segments,
+)
+from repro.tools.lddump import main as lddump_main
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A disk image holding a small file system."""
+    geo = DiskGeometry.small(num_segments=64)
+    disk = SimulatedDisk(geo)
+    lld = LLD(disk, checkpoint_slot_segments=2)
+    fs = MinixFS.mkfs(lld, n_inodes=64)
+    fs.mkdir("/docs")
+    fs.create("/docs/a.txt")
+    fs.write_file("/docs/a.txt", b"hello" * 100)
+    fs.link("/docs/a.txt", "/docs/b.txt")
+    fs.sync()
+    lld.write_checkpoint()
+    image = tmp_path / "disk.img"
+    disk.save_image(image)
+    return disk, image
+
+
+class TestImages:
+    def test_roundtrip(self, populated):
+        disk, image = populated
+        loaded = SimulatedDisk.load_image(image)
+        assert loaded.geometry == disk.geometry
+        for seg, data in disk._segments.items():
+            assert loaded.read_segment(seg) == data
+
+    def test_loaded_image_is_recoverable(self, populated):
+        from repro.lld.recovery import recover
+
+        _disk, image = populated
+        loaded = SimulatedDisk.load_image(image)
+        lld, _report = recover(loaded, checkpoint_slot_segments=2)
+        fs = MinixFS.mount(lld)
+        assert fs.read_file("/docs/a.txt") == b"hello" * 100
+
+    def test_sparse_images_stay_small(self, tmp_path, populated):
+        _disk, image = populated
+        size = image.stat().st_size
+        geo = DiskGeometry.small(num_segments=64)
+        assert size < geo.partition_size / 2
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.img"
+        path.write_bytes(b"not an image at all" * 10)
+        with pytest.raises(CorruptionError):
+            SimulatedDisk.load_image(path)
+
+    def test_truncated_rejected(self, populated, tmp_path):
+        _disk, image = populated
+        data = image.read_bytes()
+        truncated = tmp_path / "trunc.img"
+        truncated.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CorruptionError):
+            SimulatedDisk.load_image(truncated)
+
+
+class TestInspect:
+    def test_describe_disk(self, populated):
+        disk, _image = populated
+        text = describe_disk(disk)
+        assert "segments" in text
+
+    def test_describe_checkpoints(self, populated):
+        disk, _image = populated
+        text = describe_checkpoints(disk, slot_segments=2)
+        assert "ckpt_seq=1" in text
+        assert "newest valid checkpoint: seq 1" in text
+
+    def test_describe_segments(self, populated):
+        disk, _image = populated
+        text = describe_segments(disk, slot_segments=2)
+        assert "seq" in text
+        assert "entries" in text
+
+    def test_describe_segments_verbose_and_limited(self, populated):
+        disk, _image = populated
+        text = describe_segments(
+            disk, slot_segments=2, entries=True, limit=1
+        )
+        assert "WRITE" in text or "ALLOC_BLOCK" in text
+        assert "limited to 1" in text
+
+    def test_describe_fs(self, populated):
+        disk, _image = populated
+        text = describe_fs(disk, slot_segments=2)
+        assert "docs/" in text
+        assert "a.txt" in text
+        assert "2 links" in text
+
+    def test_describe_fs_without_filesystem(self):
+        geo = DiskGeometry.small(num_segments=32)
+        disk = SimulatedDisk(geo)
+        lld = LLD(disk, checkpoint_slot_segments=1)
+        lst = lld.new_list()
+        block = lld.new_block(lst)
+        lld.write(block, b"raw")
+        lld.flush()
+        text = describe_fs(disk, slot_segments=1)
+        assert "no mountable MinixFS" in text
+
+
+class TestCLI:
+    def test_default_dump(self, populated, capsys):
+        _disk, image = populated
+        assert lddump_main([str(image), "--ckpt-segments", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "LD disk image" in out
+        assert "checkpoint" in out
+
+    def test_full_dump(self, populated, capsys):
+        _disk, image = populated
+        code = lddump_main(
+            [str(image), "--segments", "--fs", "--ckpt-segments", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a.txt" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert lddump_main([str(tmp_path / "nope.img")]) == 1
+        assert "lddump:" in capsys.readouterr().err

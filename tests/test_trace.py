@@ -1,0 +1,148 @@
+"""Tests for trace recording and replay."""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import BadBlockError
+from repro.jld import JLD
+from repro.lld.lld import LLD
+from repro.trace import Trace, TraceRecorder, TraceReplayError, replay_trace
+
+from tests.conftest import make_lld
+
+
+def fresh_lld():
+    return make_lld(num_segments=96)
+
+
+def fresh_jld():
+    geo = DiskGeometry.small(num_segments=96)
+    return JLD(
+        SimulatedDisk(geo), journal_segments=6, checkpoint_slot_segments=2
+    )
+
+
+def sample_workload(ld) -> None:
+    """A small but representative op stream, including an error and
+    an aborted ARU."""
+    lst = ld.new_list()
+    a = ld.new_block(lst)
+    b = ld.new_block(lst, predecessor=a)
+    ld.write(a, b"alpha")
+    ld.write(b, b"beta")
+    ld.read(a)
+    aru = ld.begin_aru()
+    ld.write(a, b"shadow", aru=aru)
+    ld.read(a, aru=aru)
+    ld.end_aru(aru)
+    doomed = ld.begin_aru()
+    ld.write(b, b"discard", aru=doomed)
+    ld.abort_aru(doomed)
+    ld.delete_block(b)
+    try:
+        ld.read(b)  # recorded error
+    except BadBlockError:
+        pass
+    ld.flush()
+    ld.read(a)
+
+
+class TestRecording:
+    def test_records_all_ops(self):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        ops = [entry.op for entry in recorder.trace.ops]
+        assert ops.count("write") == 4
+        assert ops.count("read") == 4
+        assert "abort_aru" in ops
+        assert "flush" in ops
+
+    def test_records_errors(self):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        errors = [e for e in recorder.trace.ops if e.error]
+        assert [e.error for e in errors] == ["BadBlockError"]
+
+    def test_recorder_is_transparent(self):
+        plain = fresh_lld()
+        recorded = TraceRecorder(fresh_lld())
+        sample_workload(plain)
+        sample_workload(recorded)
+        # Same visible end state on both.
+        assert plain.read(1) == recorded.ld.read(1)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        path = tmp_path / "workload.trace"
+        saved = recorder.trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == saved == len(recorder.trace)
+        assert [e.op for e in loaded.ops] == [
+            e.op for e in recorder.trace.ops
+        ]
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"version": 99, "block_size": 4096}\n')
+        with pytest.raises(ValueError):
+            Trace.load(path)
+
+
+class TestReplay:
+    def test_replay_on_same_substrate(self):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        result = replay_trace(recorder.trace, fresh_lld())
+        assert result.ops_replayed == len(recorder.trace)
+        assert result.reads_verified == 3  # the errored read has no data
+        assert result.errors_matched == 1
+
+    def test_replay_cross_substrate(self):
+        """A trace captured on LLD replays byte-identically on JLD —
+        the trace layer doubles as a differential oracle."""
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        result = replay_trace(recorder.trace, fresh_jld())
+        assert result.reads_verified == 3  # the errored read has no data
+        assert result.errors_matched == 1
+
+    def test_replay_detects_divergence(self):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        # Corrupt a recorded read: replay must notice.
+        for entry in recorder.trace.ops:
+            if entry.op == "read" and entry.read_hex:
+                entry.read_hex = "ff" * 16
+                break
+        with pytest.raises(TraceReplayError):
+            replay_trace(recorder.trace, fresh_lld())
+
+    def test_replay_detects_missing_error(self):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        # Drop the delete so the recorded BadBlockError cannot recur.
+        recorder.trace.ops = [
+            e for e in recorder.trace.ops if e.op != "delete_block"
+        ]
+        with pytest.raises(TraceReplayError):
+            replay_trace(recorder.trace, fresh_lld())
+
+    def test_replay_rejects_block_size_mismatch(self):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        recorder.trace.block_size = 512
+        with pytest.raises(TraceReplayError):
+            replay_trace(recorder.trace, fresh_lld())
+
+    def test_replay_without_verification(self):
+        recorder = TraceRecorder(fresh_lld())
+        sample_workload(recorder)
+        for entry in recorder.trace.ops:
+            if entry.read_hex:
+                entry.read_hex = "00"
+        result = replay_trace(
+            recorder.trace, fresh_lld(), verify_reads=False
+        )
+        assert result.reads_verified == 0

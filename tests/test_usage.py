@@ -1,0 +1,108 @@
+"""Unit tests for the segment usage table."""
+
+import pytest
+
+from repro.errors import DiskFullError
+from repro.lld.usage import SegmentState, SegmentUsage
+
+
+class TestSegmentUsage:
+    def test_reserved_segments_never_allocated(self):
+        usage = SegmentUsage(8, reserved=2)
+        taken = {usage.take_free() for _ in range(6)}
+        assert taken == {2, 3, 4, 5, 6, 7}
+        assert all(usage.state(seg) is SegmentState.RESERVED for seg in (0, 1))
+
+    def test_take_free_exhaustion(self):
+        usage = SegmentUsage(4, reserved=0)
+        for _ in range(4):
+            usage.take_free()
+        with pytest.raises(DiskFullError):
+            usage.take_free()
+
+    def test_allocation_order_is_low_first(self):
+        usage = SegmentUsage(6, reserved=2)
+        assert usage.take_free() == 2
+        assert usage.take_free() == 3
+
+    def test_mark_written_and_liveness(self):
+        usage = SegmentUsage(4)
+        seg = usage.take_free()
+        usage.mark_written(seg, seq=9, live_slots=5)
+        assert usage.state(seg) is SegmentState.DIRTY
+        assert usage.seq_of(seg) == 9
+        assert usage.live_slots(seg) == 5
+        assert usage.total_slots(seg) == 5
+        usage.retire_slot(seg)
+        assert usage.live_slots(seg) == 4
+        assert usage.total_slots(seg) == 5
+
+    def test_retire_never_negative(self):
+        usage = SegmentUsage(4)
+        seg = usage.take_free()
+        usage.mark_written(seg, 1, 0)
+        usage.retire_slot(seg)
+        assert usage.live_slots(seg) == 0
+
+    def test_free_segment_recycles(self):
+        usage = SegmentUsage(4)
+        seg = usage.take_free()
+        usage.mark_written(seg, 1, 3)
+        usage.free_segment(seg)
+        assert usage.state(seg) is SegmentState.FREE
+        remaining = {usage.take_free() for _ in range(4)}
+        assert seg in remaining
+
+    def test_cannot_free_reserved(self):
+        usage = SegmentUsage(4, reserved=1)
+        with pytest.raises(ValueError):
+            usage.free_segment(0)
+
+    def test_dirty_segments_iteration(self):
+        usage = SegmentUsage(6, reserved=1)
+        a = usage.take_free()
+        usage.mark_written(a, seq=1, live_slots=2)
+        b = usage.take_free()
+        usage.mark_written(b, seq=2, live_slots=0)
+        dirty = dict(
+            (seg, (live, seq)) for seg, live, seq in usage.dirty_segments()
+        )
+        assert dirty == {a: (2, 1), b: (0, 2)}
+
+    def test_utilization(self):
+        usage = SegmentUsage(4)
+        seg = usage.take_free()
+        usage.mark_written(seg, 1, 5)
+        assert usage.utilization(seg, 10) == pytest.approx(0.5)
+        assert usage.utilization(seg, 0) == 0.0
+
+    def test_snapshot_only_dirty(self):
+        usage = SegmentUsage(6, reserved=1)
+        seg = usage.take_free()
+        usage.mark_written(seg, seq=4, live_slots=3)
+        usage.take_free()  # current, not dirty
+        assert usage.snapshot() == {seg: (4, 3, 3)}
+
+    def test_restore(self):
+        usage = SegmentUsage(6, reserved=1)
+        usage.restore(3, SegmentState.DIRTY, seq=7, live=2, total=4)
+        assert usage.state(3) is SegmentState.DIRTY
+        assert usage.seq_of(3) == 7
+        assert usage.live_slots(3) == 2
+        assert usage.total_slots(3) == 4
+
+    def test_rejects_all_reserved(self):
+        with pytest.raises(ValueError):
+            SegmentUsage(4, reserved=4)
+
+    def test_stale_free_entries_skipped(self):
+        """A segment freed, taken, and freed again must not be handed
+        out twice via stale free-list entries."""
+        usage = SegmentUsage(4, reserved=0)
+        a = usage.take_free()
+        usage.mark_written(a, 1, 0)
+        usage.free_segment(a)
+        taken = [usage.take_free() for _ in range(4)]
+        assert sorted(taken) == [0, 1, 2, 3]
+        with pytest.raises(DiskFullError):
+            usage.take_free()
