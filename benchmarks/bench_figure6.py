@@ -14,7 +14,7 @@ import pytest
 from repro.harness.reporting import percent_difference
 from repro.harness.runner import run_figure6
 
-from benchmarks.conftest import full_scale, report_table
+from benchmarks.conftest import full_scale, report_json, report_table
 
 FILE_SIZE = 20_000 * 4096 if full_scale() else 16 * 1024 * 1024
 
@@ -29,6 +29,19 @@ def test_figure6_large_file(benchmark):
     for name, phases in result.results.items():
         for phase, mbps in phases.throughput_mbps.items():
             benchmark.extra_info[f"{name}_{phase}_mbps"] = round(mbps, 3)
+    report_json(
+        "figure6",
+        {
+            "file_size_bytes": FILE_SIZE,
+            "throughput_mbps": {
+                name: {
+                    phase: round(mbps, 3)
+                    for phase, mbps in phases.throughput_mbps.items()
+                }
+                for name, phases in result.results.items()
+            },
+        },
+    )
     old = result.results["old"]
     new = result.results["new"]
     # Paper shapes: tiny write overhead, negligible read overhead.

@@ -13,6 +13,7 @@ to run the paper's full sizes (10,000/1,000 files, a 78.125 MB file,
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import List, Tuple
@@ -33,6 +34,21 @@ def report_table(name: str, table: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(table + "\n", encoding="utf-8")
+
+
+def report_json(name: str, payload: dict) -> pathlib.Path:
+    """Save machine-readable benchmark results.
+
+    Written to ``benchmarks/results/BENCH_<name>.json`` so successive
+    PRs accumulate a perf trajectory that scripts (and CI) can diff
+    without parsing the human-readable tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -121,6 +121,13 @@ class CostModel:
     block_read_us: float = 40.0
     #: Map/table lookup or update that is a plain hash access.
     table_access_us: float = 1.0
+    #: Software CRC-32 over 1 KB of segment data on the read/validate
+    #: path (~25 MB/s on the 70 MHz SPARC).  The write-side checksum
+    #: is already folded into ``block_copy_us``.
+    crc_kb_us: float = 40.0
+    #: Parsing one segment-summary entry back out of its on-disk
+    #: encoding (recovery scan, cleaner salvage).
+    decode_entry_us: float = 2.0
     #: File-system level per-call overhead (path parsing, inode ops).
     fs_call_us: float = 25.0
     #: Scanning one directory entry out of the buffer cache.
@@ -154,16 +161,23 @@ class CostMeter:
         self.counters: dict = {}
         self.charged_us: dict = {}
 
-    def charge(self, category: str, count: int = 1) -> None:
+    def charge(self, category: str, count: float = 1, lanes: int = 1) -> None:
         """Charge ``count`` occurrences of the named cost category.
 
         ``category`` must be a field name of :class:`CostModel`.
+
+        ``lanes`` models work overlapped across parallel workers (the
+        pipelined recovery scan): the full ``count`` is recorded in
+        the counters — the work really happened — but the clock only
+        advances by the critical-path share ``count / lanes``.
         """
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
         unit = getattr(self.model, category)
-        total = unit * count
-        self.clock.advance_us(total)
+        elapsed = unit * count / lanes
+        self.clock.advance_us(elapsed)
         self.counters[category] = self.counters.get(category, 0) + count
-        self.charged_us[category] = self.charged_us.get(category, 0.0) + total
+        self.charged_us[category] = self.charged_us.get(category, 0.0) + elapsed
 
     def total_charged_us(self) -> float:
         """Total CPU microseconds charged so far."""

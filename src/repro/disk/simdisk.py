@@ -17,7 +17,7 @@ surviving bytes, which is what the recovery scan reads.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.disk.clock import SimClock
 from repro.disk.faults import FaultInjector
@@ -144,6 +144,62 @@ class SimulatedDisk:
         self.read_count += 1
         return raw[offset : offset + nbytes]
 
+    def read_many(
+        self,
+        requests: Sequence[Tuple[int, int, int]],
+        errors: str = "raise",
+    ) -> List[Optional[bytes]]:
+        """Scatter-gather read: many ranges in one batched operation.
+
+        Each request is a ``(segment_no, offset, nbytes)`` triple (a
+        range may not cross a segment boundary).  The batch is charged
+        to the timing model as coalesced contiguous runs — adjacent
+        ranges cost one seek plus a single sequential transfer, which
+        is what makes the recovery scan and readahead run at media
+        bandwidth instead of seek-bound.
+
+        Results come back in request order.  ``errors`` controls media
+        faults: ``"raise"`` propagates :class:`MediaError` like
+        :meth:`read` does; ``"none"`` returns ``None`` for requests on
+        unreadable segments so one bad segment does not abort the
+        batch (recovery classifies those as unreadable).  A crashed
+        disk always raises.
+        """
+        if errors not in ("raise", "none"):
+            raise ValueError(f"unknown errors policy {errors!r}")
+        from repro.errors import MediaError
+
+        geometry = self.geometry
+        segment_size = geometry.segment_size
+        for segment_no, offset, nbytes in requests:
+            geometry.segment_offset(segment_no)  # bounds-check segment
+            if offset < 0 or nbytes < 0 or offset + nbytes > segment_size:
+                raise ValueError(
+                    f"read [{offset}, {offset + nbytes}) out of segment bounds"
+                )
+        results: List[Optional[bytes]] = []
+        ranges: List[Tuple[int, int]] = []
+        zeros: Optional[bytes] = None
+        for segment_no, offset, nbytes in requests:
+            raw = self._segments.get(segment_no)
+            if raw is None:
+                if zeros is None:
+                    zeros = b"\x00" * segment_size
+                raw = zeros
+            try:
+                raw = self.injector.on_read(segment_no, raw)
+            except MediaError:
+                if errors == "raise":
+                    raise
+                results.append(None)
+                continue
+            results.append(raw[offset : offset + nbytes])
+            ranges.append((geometry.segment_offset(segment_no) + offset, nbytes))
+            self.read_count += 1
+        if ranges:
+            self.timer.access_batch(ranges, requests=len(ranges))
+        return results
+
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
@@ -184,6 +240,9 @@ class SimulatedDisk:
             "busy_us": self.timer.busy_us,
             "writes": self.write_count,
             "reads": self.read_count,
+            "read_batches": self.timer.batches,
+            "batched_requests": self.timer.batched_requests,
+            "batched_runs": self.timer.batched_runs,
         }
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ it is what makes write1/write2 fast and read2/read3 slow in Figure 6.
 from __future__ import annotations
 
 import dataclasses
+from typing import List, Sequence, Tuple
 
 from repro.disk.clock import SimClock
 
@@ -61,6 +62,32 @@ class DiskModel:
         return latency
 
 
+def coalesce_runs(
+    ranges: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Merge byte ranges into maximal contiguous runs.
+
+    ``ranges`` are (absolute offset, nbytes) pairs.  The result is
+    sorted by offset; ranges that touch or overlap are fused into one
+    run, so a scatter-gather batch over adjacent segments costs one
+    seek plus a single sequential transfer instead of one seek per
+    request.
+    """
+    if not ranges:
+        return []
+    ordered = sorted(ranges)
+    runs: List[Tuple[int, int]] = []
+    run_start, run_len = ordered[0]
+    for offset, nbytes in ordered[1:]:
+        if offset <= run_start + run_len:
+            run_len = max(run_len, offset + nbytes - run_start)
+        else:
+            runs.append((run_start, run_len))
+            run_start, run_len = offset, nbytes
+    runs.append((run_start, run_len))
+    return runs
+
+
 #: The disk used in the paper's evaluation (Section 5.2).
 HP_C3010 = DiskModel(
     avg_seek_us=11_500.0,
@@ -81,6 +108,9 @@ class DiskTimer:
         self.sequential_requests = 0
         self.bytes_transferred = 0
         self.busy_us = 0.0
+        self.batches = 0
+        self.batched_requests = 0
+        self.batched_runs = 0
 
     def access(self, offset: int, nbytes: int) -> float:
         """Charge one request at byte ``offset`` of size ``nbytes``.
@@ -97,3 +127,43 @@ class DiskTimer:
         self.bytes_transferred += nbytes
         self.busy_us += latency
         return latency
+
+    def access_batch(
+        self, ranges: Sequence[Tuple[int, int]], requests: int = 0
+    ) -> float:
+        """Charge one scatter-gather batch of byte ranges.
+
+        The ranges are coalesced into maximal contiguous runs first:
+        each run is serviced as a single request (one seek at most —
+        a run that starts at the head position pays none), so batched
+        I/O over adjacent segments costs one seek plus one sequential
+        transfer.  Runs separated by a gap that is cheaper to stream
+        past than to seek over are fused too (read-through: the gap
+        bytes are transferred and discarded, as real scatter-gather
+        controllers do).  ``requests`` is the number of logical
+        requests the batch carries (for accounting); it defaults to
+        ``len(ranges)``.
+
+        Returns the total simulated service time in microseconds.
+        """
+        seek_cost = (
+            self.model.avg_seek_us
+            + self.model.avg_rotational_us
+            + self.model.controller_overhead_us
+        )
+        runs: List[Tuple[int, int]] = []
+        for offset, nbytes in coalesce_runs(ranges):
+            if runs:
+                prev_offset, prev_len = runs[-1]
+                gap = offset - (prev_offset + prev_len)
+                if self.model.transfer_us(gap) <= seek_cost:
+                    runs[-1] = (prev_offset, offset + nbytes - prev_offset)
+                    continue
+            runs.append((offset, nbytes))
+        total = 0.0
+        for offset, nbytes in runs:
+            total += self.access(offset, nbytes)
+        self.batches += 1
+        self.batched_requests += requests if requests else len(ranges)
+        self.batched_runs += len(runs)
+        return total

@@ -828,9 +828,13 @@ class MinixFS:
         blocks = self._blocks_of(ino)
         first_block = offset // self.block_size
         last_block = (end - 1) // self.block_size
+        # One batched read for the whole span: blocks of sequentially
+        # written files sit adjacent on disk, so the logical disk can
+        # fetch them with one seek instead of one per block.
+        span = blocks[first_block : last_block + 1]
+        raws = self.ld.read_many(span)
         pieces: List[bytes] = []
-        for index in range(first_block, last_block + 1):
-            raw = self.ld.read(blocks[index])
+        for index, raw in zip(range(first_block, last_block + 1), raws):
             block_lo = index * self.block_size
             lo = max(offset, block_lo)
             hi = min(end, block_lo + self.block_size)

@@ -24,7 +24,7 @@ built on this interface).
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.ld.types import ARUId, BlockId, FIRST, ListId, Predecessor
 
@@ -108,6 +108,19 @@ class LogicalDisk(abc.ABC):
         default policy an ARU sees its own shadow version first, then
         the committed version, then the persistent version.
         """
+
+    def read_many(
+        self, block_ids: Sequence[BlockId], aru: Optional[ARUId] = None
+    ) -> List[bytes]:
+        """Read several blocks; results come back in request order.
+
+        Semantically a loop of :meth:`read` — same visibility, same
+        errors.  The base implementation *is* that loop;
+        implementations that can batch the underlying I/O (LLD issues
+        one scatter-gather disk request for all cache misses)
+        override it.
+        """
+        return [self.read(block_id, aru) for block_id in block_ids]
 
     # ------------------------------------------------------------------
     # Lists

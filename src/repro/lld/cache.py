@@ -17,19 +17,25 @@ read3).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.ld.types import PhysAddr
 
 
 class BlockCache:
-    """LRU cache of block data keyed by physical address."""
+    """LRU cache of block data keyed by physical address.
+
+    A per-segment key index mirrors the entry map so the cleaner's
+    :meth:`invalidate_segment` touches only that segment's entries
+    instead of scanning the whole cache.
+    """
 
     def __init__(self, capacity_blocks: int = 2048) -> None:
         if capacity_blocks < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity_blocks
         self._entries: "OrderedDict[Tuple[int, int], bytes]" = OrderedDict()
+        self._by_segment: Dict[int, Set[Tuple[int, int]]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -51,16 +57,35 @@ class BlockCache:
         key = (addr.segment, addr.slot)
         self._entries[key] = data
         self._entries.move_to_end(key)
+        self._by_segment.setdefault(key[0], set()).add(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _data = self._entries.popitem(last=False)
+            self._forget(evicted)
+
+    def _forget(self, key: Tuple[int, int]) -> None:
+        """Drop ``key`` from the per-segment index."""
+        keys = self._by_segment.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_segment[key[0]]
 
     def invalidate(self, addr: PhysAddr) -> bool:
         """Drop one cached address (e.g. its home slot was freed)."""
-        return self._entries.pop((addr.segment, addr.slot), None) is not None
+        key = (addr.segment, addr.slot)
+        if self._entries.pop(key, None) is None:
+            return False
+        self._forget(key)
+        return True
 
     def invalidate_segment(self, segment_no: int) -> int:
-        """Drop every cached block of one segment (freed by the cleaner)."""
-        stale = [key for key in self._entries if key[0] == segment_no]
+        """Drop every cached block of one segment (freed by the cleaner).
+
+        O(entries in the segment), via the per-segment index.
+        """
+        stale = self._by_segment.pop(segment_no, None)
+        if not stale:
+            return 0
         for key in stale:
             del self._entries[key]
         return len(stale)
@@ -68,6 +93,7 @@ class BlockCache:
     def invalidate_all(self) -> None:
         """Empty the cache."""
         self._entries.clear()
+        self._by_segment.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

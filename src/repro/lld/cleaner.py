@@ -128,9 +128,15 @@ class SegmentCleaner:
             was_cleaning = lld._cleaning
             lld._cleaning = True
             try:
+                # One scatter-gather read fetches every victim body;
+                # victims clustered on disk coalesce into sequential
+                # runs instead of paying one seek per segment.
+                bodies = lld.disk.read_many(
+                    [(seg, 0, lld.geometry.segment_size) for seg in victims]
+                )
                 copied = 0
-                for seg in victims:
-                    copied += self._evacuate(seg)
+                for seg, raw in zip(victims, bodies):
+                    copied += self._evacuate(seg, raw)
                 # Make the copies durable, then supersede the victims'
                 # summary history with a checkpoint; only then is
                 # freeing them safe.
@@ -155,15 +161,22 @@ class SegmentCleaner:
                 break  # no net progress: the survivors are too full
         return CleanReport(all_victims, total_copied, total_freed)
 
-    def _evacuate(self, seg: int) -> int:
-        """Copy every live block of ``seg`` into the current buffer."""
+    def _evacuate(self, seg: int, raw: Optional[bytes] = None) -> int:
+        """Copy every live block of ``seg`` into the current buffer.
+
+        ``raw`` is the segment body when the caller already fetched it
+        (the batched victim read); otherwise it is read here.
+        """
         lld = self.lld
-        raw = lld.disk.read_segment(seg)
+        if raw is None:
+            raw = lld.disk.read_segment(seg)
+        lld.meter.charge("crc_kb_us", lld.geometry.segment_size / 1024.0)
         decoded = decode_segment(raw, lld.geometry, seg)
         if decoded is None:
             raise CorruptionError(
                 f"cleaner picked segment {seg} but it fails validation"
             )
+        lld.meter.charge("decode_entry_us", len(decoded.entries))
         copied = 0
         seen = set()
         for entry in decoded.entries:

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.disk.geometry import DiskGeometry, TRAILER_SIZE
 from repro.ld.types import BlockId, PhysAddr
-from repro.lld.summary import SummaryEntry, decode_entries, encode_entries
+from repro.lld.summary import SummaryEntry, decode_entries, encode_entries_into
 
 #: magic(4s) version(H) pad(H) seq(Q) nentries(I) nblocks(I)
 #: summary_len(I) pad(I) crc(Q)
@@ -32,7 +32,30 @@ TRAILER_FMT = "<4sHHQIIIIQ"
 TRAILER_MAGIC = b"LLDS"
 FORMAT_VERSION = 1
 
-assert struct.calcsize(TRAILER_FMT) == TRAILER_SIZE
+#: Precompiled trailer codec (hot on the seal and recovery paths).
+TRAILER_STRUCT = struct.Struct(TRAILER_FMT)
+_CRC_STRUCT = struct.Struct("<Q")
+
+assert TRAILER_STRUCT.size == TRAILER_SIZE
+
+
+def parse_trailer(trailer) -> Optional[Tuple[int, int, int, int, int]]:
+    """Parse a raw segment trailer, validating magic and version.
+
+    ``trailer`` is the final :data:`TRAILER_SIZE` bytes of a segment
+    (bytes or memoryview).  Returns ``(seq, nentries, nblocks,
+    summary_len, crc)`` or None if this is not an LLD trailer.  Shared
+    by :func:`decode_segment` and recovery's trailer peek so both
+    classify segments identically.
+    """
+    if len(trailer) != TRAILER_SIZE:
+        return None
+    magic, version, _pad, seq, nentries, nblocks, summary_len, _pad2, crc = (
+        TRAILER_STRUCT.unpack(trailer)
+    )
+    if magic != TRAILER_MAGIC or version != FORMAT_VERSION:
+        return None
+    return seq, nentries, nblocks, summary_len, crc
 
 
 class SegmentBuffer:
@@ -160,26 +183,26 @@ class SegmentBuffer:
         for slot, data in enumerate(self._slot_data):
             offset = slot * geo.block_size
             image[offset : offset + geo.block_size] = data
-        summary = encode_entries(self.entries)
-        if len(summary) != self._summary_bytes:
+        summary_len = self._summary_bytes
+        summary_start = geo.segment_size - TRAILER_SIZE - summary_len
+        end = encode_entries_into(self.entries, image, summary_start)
+        if end != summary_start + summary_len:
             raise RuntimeError("summary size accounting is inconsistent")
-        summary_start = geo.segment_size - TRAILER_SIZE - len(summary)
-        image[summary_start : summary_start + len(summary)] = summary
-        trailer = struct.pack(
-            TRAILER_FMT,
+        TRAILER_STRUCT.pack_into(
+            image,
+            geo.segment_size - TRAILER_SIZE,
             TRAILER_MAGIC,
             FORMAT_VERSION,
             0,
             self.seq,
             len(self.entries),
             len(self._slot_data),
-            len(summary),
+            summary_len,
             0,
             0,  # crc placeholder
         )
-        image[geo.segment_size - TRAILER_SIZE :] = trailer
-        crc = zlib.crc32(bytes(image[: geo.segment_size - 8]))
-        image[geo.segment_size - 8 :] = struct.pack("<Q", crc)
+        crc = zlib.crc32(memoryview(image)[: geo.segment_size - 8])
+        _CRC_STRUCT.pack_into(image, geo.segment_size - 8, crc)
         return bytes(image)
 
 
@@ -213,31 +236,20 @@ def decode_segment(
     """
     if len(raw) != geometry.segment_size:
         return None
-    trailer = raw[geometry.segment_size - TRAILER_SIZE :]
-    try:
-        (
-            magic,
-            version,
-            _pad,
-            seq,
-            nentries,
-            nblocks,
-            summary_len,
-            _pad2,
-            crc,
-        ) = struct.unpack(TRAILER_FMT, trailer)
-    except struct.error:  # pragma: no cover - trailer size is fixed
+    view = memoryview(raw)
+    parsed = parse_trailer(view[geometry.segment_size - TRAILER_SIZE :])
+    if parsed is None:
         return None
-    if magic != TRAILER_MAGIC or version != FORMAT_VERSION:
-        return None
-    if zlib.crc32(raw[: geometry.segment_size - 8]) != crc:
+    seq, nentries, nblocks, summary_len, crc = parsed
+    if zlib.crc32(view[: geometry.segment_size - 8]) != crc:
         return None
     summary_start = geometry.segment_size - TRAILER_SIZE - summary_len
     if summary_start < nblocks * geometry.block_size:
         return None
-    summary = raw[summary_start : summary_start + summary_len]
     try:
-        entries = list(decode_entries(summary))
+        entries = list(
+            decode_entries(view[summary_start : summary_start + summary_len])
+        )
     except ValueError:
         return None
     if len(entries) != nentries:

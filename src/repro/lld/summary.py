@@ -69,6 +69,21 @@ _PAYLOAD_FIELDS = {
     EntryKind.COMMIT: 1,
 }
 
+#: Precompiled whole-entry codecs (header + payload in one struct —
+#: "<" formats have no padding, so the concatenation is layout
+#: identical to packing header and payload separately).  Keyed by the
+#: raw kind byte so the decode loop does a single dict lookup and a
+#: single ``unpack_from`` per entry.
+_ENTRY_STRUCTS: dict = {
+    int(kind): struct.Struct(_HEADER_FMT + _PAYLOAD_FMT[kind][1:])
+    for kind in EntryKind
+}
+
+_ENTRY_CODECS: dict = {
+    raw_kind: (codec, EntryKind(raw_kind), _PAYLOAD_FIELDS[EntryKind(raw_kind)])
+    for raw_kind, codec in _ENTRY_STRUCTS.items()
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class SummaryEntry:
@@ -87,18 +102,18 @@ class SummaryEntry:
 
     def encoded_size(self) -> int:
         """Size of this entry's on-disk encoding in bytes."""
-        return entry_size(self.kind)
+        return _ENTRY_STRUCTS[int(self.kind)].size
 
     def encode(self) -> bytes:
         """Serialize to the on-disk representation."""
-        header = struct.pack(_HEADER_FMT, self.kind, self.aru_tag, self.timestamp)
+        codec = _ENTRY_STRUCTS[int(self.kind)]
         fields = (self.a, self.b, self.c)[: _PAYLOAD_FIELDS[self.kind]]
-        return header + struct.pack(_PAYLOAD_FMT[self.kind], *fields)
+        return codec.pack(self.kind, self.aru_tag, self.timestamp, *fields)
 
 
 def entry_size(kind: EntryKind) -> int:
     """On-disk size of an entry of ``kind``."""
-    return _HEADER_SIZE + struct.calcsize(_PAYLOAD_FMT[kind])
+    return _ENTRY_STRUCTS[int(kind)].size
 
 
 #: Size of a COMMIT entry; exposed for the ARU-latency analysis.
@@ -110,8 +125,32 @@ def encode_entries(entries: List[SummaryEntry]) -> bytes:
     return b"".join(entry.encode() for entry in entries)
 
 
-def decode_entries(raw: bytes) -> Iterator[SummaryEntry]:
+def encode_entries_into(
+    entries: List[SummaryEntry], buf: bytearray, offset: int
+) -> int:
+    """Serialize ``entries`` directly into ``buf`` starting at ``offset``.
+
+    Uses ``pack_into`` with the precompiled codecs, so the segment
+    buffer is filled in place with no intermediate per-entry byte
+    objects.  Returns the offset just past the last entry written.
+    """
+    structs = _ENTRY_STRUCTS
+    nfields = _PAYLOAD_FIELDS
+    for entry in entries:
+        codec = structs[int(entry.kind)]
+        fields = (entry.a, entry.b, entry.c)[: nfields[entry.kind]]
+        codec.pack_into(
+            buf, offset, entry.kind, entry.aru_tag, entry.timestamp, *fields
+        )
+        offset += codec.size
+    return offset
+
+
+def decode_entries(raw) -> Iterator[SummaryEntry]:
     """Parse a serialized summary back into entries, in order.
+
+    ``raw`` may be ``bytes`` or any buffer (e.g. a ``memoryview`` into
+    a segment image); decoding never copies the underlying bytes.
 
     Raises:
         ValueError: On a malformed entry stream (callers treat the
@@ -120,20 +159,20 @@ def decode_entries(raw: bytes) -> Iterator[SummaryEntry]:
     """
     offset = 0
     total = len(raw)
+    codecs = _ENTRY_CODECS
     while offset < total:
-        if offset + _HEADER_SIZE > total:
-            raise ValueError("truncated summary entry header")
-        kind_raw, aru_tag, timestamp = struct.unpack_from(_HEADER_FMT, raw, offset)
-        try:
-            kind = EntryKind(kind_raw)
-        except ValueError:
-            raise ValueError(f"unknown summary entry kind {kind_raw}") from None
-        offset += _HEADER_SIZE
-        fmt = _PAYLOAD_FMT[kind]
-        size = struct.calcsize(fmt)
-        if offset + size > total:
+        kind_raw = raw[offset]
+        entry = codecs.get(kind_raw)
+        if entry is None:
+            if offset + _HEADER_SIZE > total:
+                raise ValueError("truncated summary entry header")
+            raise ValueError(f"unknown summary entry kind {kind_raw}")
+        codec, kind, count = entry
+        if offset + codec.size > total:
+            if offset + _HEADER_SIZE > total:
+                raise ValueError("truncated summary entry header")
             raise ValueError("truncated summary entry payload")
-        fields: Tuple[int, ...] = struct.unpack_from(fmt, raw, offset)
-        offset += size
-        padded = fields + (0,) * (3 - len(fields))
-        yield SummaryEntry(kind, aru_tag, timestamp, *padded)
+        fields: Tuple[int, ...] = codec.unpack_from(raw, offset)
+        offset += codec.size
+        padded = fields[3:] + (0,) * (3 - count)
+        yield SummaryEntry(kind, fields[1], fields[2], *padded)
