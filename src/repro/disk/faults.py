@@ -33,15 +33,28 @@ class CrashPlan:
             random prefix survives); if False it is dropped whole.
         seed: Seed for the tear-point RNG, so failures replay
             identically.
+        granularity: ``"sector"`` (default) tears on sector
+            boundaries, the way real disks fail — a write that fits
+            in a single sector is all-or-nothing.  ``"byte"`` keeps
+            the old arbitrary-byte-prefix model, which is strictly
+            more adversarial (it can cut mid-field) and is what the
+            exhaustive crash sweeps use.
+        sector_size: Sector size for ``"sector"`` granularity.
     """
 
     after_writes: int
     torn: bool = False
     seed: int = 0
+    granularity: str = "sector"
+    sector_size: int = 512
 
     def __post_init__(self) -> None:
         if self.after_writes < 0:
             raise ValueError("after_writes must be >= 0")
+        if self.granularity not in ("sector", "byte"):
+            raise ValueError(f"unknown tear granularity {self.granularity!r}")
+        if self.sector_size < 1:
+            raise ValueError("sector_size must be >= 1")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -106,11 +119,29 @@ class FaultInjector:
             return None
         if self.writes_seen >= self.crash_plan.after_writes:
             self.crashed = True
-            if self.crash_plan.torn and nbytes > 1:
-                return self._rng.randrange(1, nbytes)
+            if self.crash_plan.torn:
+                return self._tear_point(nbytes)
             return 0
         self.writes_seen += 1
         return None
+
+    def _tear_point(self, nbytes: int) -> int:
+        """Pick how many bytes of the crashing write survive.
+
+        Sector granularity: some strict prefix of whole sectors makes
+        it to the platter; a write within one sector is dropped whole
+        (sectors are the unit of atomicity).  Byte granularity: any
+        strict prefix, maximally adversarial.
+        """
+        plan = self.crash_plan
+        if plan.granularity == "sector":
+            sectors = -(-nbytes // plan.sector_size)  # ceil
+            if sectors <= 1:
+                return 0
+            return self._rng.randrange(1, sectors) * plan.sector_size
+        if nbytes > 1:
+            return self._rng.randrange(1, nbytes)
+        return 0
 
     def on_read(self, segment_no: int, data: bytes) -> bytes:
         """Gate one segment read, applying media faults.

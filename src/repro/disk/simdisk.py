@@ -51,6 +51,9 @@ class SimulatedDisk:
         self._segments: Dict[int, bytes] = {}
         self.write_count = 0
         self.read_count = 0
+        #: Set when :meth:`power_cycle` hands the platter to a
+        #: successor disk; all I/O through this handle then raises.
+        self._retired = False
 
     # ------------------------------------------------------------------
     # I/O
@@ -71,6 +74,7 @@ class SimulatedDisk:
                 f"segment write must be exactly {self.geometry.segment_size} "
                 f"bytes, got {len(data)}"
             )
+        self._check_retired(f"write to segment {segment_no}")
         surviving = self.injector.on_write(segment_no, len(data))
         if surviving is None:
             self.timer.access(offset, len(data))
@@ -101,6 +105,7 @@ class SimulatedDisk:
             raise ValueError(
                 f"write [{offset}, {offset + len(data)}) out of segment bounds"
             )
+        self._check_retired(f"write into segment {segment_no}")
         surviving = self.injector.on_write(segment_no, len(data))
         old = self._segments.get(
             segment_no, b"\x00" * self.geometry.segment_size
@@ -135,6 +140,7 @@ class SimulatedDisk:
             raise ValueError(
                 f"read [{offset}, {offset + nbytes}) out of segment bounds"
             )
+        self._check_retired(f"read of segment {segment_no}")
         base = self.geometry.segment_offset(segment_no)
         raw = self._segments.get(segment_no)
         if raw is None:
@@ -167,6 +173,7 @@ class SimulatedDisk:
         """
         if errors not in ("raise", "none"):
             raise ValueError(f"unknown errors policy {errors!r}")
+        self._check_retired("batched read")
         from repro.errors import MediaError
 
         geometry = self.geometry
@@ -206,8 +213,25 @@ class SimulatedDisk:
 
     @property
     def crashed(self) -> bool:
-        """True while simulated power is off."""
-        return self.injector.crashed
+        """True while simulated power is off (or this handle was
+        retired by a :meth:`power_cycle`)."""
+        return self._retired or self.injector.crashed
+
+    def _check_retired(self, what: str) -> None:
+        """Reject I/O through a handle superseded by power_cycle.
+
+        The survivor shares this handle's platter dict and injector;
+        without this gate, clearing the injector's ``crashed`` flag
+        for the survivor would silently resurrect the pre-crash
+        handle, and writes through it would corrupt the survivor's
+        platter underneath it.
+        """
+        if self._retired:
+            from repro.errors import DiskCrashedError
+
+            raise DiskCrashedError(
+                f"{what} through a disk handle retired by power_cycle()"
+            )
 
     def power_cycle(self) -> "SimulatedDisk":
         """Restore power after a crash.
@@ -215,7 +239,10 @@ class SimulatedDisk:
         Returns a fresh :class:`SimulatedDisk` over the *same*
         surviving bytes with a fresh clock position, modelling a
         reboot: all in-memory state of the logical disk is gone, only
-        platter contents remain.
+        platter contents remain.  This handle is *retired*: it shares
+        the survivor's platter and fault injector, so any further I/O
+        through it raises :class:`DiskCrashedError` (power-cycling it
+        again is allowed and yields another fresh view).
         """
         self.injector.power_cycle()
         survivor = SimulatedDisk(
@@ -225,6 +252,7 @@ class SimulatedDisk:
             injector=self.injector,
         )
         survivor._segments = self._segments
+        self._retired = True
         return survivor
 
     # ------------------------------------------------------------------
@@ -312,7 +340,10 @@ class SimulatedDisk:
             )
             disk = cls(geometry, clock=clock, model=model)
             for _ in range(count):
-                (seg,) = struct.unpack("<I", image.read(4))
+                entry = image.read(4)
+                if len(entry) != 4:
+                    raise CorruptionError(f"{path}: truncated segment index")
+                (seg,) = struct.unpack("<I", entry)
                 data = image.read(segment_size)
                 if len(data) != segment_size:
                     raise CorruptionError(f"{path}: truncated segment {seg}")

@@ -58,6 +58,22 @@ class MediaError(LDError):
     """A (partial) media failure corrupted the requested sectors."""
 
 
+class UnrecoverableBlockError(MediaError):
+    """A block's data is gone: its segment failed and no surviving
+    copy exists in the cache, the current buffer, or older log
+    segments.  Subclasses :class:`MediaError` so existing media-fault
+    handlers still catch it, while clients that care can distinguish
+    "this read is degraded" from "this block is lost"."""
+
+    def __init__(self, block_id: int, segment: int) -> None:
+        self.block_id = block_id
+        self.segment = segment
+        super().__init__(
+            f"block {block_id} is unrecoverable: segment {segment} failed "
+            "and no surviving copy exists"
+        )
+
+
 class CorruptionError(LDError):
     """On-disk state failed validation (bad magic, checksum, format)."""
 

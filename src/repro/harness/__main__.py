@@ -18,10 +18,11 @@ from repro.harness.runner import (
     run_aru_latency_experiment,
     run_figure5,
     run_figure6,
+    run_scrub_experiment,
 )
 from repro.harness.variants import paper_geometry
 
-EXPERIMENTS = ("figure5", "figure6", "aru")
+EXPERIMENTS = ("figure5", "figure6", "aru", "scrub")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -71,6 +72,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({result.scaled_segments(500_000):.1f} segments per 500k; "
             "paper: 78.47 us, 24 segments)"
         )
+    if "scrub" in chosen:
+        print(run_scrub_experiment().summary)
     return 0
 
 

@@ -26,7 +26,6 @@ import dataclasses
 from typing import List, Optional
 
 from repro.core.versions import VersionState
-from repro.errors import CorruptionError
 from repro.ld.types import ARU_NONE, BlockId
 from repro.lld.segment import decode_segment
 from repro.lld.summary import EntryKind
@@ -39,6 +38,9 @@ class CleanReport:
     victims: List[int]
     blocks_copied: int
     segments_freed: int
+    #: Victims that turned out to be unreadable/corrupt; they were
+    #: handed to the scrubber instead of freed.
+    damaged: List[int] = dataclasses.field(default_factory=list)
 
 
 class SegmentCleaner:
@@ -60,12 +62,14 @@ class SegmentCleaner:
         age = max(1, self.lld._next_seq - seq)
         return -((1.0 - utilization) * age / (1.0 + utilization))
 
-    def select_victims(self, count: int) -> List[int]:
+    def select_victims(self, count: int, exclude: frozenset = frozenset()) -> List[int]:
         """Pick up to ``count`` victim segments by policy score."""
         candidates = []
         current = self.lld._buffer
         for seg, live, seq in self.lld.usage.dirty_segments():
             if current is not None and seg == current.segment_no:
+                continue
+            if seg in exclude:
                 continue
             # A fully live segment frees no space; copying it would
             # just thrash the log.
@@ -89,6 +93,7 @@ class SegmentCleaner:
         all_victims: list = []
         total_copied = 0
         total_freed = 0
+        damaged_all: set = set()
         while lld.usage.free_count < target_free:
             # Flushing first lands any pending commit records, which
             # is what makes checkpointing possible again.
@@ -99,7 +104,7 @@ class SegmentCleaner:
                 # evacuation copies would *consume* scarce space.
                 break
             needed = target_free - lld.usage.free_count
-            candidates = self.select_victims(needed)
+            candidates = self.select_victims(needed, exclude=frozenset(damaged_all))
             if not candidates:
                 break
             # Bound the evacuation volume by the workspace we have:
@@ -132,11 +137,30 @@ class SegmentCleaner:
                 # victims clustered on disk coalesce into sequential
                 # runs instead of paying one seek per segment.
                 bodies = lld.disk.read_many(
-                    [(seg, 0, lld.geometry.segment_size) for seg in victims]
+                    [(seg, 0, lld.geometry.segment_size) for seg in victims],
+                    errors="none",
                 )
                 copied = 0
+                damaged_now = []
                 for seg, raw in zip(victims, bodies):
-                    copied += self._evacuate(seg, raw)
+                    evacuated = (
+                        None if raw is None else self._evacuate(seg, raw)
+                    )
+                    if evacuated is None:
+                        # Unreadable or failing its CRC: not ours to
+                        # free — the scrubber must salvage what it can
+                        # and quarantine the segment.
+                        damaged_now.append(seg)
+                        continue
+                    copied += evacuated
+                if damaged_now:
+                    damaged_all.update(damaged_now)
+                    lld._scrub_pending.update(damaged_now)
+                    victims = [s for s in victims if s not in damaged_now]
+                    if not victims:
+                        # Every victim was damaged; retry with the
+                        # damaged set excluded from selection.
+                        continue
                 # Make the copies durable, then supersede the victims'
                 # summary history with a checkpoint; only then is
                 # freeing them safe.
@@ -159,13 +183,35 @@ class SegmentCleaner:
             total_freed += len(victims)
             if lld.usage.free_count <= free_before:
                 break  # no net progress: the survivors are too full
-        return CleanReport(all_victims, total_copied, total_freed)
+        if damaged_all:
+            # Salvage and quarantine the damaged victims now, while
+            # we still hold whatever free space the pass recovered.
+            # On a disk too full even for salvage copies, leave them
+            # pending for a later scrub.
+            from repro.errors import DiskFullError
+            from repro.lld.scrub import Scrubber
 
-    def _evacuate(self, seg: int, raw: Optional[bytes] = None) -> int:
+            was_cleaning = lld._cleaning
+            lld._cleaning = True
+            try:
+                Scrubber(lld).scrub(sorted(damaged_all))
+            except DiskFullError:
+                pass
+            finally:
+                lld._cleaning = was_cleaning
+        return CleanReport(
+            all_victims, total_copied, total_freed, sorted(damaged_all)
+        )
+
+    def _evacuate(self, seg: int, raw: Optional[bytes] = None) -> Optional[int]:
         """Copy every live block of ``seg`` into the current buffer.
 
         ``raw`` is the segment body when the caller already fetched it
-        (the batched victim read); otherwise it is read here.
+        (the batched victim read); otherwise it is read here.  Returns
+        the number of blocks copied, or None when the body fails
+        validation — a DIRTY segment only reaches the disk through a
+        successful write, so that means failed media, and the caller
+        must route the segment to the scrubber rather than free it.
         """
         lld = self.lld
         if raw is None:
@@ -173,9 +219,7 @@ class SegmentCleaner:
         lld.meter.charge("crc_kb_us", lld.geometry.segment_size / 1024.0)
         decoded = decode_segment(raw, lld.geometry, seg)
         if decoded is None:
-            raise CorruptionError(
-                f"cleaner picked segment {seg} but it fails validation"
-            )
+            return None
         lld.meter.charge("decode_entry_us", len(decoded.entries))
         copied = 0
         seen = set()

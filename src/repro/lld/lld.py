@@ -51,6 +51,8 @@ from repro.errors import (
     DiskCrashedError,
     DiskFullError,
     LDError,
+    MediaError,
+    UnrecoverableBlockError,
 )
 from repro.ld.interface import LogicalDisk
 from repro.ld.types import ARU_NONE, ARUId, BlockId, FIRST, ListId, PhysAddr, Predecessor
@@ -172,11 +174,24 @@ class LLD(LogicalDisk):
         self._last_read_key: Optional[Tuple[int, int]] = None
         self._lock = threading.RLock()
         self._buffer: Optional[SegmentBuffer] = None
+        #: Segments a foreground read or the cleaner found damaged;
+        #: the next :meth:`scrub` pass inspects them.
+        self._scrub_pending: Set[int] = set()
 
         # Statistics
         self.op_counts: Dict[str, int] = {}
         self.segments_flushed = 0
         self.cleanings = 0
+        self.scrub_stats: Dict[str, int] = {
+            "scrubs": 0,
+            "segments_quarantined": 0,
+            "blocks_salvaged": 0,
+            "blocks_salvaged_stale": 0,
+            "blocks_lost": 0,
+            "degraded_reads": 0,
+            "salvaged_reads": 0,
+            "unrecoverable_reads": 0,
+        }
 
         if not _defer_init:
             self._open_new_buffer()
@@ -465,7 +480,7 @@ class LLD(LogicalDisk):
             if data is not None:
                 return data
             if addr is not None:
-                return self._read_at(addr)
+                return self._read_at(addr, block_id)
             # Allocated but never written: fresh blocks read as zeros.
             return b"\x00" * self.geometry.block_size
 
@@ -511,6 +526,10 @@ class LLD(LogicalDisk):
                 if cached is not None:
                     results[index] = cached
                     continue
+                if self.usage.state(addr.segment) is SegmentState.QUARANTINED:
+                    # Never trust quarantined media; salvage or raise.
+                    results[index] = self._degraded_read(addr, block_id)
+                    continue
                 pending.setdefault(addr, []).append(index)
             if pending:
                 addrs = list(pending)
@@ -518,13 +537,22 @@ class LLD(LogicalDisk):
                     [
                         (addr.segment, addr.slot * block_size, block_size)
                         for addr in addrs
-                    ]
+                    ],
+                    errors="none",
                 )
                 for addr, raw in zip(addrs, raws):
-                    self.cache.put(addr, raw)
+                    if raw is None:
+                        # Media fault mid-batch: salvage (or raise
+                        # UnrecoverableBlockError) per block, exactly
+                        # like the single-read path would.
+                        raw = self._degraded_read(
+                            addr, block_ids[pending[addr][0]]
+                        )
+                    else:
+                        self.cache.put(addr, raw)
+                        self._last_read_key = (addr.segment, addr.slot)
                     for index in pending[addr]:
                         results[index] = raw
-                    self._last_read_key = (addr.segment, addr.slot)
             return results  # type: ignore[return-value]
 
     # ==================================================================
@@ -1221,41 +1249,114 @@ class LLD(LogicalDisk):
     # The read path: cache and readahead
     # ==================================================================
 
-    def _read_at(self, addr: PhysAddr) -> bytes:
-        """Fetch block data at a physical address."""
+    def _read_at(self, addr: PhysAddr, block_id: Optional[BlockId] = None) -> bytes:
+        """Fetch block data at a physical address.
+
+        On a media fault (or an address tombstoned into a quarantined
+        segment) the read degrades: salvage a surviving copy via
+        :meth:`_degraded_read`, or raise
+        :class:`~repro.errors.UnrecoverableBlockError`.
+        """
         if self._buffer is not None and addr.segment == self._buffer.segment_no:
             self.meter.charge("table_access_us")
             return self._buffer.get_slot(addr.slot)
         cached = self.cache.get(addr)
         if cached is not None:
             return cached
+        if self.usage.state(addr.segment) is SegmentState.QUARANTINED:
+            # The platter may return garbage for a quarantined segment
+            # (silent corruption); never read through the address.
+            return self._degraded_read(addr, block_id)
         key = (addr.segment, addr.slot)
         offset = addr.slot * self.geometry.block_size
         sequential = (
             self.readahead
             and self._last_read_key == (addr.segment, addr.slot - 1)
         )
-        if sequential:
-            total = self.usage.total_slots(addr.segment)
-            # Readahead window: bounded so the cost quantum stays
-            # small relative to a phase (a full-segment fetch would
-            # make throughput jumpy at small benchmark scales).
-            span = max(1, min(32, total - addr.slot))
-            raw = self.disk.read(
-                addr.segment, offset, span * self.geometry.block_size
-            )
-            for index in range(span):
-                chunk = raw[
-                    index * self.geometry.block_size : (index + 1)
-                    * self.geometry.block_size
-                ]
-                self.cache.put(PhysAddr(addr.segment, addr.slot + index), chunk)
-            data = raw[: self.geometry.block_size]
-        else:
-            data = self.disk.read(addr.segment, offset, self.geometry.block_size)
-            self.cache.put(addr, data)
+        try:
+            if sequential:
+                total = self.usage.total_slots(addr.segment)
+                # Readahead window: bounded so the cost quantum stays
+                # small relative to a phase (a full-segment fetch would
+                # make throughput jumpy at small benchmark scales).
+                span = max(1, min(32, total - addr.slot))
+                raw = self.disk.read(
+                    addr.segment, offset, span * self.geometry.block_size
+                )
+                for index in range(span):
+                    chunk = raw[
+                        index * self.geometry.block_size : (index + 1)
+                        * self.geometry.block_size
+                    ]
+                    self.cache.put(
+                        PhysAddr(addr.segment, addr.slot + index), chunk
+                    )
+                data = raw[: self.geometry.block_size]
+            else:
+                data = self.disk.read(
+                    addr.segment, offset, self.geometry.block_size
+                )
+                self.cache.put(addr, data)
+        except MediaError:
+            return self._degraded_read(addr, block_id)
         self._last_read_key = key
         return data
+
+    def _degraded_read(self, addr: PhysAddr, block_id: Optional[BlockId]) -> bytes:
+        """Media-fault fallback for a foreground read.
+
+        Marks the segment for the next scrub pass, then tries to find
+        a surviving copy of the block in older log segments (the cache
+        and buffer were already consulted by the caller).  The salvage
+        is cached under the failed address so repeated reads do not
+        rescan the log.  Raises
+        :class:`~repro.errors.UnrecoverableBlockError` when every copy
+        is gone.
+        """
+        self._count("degraded_reads")
+        self.scrub_stats["degraded_reads"] += 1
+        if self.usage.state(addr.segment) is SegmentState.DIRTY:
+            self._scrub_pending.add(addr.segment)
+        if block_id is None:
+            raise MediaError(
+                f"segment {addr.segment} failed and the block identity "
+                "is unknown; cannot salvage"
+            )
+        from repro.lld.scrub import find_log_copy
+
+        found = find_log_copy(self, block_id, exclude={addr.segment})
+        if found is None:
+            self.scrub_stats["unrecoverable_reads"] += 1
+            raise UnrecoverableBlockError(int(block_id), addr.segment)
+        data, _seq = found
+        self.scrub_stats["salvaged_reads"] += 1
+        self.cache.put(addr, data)
+        return data
+
+    def scrub(self, segments: Optional[Sequence[int]] = None):
+        """Run a scrub pass: validate, salvage, quarantine.
+
+        ``segments`` limits the pass (e.g. ``lld._scrub_pending``
+        after a degraded read); by default the whole log is swept.
+        Returns a :class:`~repro.lld.scrub.ScrubReport`.
+        """
+        from repro.lld.scrub import Scrubber
+
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("scrub")
+            report = Scrubber(self).scrub(segments)
+            self.scrub_stats["scrubs"] += 1
+            self.scrub_stats["segments_quarantined"] += (
+                report.segments_quarantined
+            )
+            self.scrub_stats["blocks_salvaged"] += report.blocks_salvaged
+            self.scrub_stats["blocks_salvaged_stale"] += (
+                report.blocks_salvaged_stale
+            )
+            self.scrub_stats["blocks_lost"] += report.blocks_lost
+            return report
 
     # ==================================================================
     # Checkpointing and bookkeeping
@@ -1318,5 +1419,12 @@ class LLD(LogicalDisk):
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "free_segments": self.usage.free_count,
+            "scrub": {
+                **self.scrub_stats,
+                "pending_segments": len(self._scrub_pending),
+                "quarantined_segments": len(
+                    self.usage.quarantined_segments()
+                ),
+            },
             "disk": self.disk.stats(),
         }

@@ -58,7 +58,7 @@ from repro.lld.checkpoint import CheckpointData
 from repro.lld.lld import LLD
 from repro.lld.segment import DecodedSegment, decode_segment, parse_trailer
 from repro.lld.summary import EntryKind, SummaryEntry
-from repro.lld.usage import SegmentState
+from repro.lld.usage import QUARANTINE_SEQ, SegmentState
 
 
 @dataclasses.dataclass
@@ -70,6 +70,10 @@ class RecoveryReport:
     segments_replayed: int = 0
     segments_invalid: int = 0
     segments_unreadable: int = 0
+    #: Segments retired from use: unreadable media found during this
+    #: scan, plus segments the checkpoint roster records as
+    #: quarantined by an earlier scrub (the QUARANTINE_SEQ sentinel).
+    segments_quarantined: int = 0
     entries_replayed: int = 0
     entries_discarded: int = 0
     replay_conflicts: int = 0
@@ -282,7 +286,12 @@ def _scan_serial(
     ckpt: CheckpointData,
     reserved: int,
     report: RecoveryReport,
-) -> Tuple[List[DecodedSegment], Dict[int, Tuple[int, int, int]], List[int]]:
+) -> Tuple[
+    List[DecodedSegment],
+    Dict[int, Tuple[int, int, int]],
+    List[int],
+    List[int],
+]:
     """One-segment-at-a-time scan: trailer peek, then body decode."""
     geometry = disk.geometry
     clock = disk.clock
@@ -290,27 +299,36 @@ def _scan_serial(
     replayable: List[DecodedSegment] = []
     ckpt_segments: Dict[int, Tuple[int, int, int]] = {}
     invalid: List[int] = []
+    quarantined: List[int] = []
     decode_us = 0.0
     scan_start = clock.now_us
     for seg in range(reserved, geometry.num_segments):
         report.segments_scanned += 1
+        roster = ckpt.segments.get(seg)
+        if roster is not None and roster[0] == QUARANTINE_SEQ:
+            # An earlier scrub retired this segment; whatever the
+            # platter holds now must never be trusted — don't read it.
+            quarantined.append(seg)
+            continue
         try:
             trailer_seq = peek_trailer_seq(disk, seg)
         except MediaError:
+            # The hardware reports the fault, so the retirement can be
+            # made permanent (unlike a failed CRC, which could just be
+            # a torn rewrite of a freed segment).
             report.segments_unreadable += 1
-            invalid.append(seg)
+            quarantined.append(seg)
             continue
         if trailer_seq is None:
             report.segments_invalid += 1
             invalid.append(seg)
             continue
-        roster = ckpt.segments.get(seg)
         if trailer_seq > ckpt.last_log_seq:
             try:
                 raw = disk.read_segment(seg)
             except MediaError:
                 report.segments_unreadable += 1
-                invalid.append(seg)
+                quarantined.append(seg)
                 continue
             mark = clock.now_us
             decoded = decode_segment(raw, geometry, seg)
@@ -331,7 +349,7 @@ def _scan_serial(
             invalid.append(seg)
     report.phase_us["scan"] = clock.now_us - scan_start - decode_us
     report.phase_us["decode"] = decode_us
-    return replayable, ckpt_segments, invalid
+    return replayable, ckpt_segments, invalid, quarantined
 
 
 def _scan_batched(
@@ -341,7 +359,12 @@ def _scan_batched(
     reserved: int,
     report: RecoveryReport,
     workers: int,
-) -> Tuple[List[DecodedSegment], Dict[int, Tuple[int, int, int]], List[int]]:
+) -> Tuple[
+    List[DecodedSegment],
+    Dict[int, Tuple[int, int, int]],
+    List[int],
+    List[int],
+]:
     """Batched, pipelined scan.
 
     Phase 1 (scan): one :meth:`read_many` batch fetches either every
@@ -365,6 +388,15 @@ def _scan_batched(
     segs = list(range(reserved, geometry.num_segments))
     report.segments_scanned += len(segs)
 
+    # Segments the checkpoint roster records as quarantined are never
+    # read: whatever the platter holds must not be trusted.
+    status: Dict[int, str] = {}
+    for seg in segs:
+        roster = ckpt.segments.get(seg)
+        if roster is not None and roster[0] == QUARANTINE_SEQ:
+            status[seg] = "quarantined"
+    scan_segs = [seg for seg in segs if seg not in status]
+
     # Streaming a segment costs its transfer time; skipping to the
     # next trailer costs a seek.  When the transfer is cheaper, the
     # fastest scan reads *everything* in one sequential sweep (and the
@@ -378,9 +410,9 @@ def _scan_batched(
     trailer_by_seg: Dict[int, Optional[bytes]] = {}
     if sweep_bodies:
         results = disk.read_many(
-            [(seg, 0, segment_size) for seg in segs], errors="none"
+            [(seg, 0, segment_size) for seg in scan_segs], errors="none"
         )
-        for seg, body in zip(segs, results):
+        for seg, body in zip(scan_segs, results):
             if body is not None:
                 bodies[seg] = body
                 trailer_by_seg[seg] = body[segment_size - TRAILER_SIZE :]
@@ -388,22 +420,27 @@ def _scan_batched(
                 trailer_by_seg[seg] = None
     else:
         results = disk.read_many(
-            [(seg, segment_size - TRAILER_SIZE, TRAILER_SIZE) for seg in segs],
+            [
+                (seg, segment_size - TRAILER_SIZE, TRAILER_SIZE)
+                for seg in scan_segs
+            ],
             errors="none",
         )
-        for seg, raw in zip(segs, results):
+        for seg, raw in zip(scan_segs, results):
             trailer_by_seg[seg] = raw
 
     # Classify in ascending segment order (the order determines the
     # rebuilt free list, so it must match the serial scan).
     ckpt_segments: Dict[int, Tuple[int, int, int]] = {}
-    status: Dict[int, str] = {}
     candidates: List[int] = []
-    for seg in segs:
+    for seg in scan_segs:
         raw_trailer = trailer_by_seg[seg]
         if raw_trailer is None:
+            # Hardware-reported fault: retire the segment permanently
+            # (a failed CRC could just be a torn rewrite; an I/O error
+            # cannot).
             report.segments_unreadable += 1
-            status[seg] = "invalid"
+            status[seg] = "quarantined"
             continue
         parsed = parse_trailer(raw_trailer)
         if parsed is None:
@@ -432,7 +469,7 @@ def _scan_batched(
         for seg, body in zip(missing, results):
             if body is None:
                 report.segments_unreadable += 1
-                status[seg] = "invalid"
+                status[seg] = "quarantined"
             else:
                 bodies[seg] = body
     decodable = [seg for seg in candidates if seg in bodies]
@@ -474,7 +511,8 @@ def _scan_batched(
     report.phase_us["decode"] = clock.now_us - decode_start
 
     invalid = [seg for seg in segs if status.get(seg) == "invalid"]
-    return replayable, ckpt_segments, invalid
+    quarantined = [seg for seg in segs if status.get(seg) == "quarantined"]
+    return replayable, ckpt_segments, invalid, quarantined
 
 
 def recover(
@@ -523,13 +561,14 @@ def recover(
     # replay work.
     reserved = lld.checkpoints.reserved_segments
     if parallel:
-        replayable, ckpt_segments, invalid = _scan_batched(
+        replayable, ckpt_segments, invalid, quarantined = _scan_batched(
             lld, disk, ckpt, reserved, report, workers
         )
     else:
-        replayable, ckpt_segments, invalid = _scan_serial(
+        replayable, ckpt_segments, invalid, quarantined = _scan_serial(
             lld, disk, ckpt, reserved, report
         )
+    report.segments_quarantined = len(quarantined)
     replayable.sort(key=lambda d: d.seq)
 
     # ---- pass 1: committed ARUs ------------------------------------
@@ -598,6 +637,11 @@ def recover(
     max_seq = ckpt.last_log_seq
     for seg in invalid:
         lld.usage.restore(seg, SegmentState.FREE, -1, 0, 0)
+    for seg in quarantined:
+        # Failed media stays retired; addresses still pointing here
+        # are tombstones for lost blocks (reads raise
+        # UnrecoverableBlockError instead of returning garbage).
+        lld.usage.restore(seg, SegmentState.QUARANTINED, -1, 0, 0)
     for seg, (seq, _live, total) in ckpt_segments.items():
         lld.usage.restore(
             seg, SegmentState.DIRTY, seq, live_counts.get(seg, 0), total

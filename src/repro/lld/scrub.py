@@ -1,0 +1,283 @@
+"""Segment scrub & repair: surviving partial media failures online.
+
+The paper motivates ARUs as protection against power failures *and*
+partial media failures (Section 3).  Crash recovery already tolerates
+damaged segments by treating them as free space, but a *live* system
+needs more: blocks whose only on-disk copy sits in a failed segment
+should be re-homed while surviving copies still exist, and the failed
+segment must never be reused.
+
+:class:`Scrubber` sweeps the log with one batched
+:meth:`~repro.disk.simdisk.SimulatedDisk.read_many` scan, validating
+that every on-disk log segment is readable and that its trailer CRC
+still covers its body.  A DIRTY segment only ever reaches the platter
+through a successful whole-segment write, so a failed CRC here is
+media corruption, not a torn write — recovery cannot make that call
+(a reused-then-torn segment looks the same to it), but the live usage
+table can.
+
+For every damaged segment the scrubber salvages live blocks, in
+order of preference:
+
+1. the block cache (write-behind entries are byte-identical copies),
+2. the current in-memory segment buffer,
+3. an older persistent copy still in a readable log segment (stale
+   data — better than nothing, and counted separately),
+
+relocates them through the cleaner's relocation path (append to the
+current buffer, repoint the version record), and finally quarantines
+the segment: :class:`~repro.lld.usage.SegmentUsage` drops it from
+allocation and cleaning forever, and the checkpoint roster records it
+with :data:`~repro.lld.usage.QUARANTINE_SEQ` so the retirement
+survives crashes.  Blocks with no surviving copy are *lost*: their
+addresses keep pointing into the quarantined segment as tombstones,
+and reading them raises :class:`~repro.errors.UnrecoverableBlockError`.
+
+A persistent copy superseded by a committed (post-EndARU) version is
+not relocated, mirroring the cleaner's rule: the newer copy is already
+in the stream ahead of us.  Note that a cache entry seeded by an
+earlier degraded-read salvage may itself be a stale copy; the scrubber
+cannot distinguish it from a pristine write-behind entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.versions import VersionState
+from repro.errors import MediaError
+from repro.ld.types import ARU_NONE, BlockId
+from repro.lld.segment import decode_segment
+from repro.lld.summary import EntryKind
+from repro.lld.usage import SegmentState
+
+
+@dataclasses.dataclass
+class ScrubReport:
+    """What one scrub pass found and repaired."""
+
+    segments_checked: int = 0
+    segments_damaged: int = 0
+    segments_quarantined: int = 0
+    #: Byte-identical salvages (cache or current buffer).
+    blocks_salvaged: int = 0
+    #: Salvaged from an older persistent copy in the log (stale data).
+    blocks_salvaged_stale: int = 0
+    #: Persistent copies a newer committed version already supersedes.
+    blocks_superseded: int = 0
+    blocks_lost: int = 0
+    #: seg -> "unreadable" | "corrupt" for every damaged segment.
+    damaged: Dict[int, str] = dataclasses.field(default_factory=dict)
+    lost_blocks: List[int] = dataclasses.field(default_factory=list)
+    #: True when the pass ended with a checkpoint persisting the
+    #: quarantine roster (requires a checkpoint-safe moment).
+    checkpointed: bool = False
+
+
+def find_log_copy(
+    lld, block_id: BlockId, exclude: Set[int]
+) -> Optional[Tuple[bytes, int]]:
+    """Search the log for the newest readable copy of ``block_id``.
+
+    Walks DIRTY segments newest-first, skipping ``exclude`` (the
+    damaged segments); the first decodable segment containing a WRITE
+    entry for the block wins (the last such entry within a segment is
+    the newest).  Entries tagged with an ARU whose commit record is
+    unknown are ignored — salvage must never resurrect uncommitted
+    data.  Returns ``(data, seq)`` or None.  Charges CRC and decode
+    CPU per segment inspected: degraded reads are expensive, which is
+    what a real implementation would pay too.
+    """
+    candidates = sorted(
+        (
+            (seq, seg)
+            for seg, _live, seq in lld.usage.dirty_segments()
+            if seg not in exclude
+        ),
+        reverse=True,
+    )
+    geometry = lld.geometry
+    for seq, seg in candidates:
+        try:
+            raw = lld.disk.read_segment(seg)
+        except MediaError:
+            lld._scrub_pending.add(seg)
+            continue
+        lld.meter.charge("crc_kb_us", geometry.segment_size / 1024.0)
+        decoded = decode_segment(raw, geometry, seg)
+        if decoded is None:
+            lld._scrub_pending.add(seg)
+            continue
+        lld.meter.charge("decode_entry_us", len(decoded.entries))
+        slot: Optional[int] = None
+        for entry in decoded.entries:
+            if entry.kind is not EntryKind.WRITE or entry.a != int(block_id):
+                continue
+            tag = entry.aru_tag
+            if (
+                tag
+                and tag not in lld._commit_on_disk
+                and tag not in lld._pending_commit_arus
+            ):
+                continue
+            slot = entry.b
+        if slot is not None:
+            return decoded.slot_data(slot), seq
+    return None
+
+
+class Scrubber:
+    """Sweeps the log, salvages live blocks, quarantines bad media."""
+
+    def __init__(self, lld) -> None:
+        self.lld = lld
+
+    def scrub(self, segments: Optional[Iterable[int]] = None) -> ScrubReport:
+        """Check ``segments`` (default: every on-disk log segment).
+
+        Damaged segments are repaired and quarantined as described in
+        the module docstring.  Safe to call at any time; relocations
+        may raise :class:`~repro.errors.DiskFullError` on a disk with
+        no workspace left (retry after deleting data).
+        """
+        lld = self.lld
+        with lld._lock:
+            return self._scrub_locked(segments)
+
+    def _scrub_locked(self, segments: Optional[Iterable[int]]) -> ScrubReport:
+        lld = self.lld
+        report = ScrubReport()
+        geometry = lld.geometry
+        if segments is None:
+            targets = [seg for seg, _live, _seq in lld.usage.dirty_segments()]
+            # A full sweep covers everything that can still need a
+            # scrub; pending marks on freed/quarantined segments are
+            # stale.
+            lld._scrub_pending.intersection_update(targets)
+        else:
+            targets = sorted(
+                seg
+                for seg in set(segments)
+                if lld.usage.state(seg) is SegmentState.DIRTY
+            )
+        # Requested segments that are no longer DIRTY (cleaned or
+        # already quarantined) need no scrub; drop any pending marks.
+        if segments is not None:
+            for seg in set(segments) - set(targets):
+                lld._scrub_pending.discard(seg)
+        if not targets:
+            return report
+
+        # One scatter-gather read fetches every body; holes are the
+        # unreadable segments.
+        bodies = lld.disk.read_many(
+            [(seg, 0, geometry.segment_size) for seg in targets],
+            errors="none",
+        )
+        for seg, raw in zip(targets, bodies):
+            report.segments_checked += 1
+            if raw is None:
+                report.damaged[seg] = "unreadable"
+                continue
+            lld.meter.charge("crc_kb_us", geometry.segment_size / 1024.0)
+            decoded = decode_segment(raw, geometry, seg)
+            if decoded is None:
+                report.damaged[seg] = "corrupt"
+            else:
+                lld.meter.charge("decode_entry_us", len(decoded.entries))
+                lld._scrub_pending.discard(seg)
+        report.segments_damaged = len(report.damaged)
+        if not report.damaged:
+            return report
+
+        self._repair(set(report.damaged), report)
+
+        # Quarantine after salvage (the cache copies are a salvage
+        # source), then make the relocations durable and persist the
+        # quarantine roster when a checkpoint is currently allowed.
+        for seg in sorted(report.damaged):
+            lld.cache.invalidate_segment(seg)
+            lld.usage.quarantine(seg)
+            lld._scrub_pending.discard(seg)
+            report.segments_quarantined += 1
+        lld.flush()
+        if lld.checkpoint_safe():
+            lld._ckpt_seq += 1
+            lld.checkpoints.write(lld._snapshot_checkpoint())
+            report.checkpointed = True
+        return report
+
+    def _repair(self, damaged: Set[int], report: ScrubReport) -> None:
+        """Salvage and relocate every live block of ``damaged``."""
+        lld = self.lld
+        for block_id, root in list(lld.bmap.items()):
+            committed = root.find(VersionState.COMMITTED, ARU_NONE)
+            persistent = root.persistent
+            if (
+                committed is not None
+                and committed.address is not None
+                and committed.address.segment in damaged
+            ):
+                self._salvage(
+                    block_id,
+                    committed,
+                    aru_tag=int(committed.origin_aru),
+                    allow_stale=False,
+                    report=report,
+                )
+            if (
+                persistent is not None
+                and persistent.address is not None
+                and persistent.address.segment in damaged
+            ):
+                if committed is not None:
+                    # The cleaner's rule: a committed record means a
+                    # newer copy is already in the stream ahead of us.
+                    # Relocating the old copy would collide with it in
+                    # the buffer's per-block slot.
+                    report.blocks_superseded += 1
+                    continue
+                self._salvage(
+                    block_id,
+                    persistent,
+                    aru_tag=0,
+                    allow_stale=True,
+                    report=report,
+                )
+
+    def _salvage(
+        self, block_id: BlockId, version, aru_tag: int, allow_stale: bool,
+        report: ScrubReport,
+    ) -> None:
+        """Find a surviving copy of one version and relocate it."""
+        lld = self.lld
+        addr = version.address
+        stale = False
+        data = lld.cache.get(addr)
+        if data is None and (
+            lld._buffer is not None and lld._buffer.contains_block(block_id)
+        ):
+            data = lld._buffer.get_block(block_id)
+        if data is None and allow_stale:
+            found = find_log_copy(lld, block_id, exclude=set(report.damaged))
+            if found is not None:
+                data, _seq = found
+                stale = True
+        if data is None:
+            report.blocks_lost += 1
+            report.lost_blocks.append(int(block_id))
+            return
+        # The cleaner's relocation path: append to the current buffer
+        # and repoint the version.  An uncommitted tag is re-attached
+        # so recovery keeps honoring the original commit record.
+        ts = lld.clock.tick()
+        new_addr = lld._append_block_data(block_id, data, aru_tag, ts)
+        version.address = new_addr
+        if version.state is VersionState.COMMITTED:
+            # Folding must wait until the relocated copy is durable.
+            version.pending_segment = lld._buffer.seq
+        if stale:
+            report.blocks_salvaged_stale += 1
+        else:
+            report.blocks_salvaged += 1

@@ -22,6 +22,14 @@ class SegmentState(enum.Enum):
     FREE = "free"
     CURRENT = "current"  # target of the in-memory buffer
     DIRTY = "dirty"  # on disk, part of the log
+    QUARANTINED = "quarantined"  # failed media; never reused
+
+
+#: Sentinel sequence number marking a quarantined segment in the
+#: checkpoint's segment roster.  The roster's seq field is an
+#: unsigned 64-bit slot, and real log sequence numbers start at 1,
+#: so the all-ones value is wire-compatible with existing images.
+QUARANTINE_SEQ = (1 << 64) - 1
 
 
 class SegmentUsage:
@@ -83,10 +91,38 @@ class SegmentUsage:
         self._live[seg] = live_slots
         self._total[seg] = live_slots
 
+    def quarantine(self, seg: int) -> None:
+        """Retire a failed segment permanently.
+
+        A quarantined segment is never handed out by :meth:`take_free`
+        (allocation checks the state), never yielded by
+        :meth:`dirty_segments` (so the cleaner ignores it), and
+        :meth:`free_segment` refuses it.  Quarantine persists across
+        recovery via the checkpoint roster (:data:`QUARANTINE_SEQ`).
+        """
+        if self._state[seg] is SegmentState.RESERVED:
+            raise ValueError(f"segment {seg} is reserved for checkpoints")
+        if self._state[seg] is SegmentState.FREE:
+            self._free_count -= 1  # lazily dropped from _free by state
+        self._state[seg] = SegmentState.QUARANTINED
+        self._live[seg] = 0
+        self._total[seg] = 0
+        self._seq[seg] = -1
+
+    def quarantined_segments(self) -> List[int]:
+        """Segments retired by media failure, ascending."""
+        return [
+            seg
+            for seg in range(self.num_segments)
+            if self._state[seg] is SegmentState.QUARANTINED
+        ]
+
     def free_segment(self, seg: int) -> None:
         """Return a cleaned (or invalid) segment to the free pool."""
         if self._state[seg] is SegmentState.RESERVED:
             raise ValueError(f"segment {seg} is reserved for checkpoints")
+        if self._state[seg] is SegmentState.QUARANTINED:
+            raise ValueError(f"segment {seg} is quarantined (failed media)")
         if self._state[seg] is not SegmentState.FREE:
             self._free_count += 1
         self._state[seg] = SegmentState.FREE
@@ -158,9 +194,13 @@ class SegmentUsage:
 
     def snapshot(self) -> Dict[int, Tuple[str, int, int]]:
         """Serializable view: seg -> (seq, live, total) for on-disk log
-        segments (used by checkpoints)."""
+        segments (used by checkpoints).  Quarantined segments appear
+        with the :data:`QUARANTINE_SEQ` sentinel so the retirement
+        survives crashes and recoveries."""
         result = {}
         for seg in range(self.reserved_count, self.num_segments):
             if self._state[seg] is SegmentState.DIRTY:
                 result[seg] = (self._seq[seg], self._live[seg], self._total[seg])
+            elif self._state[seg] is SegmentState.QUARANTINED:
+                result[seg] = (QUARANTINE_SEQ, 0, 0)
         return result

@@ -55,6 +55,15 @@ def _verify_segment_states(lld) -> List[str]:
     leaked = [seg for seg in current if seg not in expected]
     if leaked:
         problems.append(f"leaked CURRENT segments: {leaked}")
+    if (
+        lld._buffer is not None
+        and lld.usage.state(lld._buffer.segment_no)
+        is SegmentState.QUARANTINED
+    ):
+        problems.append(
+            f"current buffer targets quarantined segment "
+            f"{lld._buffer.segment_no}"
+        )
     return problems
 
 
@@ -171,6 +180,11 @@ def _verify_usage(lld) -> List[str]:
         if addr is None:
             continue
         state = lld.usage.state(addr.segment)
+        if state is SegmentState.QUARANTINED:
+            # A tombstone for a lost block: the data died with the
+            # segment, the address stays so reads raise the precise
+            # UnrecoverableBlockError.  Not counted live.
+            continue
         current = (
             lld._buffer is not None and addr.segment == lld._buffer.segment_no
         )

@@ -17,6 +17,7 @@ from repro.lld.checkpoint import CheckpointManager, default_slot_segments
 from repro.lld.recovery import peek_trailer_seq, recover
 from repro.lld.segment import decode_segment
 from repro.lld.summary import EntryKind
+from repro.lld.usage import QUARANTINE_SEQ
 
 
 def describe_disk(disk: SimulatedDisk) -> str:
@@ -77,9 +78,25 @@ def describe_segments(
     )
     reserved = 2 * slots
     geo = disk.geometry
+    # The checkpoint roster records quarantined segments with a
+    # sentinel sequence so the scrubber's verdict survives restarts;
+    # surface that here rather than re-reading failed media.
+    quarantined = set()
+    try:
+        roster = CheckpointManager(disk, slots).load().segments
+        quarantined = {
+            seg for seg, (seq, _l, _t) in roster.items()
+            if seq == QUARANTINE_SEQ
+        }
+    except LDError:
+        pass
     lines: List[str] = [
         f"log segments (skipping {reserved} reserved checkpoint segments):"
     ]
+    if quarantined:
+        lines.append(
+            f"  quarantined by scrub: {sorted(quarantined)}"
+        )
     shown = 0
     for seg in range(reserved, geo.num_segments):
         if seg not in disk._segments:
@@ -87,6 +104,12 @@ def describe_segments(
         if limit is not None and shown >= limit:
             lines.append(f"  ... (limited to {limit} segments)")
             break
+        if seg in quarantined:
+            lines.append(
+                f"  segment {seg:4d}: QUARANTINED (scrubbed media fault)"
+            )
+            shown += 1
+            continue
         try:
             seq = peek_trailer_seq(disk, seg)
         except MediaError:

@@ -153,6 +153,85 @@ class TestDiskReadMany:
         assert stats["batched_runs"] >= 1
 
 
+class TestReadManyMixedFaults:
+    """``errors="none"`` under a mix of unreadable and corrupt media."""
+
+    def _faulted_disk(self):
+        injector = FaultInjector(
+            media_faults={
+                2: MediaFault(2, "unreadable"),
+                5: MediaFault(5, "corrupt"),
+                7: MediaFault(7, "unreadable"),
+            }
+        )
+        disk = SimulatedDisk(
+            DiskGeometry.small(num_segments=16), injector=injector
+        )
+        seg_size = disk.geometry.segment_size
+        for seg in range(8):
+            disk.write_segment(seg, bytes([seg]) * seg_size)
+        return disk
+
+    def test_holes_keep_request_order(self):
+        disk = self._faulted_disk()
+        out = disk.read_many(
+            [(seg, 0, 4) for seg in (7, 0, 2, 5, 1)], errors="none"
+        )
+        # Unreadable segments are None holes at their request index;
+        # corrupt segments return (flipped) bytes, not holes.
+        assert out[0] is None and out[2] is None
+        assert out[1] == b"\x00" * 4
+        assert out[3] == b"\xfa" * 4  # ~0x05: bit-flipped, silently
+        assert out[4] == b"\x01" * 4
+
+    def test_faulted_requests_not_counted_as_reads(self):
+        disk = self._faulted_disk()
+        before = disk.read_count
+        disk.read_many(
+            [(0, 0, 4), (2, 0, 4), (7, 0, 4), (1, 0, 4)], errors="none"
+        )
+        stats = disk.stats()
+        # Only the two successful requests transfer data: the holes
+        # charge neither the read counter nor the timing batch.
+        assert disk.read_count - before == 2
+        assert stats["batched_requests"] == 2
+
+    def test_all_holes_charges_no_batch(self):
+        disk = self._faulted_disk()
+        out = disk.read_many([(2, 0, 4), (7, 0, 4)], errors="none")
+        assert out == [None, None]
+        assert disk.stats()["read_batches"] == 0
+
+    def test_corrupt_read_is_deterministic(self):
+        disk = self._faulted_disk()
+        a = disk.read_many([(5, 0, 16)], errors="none")
+        b = disk.read_many([(5, 0, 16)], errors="none")
+        assert a == b
+
+    def test_recovery_classifier_consumes_holes(self):
+        """An unreadable segment surfaces as a quarantined segment in
+        the recovery report, not as an aborted scan."""
+        from repro.lld.recovery import recover
+
+        disk, lld = small_lld(num_segments=24)
+        build_sequential_blocks(lld, 40)
+        victim = next(
+            seg for seg, _live, _seq in lld.usage.dirty_segments()
+        )
+        disk.injector.add_media_fault(MediaFault(victim, "unreadable"))
+        survivor = disk.power_cycle()
+        for parallel in (False, True):
+            recovered, report = recover(
+                survivor,
+                checkpoint_slot_segments=1,
+                parallel=parallel,
+            )
+            assert report.segments_unreadable == 1
+            assert report.segments_quarantined == 1
+            assert victim in recovered.usage.quarantined_segments()
+            survivor = survivor.power_cycle()
+
+
 def build_sequential_blocks(lld, count):
     """Allocate, chain, and write ``count`` blocks in log order."""
     lst = lld.new_list()

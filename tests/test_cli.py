@@ -65,7 +65,9 @@ class TestWriteAt:
         disk = SimulatedDisk(
             DiskGeometry.small(num_segments=8),
             injector=FaultInjector(
-                CrashPlan(after_writes=0, torn=True, seed=4)
+                # Byte granularity: an 8-byte write is sub-sector, so
+                # the default sector-granular model drops it whole.
+                CrashPlan(after_writes=0, torn=True, seed=4, granularity="byte")
             ),
         )
         with pytest.raises(DiskCrashedError):

@@ -23,6 +23,56 @@ class TestMediaFault:
             MediaFault(0, kind="melted")
 
 
+class TestTearGranularity:
+    def test_rejects_unknown_granularity(self):
+        with pytest.raises(ValueError):
+            CrashPlan(after_writes=0, torn=True, granularity="nibble")
+
+    def test_rejects_bad_sector_size(self):
+        with pytest.raises(ValueError):
+            CrashPlan(after_writes=0, torn=True, sector_size=0)
+
+    def test_default_tear_is_sector_aligned(self):
+        for seed in range(20):
+            injector = FaultInjector(
+                CrashPlan(after_writes=0, torn=True, seed=seed)
+            )
+            surviving = injector.on_write(0, 64 * 1024)
+            assert 0 < surviving < 64 * 1024
+            assert surviving % 512 == 0
+
+    def test_sub_sector_write_dropped_whole(self):
+        # A write no larger than one sector cannot tear: real disks
+        # commit sectors atomically.
+        injector = FaultInjector(CrashPlan(after_writes=0, torn=True, seed=1))
+        assert injector.on_write(0, 512) == 0
+        injector = FaultInjector(CrashPlan(after_writes=0, torn=True, seed=1))
+        assert injector.on_write(0, 8) == 0
+
+    def test_custom_sector_size(self):
+        injector = FaultInjector(
+            CrashPlan(after_writes=0, torn=True, seed=2, sector_size=4096)
+        )
+        surviving = injector.on_write(0, 64 * 1024)
+        assert 0 < surviving < 64 * 1024
+        assert surviving % 4096 == 0
+
+    def test_byte_mode_behind_flag(self):
+        # The old byte-granular model stays available for sweeps that
+        # want to explore every possible tear point.
+        unaligned = False
+        for seed in range(20):
+            injector = FaultInjector(
+                CrashPlan(
+                    after_writes=0, torn=True, seed=seed, granularity="byte"
+                )
+            )
+            surviving = injector.on_write(0, 1000)
+            assert 1 <= surviving < 1000
+            unaligned = unaligned or surviving % 512 != 0
+        assert unaligned
+
+
 class TestFaultInjector:
     def test_no_faults_passthrough(self):
         injector = FaultInjector()

@@ -7,6 +7,7 @@ from repro.harness.runner import (
     run_aru_latency_experiment,
     run_figure5,
     run_figure6,
+    run_scrub_experiment,
 )
 from repro.harness.variants import VARIANTS, build_variant, paper_geometry
 
@@ -85,3 +86,11 @@ class TestRunners:
         )
         assert result.iterations == 1000
         assert result.latency_us > 0
+
+    def test_run_scrub_experiment(self):
+        result = run_scrub_experiment(n_blocks=60, n_faults=2)
+        assert result.segments_quarantined == 2
+        assert result.verify_problems == 0
+        # Nothing the scrubber salvaged may be missing afterwards.
+        assert result.blocks_intact + result.blocks_lost <= 60
+        assert "quarantined" in result.summary

@@ -1,0 +1,379 @@
+"""Scrub & repair: media-fault salvage, quarantine, degraded reads.
+
+The acceptance torture test exercises the whole subsystem end to end:
+salvageable blocks must read back byte-identical after a scrub,
+quarantined segments must never be reused by the allocator or the
+cleaner, the repaired disk must pass :func:`verify_lld` and recover
+cleanly, and foreground reads must raise the precise
+:class:`UnrecoverableBlockError` only for genuinely lost blocks.
+"""
+
+import random
+
+import pytest
+
+from repro.disk.faults import FaultInjector, MediaFault
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import MediaError, UnrecoverableBlockError
+from repro.lld.lld import LLD
+from repro.lld.recovery import recover
+from repro.lld.scrub import Scrubber, find_log_copy
+from repro.lld.usage import QUARANTINE_SEQ, SegmentState
+from repro.lld.verify import verify_lld
+
+
+def make(num_segments=64, **kwargs):
+    geo = DiskGeometry.small(num_segments=num_segments)
+    disk = SimulatedDisk(geo)
+    kwargs.setdefault("checkpoint_slot_segments", 2)
+    return disk, LLD(disk, **kwargs)
+
+
+def fill(lld, count, seed=0):
+    """Allocate ``count`` blocks and write each one; returns
+    (blocks, expected-bytes-by-block-id)."""
+    rng = random.Random(seed)
+    lst = lld.new_list()
+    blocks = [lld.new_block(lst) for _ in range(count)]
+    expected = {}
+    for block in blocks:
+        data = bytes([rng.randrange(256)]) * lld.geometry.block_size
+        lld.write(block, data)
+        expected[int(block)] = data
+    lld.flush()
+    return blocks, expected
+
+
+def segment_of(lld, block):
+    return lld.bmap.root(block).persistent.address.segment
+
+
+class TestScrubClean:
+    def test_scrub_of_healthy_log_finds_nothing(self):
+        _disk, lld = make()
+        fill(lld, 30)
+        report = lld.scrub()
+        assert report.segments_checked > 0
+        assert report.segments_damaged == 0
+        assert report.segments_quarantined == 0
+        assert lld.usage.quarantined_segments() == []
+
+    def test_scrub_counts_in_stats(self):
+        _disk, lld = make()
+        fill(lld, 10)
+        lld.scrub()
+        stats = lld.stats()["scrub"]
+        assert stats["scrubs"] == 1
+        assert stats["quarantined_segments"] == 0
+
+    def test_scrub_charges_simulated_time(self):
+        _disk, lld = make()
+        fill(lld, 10)
+        before = lld.clock.now_us
+        lld.scrub()
+        assert lld.clock.now_us > before
+
+
+class TestSalvage:
+    def test_corrupt_segment_salvaged_from_cache(self):
+        disk, lld = make()
+        blocks, expected = fill(lld, 30)
+        lld.read_many(blocks)  # warm the cache
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "corrupt"))
+        report = lld.scrub()
+        assert victim in report.damaged
+        assert report.damaged[victim] == "corrupt"
+        assert report.blocks_salvaged > 0
+        assert report.blocks_lost == 0
+        for block in blocks:
+            assert lld.read(block) == expected[int(block)]
+
+    def test_unreadable_segment_classified(self):
+        disk, lld = make()
+        blocks, _ = fill(lld, 30)
+        lld.read_many(blocks)
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "unreadable"))
+        report = lld.scrub()
+        assert report.damaged[victim] == "unreadable"
+        assert report.blocks_lost == 0
+
+    def test_stale_salvage_from_older_log_copy(self):
+        disk, lld = make()
+        blocks, _ = fill(lld, 30, seed=1)
+        old = {int(b): lld.read(b) for b in blocks}
+        # Overwrite everything: the first-round segments now hold only
+        # stale copies.
+        for block in blocks:
+            lld.write(block, b"\x77" * lld.geometry.block_size)
+        lld.flush()
+        lld.cache.invalidate_all()
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "unreadable"))
+        report = lld.scrub()
+        assert report.blocks_salvaged_stale > 0
+        # The stale survivors read back as their previous contents.
+        for block in blocks:
+            if segment_of(lld, block) != victim:
+                data = lld.read(block)
+                assert data in (b"\x77" * len(data), old[int(block)])
+
+    def test_lost_block_raises_precise_error(self):
+        disk, lld = make()
+        blocks, _ = fill(lld, 30)
+        lld.cache.invalidate_all()
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "unreadable"))
+        report = lld.scrub()
+        assert report.blocks_lost > 0
+        lost = set(report.lost_blocks)
+        for block in blocks:
+            if int(block) in lost:
+                with pytest.raises(UnrecoverableBlockError) as exc:
+                    lld.read(block)
+                assert exc.value.block_id == int(block)
+                assert exc.value.segment == victim
+            else:
+                lld.read(block)  # must not raise
+
+    def test_uncommitted_log_copies_never_salvaged(self):
+        """Salvage must not resurrect data from an ARU that never
+        committed."""
+        disk, lld = make()
+        blocks, expected = fill(lld, 5, seed=2)
+        aru = lld.begin_aru()
+        lld.write(blocks[0], b"\xEE" * lld.geometry.block_size, aru=aru)
+        lld.abort_aru(aru)
+        found = find_log_copy(lld, blocks[0], exclude=set())
+        assert found is not None
+        assert found[0] == expected[int(blocks[0])]
+
+
+class TestQuarantine:
+    def test_usage_quarantine_state(self):
+        _disk, lld = make()
+        blocks, _ = fill(lld, 10)
+        seg = segment_of(lld, blocks[0])
+        lld.usage.quarantine(seg)
+        assert lld.usage.state(seg) is SegmentState.QUARANTINED
+        assert lld.usage.quarantined_segments() == [seg]
+        with pytest.raises(ValueError):
+            lld.usage.free_segment(seg)
+
+    def test_quarantine_reserved_rejected(self):
+        _disk, lld = make()
+        with pytest.raises(ValueError):
+            lld.usage.quarantine(0)  # checkpoint region
+
+    def test_quarantined_never_reallocated(self):
+        """Overwrite pressure cannot hand a quarantined segment back
+        to the allocator."""
+        disk, lld = make(num_segments=24)
+        blocks, _ = fill(lld, 30)
+        lld.read_many(blocks)
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "corrupt"))
+        lld.scrub()
+        platter_before = disk._segments.get(victim)
+        for _round in range(8):
+            for block in blocks:
+                lld.write(block, bytes([_round]) * lld.geometry.block_size)
+            lld.flush()
+        assert lld.usage.state(victim) is SegmentState.QUARANTINED
+        # The platter bytes of the quarantined segment were never
+        # rewritten by the log.
+        assert disk._segments.get(victim) == platter_before
+        for block in blocks:
+            assert segment_of(lld, block) != victim
+
+    def test_cleaner_skips_quarantined(self):
+        disk, lld = make(num_segments=24)
+        blocks, _ = fill(lld, 30)
+        lld.read_many(blocks)
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "corrupt"))
+        lld.scrub()
+        from repro.lld.cleaner import SegmentCleaner
+
+        cleaner = SegmentCleaner(lld)
+        report = cleaner.clean(target_free=lld.usage.free_count + 2)
+        assert victim not in report.victims
+        assert lld.usage.state(victim) is SegmentState.QUARANTINED
+
+
+class TestDegradedReads:
+    def test_foreground_read_salvages_and_marks_pending(self):
+        disk, lld = make()
+        blocks, expected = fill(lld, 30)
+        lld.read_many(blocks)  # cache holds every block
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "unreadable"))
+        on_victim = [b for b in blocks if segment_of(lld, b) == victim]
+        lld.cache.invalidate_segment(victim)
+        # First read must fall back to an older copy or raise; with no
+        # older copies and a cold cache these blocks are unrecoverable.
+        for block in on_victim:
+            with pytest.raises(UnrecoverableBlockError):
+                lld.read(block)
+        assert victim in lld._scrub_pending
+        stats = lld.stats()["scrub"]
+        assert stats["degraded_reads"] >= len(on_victim)
+        assert stats["unrecoverable_reads"] == len(on_victim)
+
+    def test_foreground_read_salvages_from_old_copy(self):
+        disk, lld = make()
+        blocks, _ = fill(lld, 30, seed=3)
+        old = {int(b): lld.read(b) for b in blocks}
+        for block in blocks:
+            lld.write(block, b"\x55" * lld.geometry.block_size)
+        lld.flush()
+        lld.cache.invalidate_all()
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "unreadable"))
+        on_victim = [b for b in blocks if segment_of(lld, b) == victim]
+        assert on_victim
+        for block in on_victim:
+            data = lld.read(block)  # salvaged, possibly stale
+            assert data in (b"\x55" * len(data), old[int(block)])
+        assert lld.stats()["scrub"]["salvaged_reads"] >= len(on_victim)
+
+    def test_read_many_isolates_faulted_blocks(self):
+        disk, lld = make()
+        blocks, expected = fill(lld, 30)
+        lld.cache.invalidate_all()
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "unreadable"))
+        on_victim = {int(b) for b in blocks if segment_of(lld, b) == victim}
+        healthy = [b for b in blocks if int(b) not in on_victim]
+        out = lld.read_many(healthy)
+        assert [bytes(x) for x in out] == [expected[int(b)] for b in healthy]
+
+
+class TestScrubTorture:
+    """The acceptance torture test: criteria (a)-(d) in one story."""
+
+    def test_salvage_quarantine_verify_recover(self):
+        disk, lld = make(num_segments=96)
+        rng = random.Random(42)
+        blocks, expected = fill(lld, 120, seed=42)
+        # Overwrite a third so older copies exist in the log.
+        for block in blocks[::3]:
+            data = bytes([rng.randrange(256)]) * lld.geometry.block_size
+            lld.write(block, data)
+            expected[int(block)] = data
+        lld.flush()
+        lld.read_many(blocks)  # cache = salvage source
+
+        dirty = sorted(
+            (seg for seg, _l, _s in lld.usage.dirty_segments()),
+            key=lambda seg: lld.usage.live_slots(seg),
+            reverse=True,
+        )
+        victims = dirty[:4]
+        for index, seg in enumerate(victims):
+            kind = "corrupt" if index % 2 == 0 else "unreadable"
+            disk.injector.add_media_fault(MediaFault(seg, kind))
+        # Half the victims also lose their cache entries, forcing the
+        # older-log-copy and lost paths.
+        for seg in victims[2:]:
+            lld.cache.invalidate_segment(seg)
+
+        report = lld.scrub()
+        assert sorted(report.damaged) == sorted(victims)
+        assert report.segments_quarantined == len(victims)
+        lost = set(report.lost_blocks)
+
+        # (a) every salvageable block reads back; cache-salvaged ones
+        # byte-identical, stale ones as an older version of themselves.
+        stale_ok = 0
+        for block in blocks:
+            if int(block) in lost:
+                continue
+            data = lld.read(block)
+            if data != expected[int(block)]:
+                stale_ok += 1
+        assert stale_ok <= report.blocks_salvaged_stale
+
+        # (d) only genuinely lost blocks raise, and precisely.
+        for block in blocks:
+            if int(block) in lost:
+                with pytest.raises(UnrecoverableBlockError) as exc:
+                    lld.read(block)
+                assert exc.value.block_id == int(block)
+                assert exc.value.segment in victims
+
+        # (b) quarantine survives heavy overwrite + cleaning pressure.
+        platter = {seg: disk._segments.get(seg) for seg in victims}
+        for _round in range(6):
+            for block in blocks:
+                if int(block) in lost:
+                    continue
+                lld.write(block, bytes([_round]) * lld.geometry.block_size)
+            lld.flush()
+        for seg in victims:
+            assert lld.usage.state(seg) is SegmentState.QUARANTINED
+            assert disk._segments.get(seg) == platter[seg]
+
+        # (c) the repaired disk is internally sound and recovers.
+        assert verify_lld(lld) == []
+        survivor = disk.power_cycle()
+        recovered, rec_report = recover(survivor, checkpoint_slot_segments=2)
+        assert rec_report.segments_quarantined == len(victims)
+        assert sorted(recovered.usage.quarantined_segments()) == sorted(
+            victims
+        )
+        assert verify_lld(recovered) == []
+        for block in blocks:
+            if int(block) not in lost:
+                recovered.read(block)  # everything salvaged survived
+
+    def test_quarantine_roster_uses_sentinel(self):
+        disk, lld = make()
+        blocks, _ = fill(lld, 30)
+        lld.read_many(blocks)
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "corrupt"))
+        report = lld.scrub()
+        assert report.checkpointed
+        roster = lld.checkpoints.load().segments
+        assert roster[victim][0] == QUARANTINE_SEQ
+
+    def test_scrub_then_scrub_is_idempotent(self):
+        disk, lld = make()
+        blocks, _ = fill(lld, 30)
+        lld.read_many(blocks)
+        victim = segment_of(lld, blocks[0])
+        disk.injector.add_media_fault(MediaFault(victim, "corrupt"))
+        first = lld.scrub()
+        second = lld.scrub()
+        assert first.segments_quarantined == 1
+        assert second.segments_damaged == 0
+        assert second.segments_quarantined == 0
+        assert lld.usage.quarantined_segments() == [victim]
+
+
+class TestCleanerDamagedVictims:
+    def test_damaged_victim_routed_to_scrubber(self):
+        disk, lld = make(num_segments=24)
+        blocks, expected = fill(lld, 40, seed=5)
+        # Overwrite most blocks so early segments become cheap victims.
+        for block in blocks[:-5]:
+            lld.write(block, b"\x11" * lld.geometry.block_size)
+        lld.flush()
+        lld.read_many(blocks)
+        from repro.lld.cleaner import SegmentCleaner
+
+        cleaner = SegmentCleaner(lld, policy="greedy")
+        victims = cleaner.select_victims(1)
+        assert victims
+        disk.injector.add_media_fault(MediaFault(victims[0], "corrupt"))
+        report = cleaner.clean(target_free=lld.usage.free_count + 1)
+        assert victims[0] in report.damaged
+        assert lld.usage.state(victims[0]) is SegmentState.QUARANTINED
+        # No data was harmed: every block still reads (possibly the
+        # overwritten value).
+        for block in blocks:
+            lld.read(block)
+        assert verify_lld(lld) == []

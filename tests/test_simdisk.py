@@ -5,7 +5,7 @@ import pytest
 from repro.disk.faults import CrashPlan, FaultInjector
 from repro.disk.geometry import DiskGeometry
 from repro.disk.simdisk import SimulatedDisk
-from repro.errors import DiskCrashedError
+from repro.errors import CorruptionError, DiskCrashedError
 
 
 @pytest.fixture
@@ -99,3 +99,90 @@ class TestCrash:
             disk.write_segment(0, _image(geo, 1))
         with pytest.raises(DiskCrashedError):
             disk.read_segment(0)
+
+
+class TestRetiredHandle:
+    """power_cycle() must retire the pre-crash handle for good.
+
+    The survivor shares the old handle's platter dict; the old bug
+    was that power-cycling cleared the injector's ``crashed`` flag for
+    *both* handles, resurrecting the pre-crash one — writes through it
+    then corrupted the survivor's platter underneath it.
+    """
+
+    def _crashed_disk(self, geo):
+        disk = SimulatedDisk(
+            geo, injector=FaultInjector(CrashPlan(after_writes=1))
+        )
+        disk.write_segment(0, _image(geo, 0x11))
+        with pytest.raises(DiskCrashedError):
+            disk.write_segment(1, _image(geo, 0x22))
+        return disk
+
+    def test_old_handle_cannot_write_survivor_platter(self, geo):
+        disk = self._crashed_disk(geo)
+        survivor = disk.power_cycle()
+        with pytest.raises(DiskCrashedError):
+            disk.write_segment(0, _image(geo, 0x99))
+        with pytest.raises(DiskCrashedError):
+            disk.write_at(0, 0, b"\x99")
+        # The survivor's platter is untouched by the attempts.
+        assert survivor.read_segment(0) == _image(geo, 0x11)
+
+    def test_old_handle_reads_raise(self, geo):
+        disk = self._crashed_disk(geo)
+        disk.power_cycle()
+        with pytest.raises(DiskCrashedError):
+            disk.read_segment(0)
+        with pytest.raises(DiskCrashedError):
+            disk.read_many([(0, 0, 16)])
+
+    def test_retired_handle_reports_crashed(self, geo):
+        disk = self._crashed_disk(geo)
+        survivor = disk.power_cycle()
+        assert disk.crashed
+        assert not survivor.crashed
+        survivor.write_segment(2, _image(geo, 0x33))
+        assert survivor.read_segment(2) == _image(geo, 0x33)
+
+    def test_double_power_cycle_allowed(self, geo):
+        disk = self._crashed_disk(geo)
+        disk.power_cycle()
+        second = disk.power_cycle()
+        assert second.read_segment(0) == _image(geo, 0x11)
+
+
+class TestImagePersistence:
+    def test_roundtrip(self, disk, geo, tmp_path):
+        disk.write_segment(3, _image(geo, 0x5A))
+        path = tmp_path / "disk.img"
+        assert disk.save_image(path) == 1
+        loaded = SimulatedDisk.load_image(path)
+        assert loaded.read_segment(3) == _image(geo, 0x5A)
+
+    def test_truncated_segment_index_raises_corruption(
+        self, disk, geo, tmp_path
+    ):
+        """An image cut off inside the per-segment index must raise
+        CorruptionError, not leak a raw struct.error."""
+        disk.write_segment(0, _image(geo, 1))
+        disk.write_segment(1, _image(geo, 2))
+        path = tmp_path / "disk.img"
+        disk.save_image(path)
+        raw = path.read_bytes()
+        # Cut inside the second segment's 4-byte index entry.
+        cut = len(raw) - geo.segment_size - 2
+        path.write_bytes(raw[:cut])
+        with pytest.raises(CorruptionError, match="truncated segment index"):
+            SimulatedDisk.load_image(path)
+
+    def test_truncated_segment_body_raises_corruption(
+        self, disk, geo, tmp_path
+    ):
+        disk.write_segment(0, _image(geo, 1))
+        path = tmp_path / "disk.img"
+        disk.save_image(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        with pytest.raises(CorruptionError, match="truncated segment 0"):
+            SimulatedDisk.load_image(path)

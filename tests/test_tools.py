@@ -105,6 +105,28 @@ class TestInspect:
         assert "a.txt" in text
         assert "2 links" in text
 
+    def test_describe_segments_marks_quarantined(self, tmp_path):
+        from repro.disk.faults import MediaFault
+
+        geo = DiskGeometry.small(num_segments=64)
+        disk = SimulatedDisk(geo)
+        lld = LLD(disk, checkpoint_slot_segments=2)
+        lst = lld.new_list()
+        blocks = [lld.new_block(lst) for _ in range(30)]
+        for block in blocks:
+            lld.write(block, b"x" * geo.block_size)
+        lld.flush()
+        lld.read_many(blocks)
+        victim = lld.bmap.root(blocks[0]).persistent.address.segment
+        disk.injector.add_media_fault(MediaFault(victim, "corrupt"))
+        lld.scrub()
+        image = tmp_path / "scrubbed.img"
+        disk.save_image(image)
+        loaded = SimulatedDisk.load_image(image)
+        text = describe_segments(loaded, slot_segments=2)
+        assert f"quarantined by scrub: [{victim}]" in text
+        assert f"segment {victim:4d}: QUARANTINED" in text
+
     def test_describe_fs_without_filesystem(self):
         geo = DiskGeometry.small(num_segments=32)
         disk = SimulatedDisk(geo)
