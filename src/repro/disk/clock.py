@@ -128,6 +128,13 @@ class CostModel:
     #: Parsing one segment-summary entry back out of its on-disk
     #: encoding (recovery scan, cleaner salvage).
     decode_entry_us: float = 2.0
+    #: Completion bookkeeping for one segment retired from the
+    #: write-behind queue (usage transition, cache install, commit
+    #: tracking).  Charged at drain time with ``lanes`` equal to the
+    #: batch size: the drainer overlaps completion processing with
+    #: the streamed transfer of the remaining queue, so only the
+    #: critical-path share advances the clock.
+    writeback_us: float = 12.0
     #: File-system level per-call overhead (path parsing, inode ops).
     fs_call_us: float = 25.0
     #: Scanning one directory entry out of the buffer cache.

@@ -104,6 +104,13 @@ class FaultInjector:
     def on_write(self, segment_no: int, nbytes: int) -> Optional[int]:
         """Gate one segment write.
 
+        Batched writes (:meth:`~repro.disk.simdisk.SimulatedDisk.
+        write_many`) call this once per physical segment, in
+        submission order, so ``after_writes`` counts identically
+        whether the log is written one segment at a time or drained
+        through the write-behind queue — crash sweeps enumerate the
+        same tear points either way.
+
         Returns:
             None for a normal write; otherwise the number of bytes of
             the write that survive (0 for a fully dropped write, or a

@@ -92,6 +92,65 @@ class SimulatedDisk:
             f"power failure during write of segment {segment_no}"
         )
 
+    def write_many(self, writes: Sequence[Tuple[int, bytes]]) -> None:
+        """Scatter-gather write: many whole segments in one batch.
+
+        Mirrors :meth:`read_many`: each element of ``writes`` is a
+        ``(segment_no, data)`` pair of one full segment image.  The
+        batch is charged to the timing model as coalesced contiguous
+        runs — adjacent segments cost one seek plus a single streamed
+        transfer — which is what lets a write-behind queue drain at
+        media bandwidth instead of paying a seek per segment.
+
+        Failure semantics are identical to issuing the writes one at
+        a time with :meth:`write_segment`: the fault injector gates
+        every physical write individually, in submission order, so an
+        active :class:`~repro.disk.faults.CrashPlan` ticks once per
+        segment and the crashing write is dropped or torn exactly as
+        it would be un-batched.  Writes earlier in the batch are
+        durable (and charged to the clock) before the power loss is
+        reported; later writes never reach the platter.
+        """
+        geometry = self.geometry
+        segment_size = geometry.segment_size
+        for segment_no, data in writes:
+            geometry.segment_offset(segment_no)  # bounds-check segment
+            if len(data) != segment_size:
+                raise ValueError(
+                    f"segment write must be exactly {segment_size} bytes, "
+                    f"got {len(data)} for segment {segment_no}"
+                )
+        self._check_retired("batched write")
+        ranges: List[Tuple[int, int]] = []
+        try:
+            for segment_no, data in writes:
+                surviving = self.injector.on_write(segment_no, len(data))
+                if surviving is None:
+                    self._segments[segment_no] = bytes(data)
+                    self.write_count += 1
+                    ranges.append(
+                        (geometry.segment_offset(segment_no), len(data))
+                    )
+                    continue
+                if surviving > 0:
+                    old = self._segments.get(segment_no, b"\x00" * len(data))
+                    self._segments[segment_no] = (
+                        data[:surviving] + old[surviving:]
+                    )
+                from repro.errors import DiskCrashedError
+
+                raise DiskCrashedError(
+                    f"power failure during batched write of segment "
+                    f"{segment_no}"
+                )
+        finally:
+            # The writes that completed were serviced before the power
+            # loss; charge them even when the batch ends in a crash.
+            if ranges:
+                self.timer.access_batch(
+                    ranges, requests=len(ranges), is_write=True
+                )
+
     def write_at(self, segment_no: int, offset: int, data: bytes) -> None:
         """Write a byte range within a segment, in place.
 
@@ -271,6 +330,9 @@ class SimulatedDisk:
             "read_batches": self.timer.batches,
             "batched_requests": self.timer.batched_requests,
             "batched_runs": self.timer.batched_runs,
+            "write_batches": self.timer.write_batches,
+            "write_batched_requests": self.timer.write_batched_requests,
+            "write_batched_runs": self.timer.write_batched_runs,
         }
 
     # ------------------------------------------------------------------

@@ -111,6 +111,9 @@ class DiskTimer:
         self.batches = 0
         self.batched_requests = 0
         self.batched_runs = 0
+        self.write_batches = 0
+        self.write_batched_requests = 0
+        self.write_batched_runs = 0
 
     def access(self, offset: int, nbytes: int) -> float:
         """Charge one request at byte ``offset`` of size ``nbytes``.
@@ -129,7 +132,10 @@ class DiskTimer:
         return latency
 
     def access_batch(
-        self, ranges: Sequence[Tuple[int, int]], requests: int = 0
+        self,
+        ranges: Sequence[Tuple[int, int]],
+        requests: int = 0,
+        is_write: bool = False,
     ) -> float:
         """Charge one scatter-gather batch of byte ranges.
 
@@ -140,9 +146,13 @@ class DiskTimer:
         transfer.  Runs separated by a gap that is cheaper to stream
         past than to seek over are fused too (read-through: the gap
         bytes are transferred and discarded, as real scatter-gather
-        controllers do).  ``requests`` is the number of logical
-        requests the batch carries (for accounting); it defaults to
-        ``len(ranges)``.
+        controllers do; on the write side this models a controller
+        streaming a queue of segment writes past an already-positioned
+        head).  ``requests`` is the number of logical requests the
+        batch carries (for accounting); it defaults to
+        ``len(ranges)``.  ``is_write`` selects the write-side batch
+        counters so read and write pipelines are visible separately
+        in :meth:`SimulatedDisk.stats`.
 
         Returns the total simulated service time in microseconds.
         """
@@ -163,7 +173,12 @@ class DiskTimer:
         total = 0.0
         for offset, nbytes in runs:
             total += self.access(offset, nbytes)
-        self.batches += 1
-        self.batched_requests += requests if requests else len(ranges)
-        self.batched_runs += len(runs)
+        if is_write:
+            self.write_batches += 1
+            self.write_batched_requests += requests if requests else len(ranges)
+            self.write_batched_runs += len(runs)
+        else:
+            self.batches += 1
+            self.batched_requests += requests if requests else len(ranges)
+            self.batched_runs += len(runs)
         return total

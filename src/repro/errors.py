@@ -50,6 +50,23 @@ class DiskFullError(LDError):
     """The disk has no free segments left, even after cleaning."""
 
 
+class SegmentOverflowError(LDError):
+    """A single log record cannot fit an *empty* segment.
+
+    Rolling the buffer can never help such a record, so the write
+    path rejects it up front instead of consuming segments forever.
+    Only pathological geometries (tiny segments) can trigger this.
+    """
+
+    def __init__(self, needed: int, capacity: int, what: str) -> None:
+        self.needed = needed
+        self.capacity = capacity
+        super().__init__(
+            f"{what} needs {needed} bytes but an empty segment holds "
+            f"only {capacity}; no amount of buffer rolling can fit it"
+        )
+
+
 class DiskCrashedError(LDError):
     """The simulated disk has crashed; no further I/O is possible."""
 

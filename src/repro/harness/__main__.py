@@ -19,10 +19,11 @@ from repro.harness.runner import (
     run_figure5,
     run_figure6,
     run_scrub_experiment,
+    run_writepath_experiment,
 )
 from repro.harness.variants import paper_geometry
 
-EXPERIMENTS = ("figure5", "figure6", "aru", "scrub")
+EXPERIMENTS = ("figure5", "figure6", "aru", "scrub", "writepath")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -74,6 +75,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if "scrub" in chosen:
         print(run_scrub_experiment().summary)
+    if "writepath" in chosen:
+        n_arus = 1000 if args.full else 200
+        print(run_writepath_experiment(n_arus=n_arus).summary)
     return 0
 
 

@@ -242,6 +242,88 @@ def run_scrub_experiment(
     )
 
 
+@dataclasses.dataclass
+class WritePathResult:
+    """Outcome of the pipelined-write-path demonstration."""
+
+    serial_ms: float
+    pipelined_ms: float
+    speedup: float
+    serial_segments: int
+    pipelined_segments: int
+    commits_grouped: int
+    groups_flushed: int
+    summary: str
+
+
+def run_writepath_experiment(
+    n_arus: int = 200,
+    writeback_depth: int = 8,
+    group_commit_max_parked: int = 16,
+    geometry: Optional[DiskGeometry] = None,
+) -> WritePathResult:
+    """Durable-commit storm: serial flush-per-ARU vs the pipeline.
+
+    Runs ``n_arus`` tiny ARUs, each made durable immediately, first
+    against the default serial write path and then with the
+    write-behind queue and group commit enabled, and reports the
+    simulated-time speedup and segment savings.  This is the harness
+    front end for the ``writeback_depth`` / ``group_commit*``
+    constructor knobs (any :func:`~repro.harness.variants.
+    build_variant` call forwards them to :class:`~repro.lld.lld.LLD`).
+    """
+    from repro.disk.simdisk import SimulatedDisk
+    from repro.lld.lld import LLD
+
+    def storm(**lld_kwargs: object) -> "tuple[float, LLD]":
+        geo = geometry if geometry is not None else DiskGeometry.small(
+            num_segments=n_arus + 64, block_size=1024
+        )
+        disk = SimulatedDisk(geo)
+        ld = LLD(disk, checkpoint_slot_segments=2, **lld_kwargs)
+        lst = ld.new_list()
+        start = ld.clock.now_us
+        for i in range(n_arus):
+            aru = ld.begin_aru()
+            block = ld.new_block(lst, aru=aru)
+            ld.write(block, bytes([i & 0xFF]) * geo.block_size, aru=aru)
+            ld.end_aru(aru)
+            if not lld_kwargs.get("group_commit"):
+                ld.flush()  # a serial durable commit = flush per ARU
+        ld.flush()
+        return ld.clock.now_us - start, ld
+
+    serial_us, serial_ld = storm()
+    pipelined_us, pipelined_ld = storm(
+        writeback_depth=writeback_depth,
+        group_commit=True,
+        group_commit_max_parked=group_commit_max_parked,
+        group_commit_timeout_us=1e12,
+    )
+    serial_segments = serial_ld.stats()["segments"]["flushed"]
+    pipelined_segments = pipelined_ld.stats()["segments"]["flushed"]
+    gc_stats = pipelined_ld.stats()["group_commit"]
+    speedup = serial_us / pipelined_us if pipelined_us else float("inf")
+    summary = (
+        f"write path: {n_arus} durable ARUs — serial "
+        f"{serial_us / 1000:.1f} ms ({serial_segments} segments) vs "
+        f"pipelined {pipelined_us / 1000:.1f} ms "
+        f"({pipelined_segments} segments, "
+        f"{gc_stats['commits_grouped']} commits in "
+        f"{gc_stats['groups_flushed']} groups): {speedup:.2f}x"
+    )
+    return WritePathResult(
+        serial_ms=serial_us / 1000,
+        pipelined_ms=pipelined_us / 1000,
+        speedup=speedup,
+        serial_segments=serial_segments,
+        pipelined_segments=pipelined_segments,
+        commits_grouped=gc_stats["commits_grouped"],
+        groups_flushed=gc_stats["groups_flushed"],
+        summary=summary,
+    )
+
+
 def _geometry_scale_for(file_size: int) -> float:
     """A partition comfortably larger than the benchmark file.
 

@@ -66,8 +66,14 @@ class SegmentCleaner:
         """Pick up to ``count`` victim segments by policy score."""
         candidates = []
         current = self.lld._buffer
+        queued = self.lld._writeback.pending_segments()
         for seg, live, seq in self.lld.usage.dirty_segments():
             if current is not None and seg == current.segment_no:
+                continue
+            # Queued segments are invisible to dirty_segments() via
+            # their QUEUED state, but guard anyway: evacuating a
+            # not-yet-written segment would read stale platter bytes.
+            if seg in queued:
                 continue
             if seg in exclude:
                 continue

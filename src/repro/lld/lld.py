@@ -52,6 +52,7 @@ from repro.errors import (
     DiskFullError,
     LDError,
     MediaError,
+    SegmentOverflowError,
     UnrecoverableBlockError,
 )
 from repro.ld.interface import LogicalDisk
@@ -68,6 +69,7 @@ from repro.lld.maps import BlockNumberMap, ListTable
 from repro.lld.segment import SegmentBuffer
 from repro.lld.summary import EntryKind, SummaryEntry, entry_size
 from repro.lld.usage import SegmentState, SegmentUsage
+from repro.lld.writeback import WritebackQueue
 
 _WRITE_ENTRY_SIZE = entry_size(EntryKind.WRITE)
 
@@ -94,6 +96,26 @@ class LLD(LogicalDisk):
         clean_low_water / clean_high_water: Free-segment thresholds
             that trigger / stop the cleaner.
         cleaner_policy: ``"greedy"`` or ``"cost_benefit"``.
+        writeback_depth: Sealed segments parked in the write-behind
+            queue before an automatic drain.  ``0`` (default) keeps
+            the serial write path: every sealed segment is written
+            synchronously.  With a positive depth, sealed segments
+            queue and drain in log order through one scatter-gather
+            :meth:`~repro.disk.simdisk.SimulatedDisk.write_many`
+            batch; ``flush()``/``write_checkpoint()`` are barriers
+            that drain the queue first.
+        group_commit: Park ARU commit records at ``end_aru`` instead
+            of emitting them immediately; a parked group is released
+            — and made durable — when ``group_commit_max_parked``
+            commits accumulate, the oldest parked commit is older
+            than ``group_commit_timeout_us`` of simulated time, or
+            any drain point (``flush()``, checkpoint, cleaning) is
+            reached.  N small ARUs then share one segment write
+            instead of N partial-segment flushes.
+        group_commit_max_parked: Parked-commit cap forcing a group
+            release.
+        group_commit_timeout_us: Simulated-time budget a commit may
+            stay parked before the next operation releases the group.
     """
 
     def __init__(
@@ -109,6 +131,10 @@ class LLD(LogicalDisk):
         clean_low_water: int = 4,
         clean_high_water: int = 8,
         cleaner_policy: str = "cost_benefit",
+        writeback_depth: int = 0,
+        group_commit: bool = False,
+        group_commit_max_parked: int = 8,
+        group_commit_timeout_us: float = 10_000.0,
         _defer_init: bool = False,
     ) -> None:
         if aru_mode not in ("concurrent", "sequential"):
@@ -174,6 +200,20 @@ class LLD(LogicalDisk):
         self._last_read_key: Optional[Tuple[int, int]] = None
         self._lock = threading.RLock()
         self._buffer: Optional[SegmentBuffer] = None
+        self._writeback = WritebackQueue(self, writeback_depth)
+        if group_commit_max_parked < 1:
+            raise ValueError("group_commit_max_parked must be >= 1")
+        self.group_commit = bool(group_commit)
+        self.group_commit_max_parked = group_commit_max_parked
+        self.group_commit_timeout_us = float(group_commit_timeout_us)
+        #: Commit records parked by ``end_aru`` under group commit:
+        #: (aru tag, op count, commit timestamp) in commit order.
+        self._parked_commits: List[Tuple[int, int, int]] = []
+        #: Simulated deadline by which the oldest parked commit must
+        #: be released (None while nothing is parked).
+        self._parked_deadline_us: Optional[float] = None
+        self._commit_groups_flushed = 0
+        self._commits_grouped = 0
         #: Segments a foreground read or the cleaner found damaged;
         #: the next :meth:`scrub` pass inspects them.
         self._scrub_pending: Set[int] = set()
@@ -182,6 +222,14 @@ class LLD(LogicalDisk):
         self.op_counts: Dict[str, int] = {}
         self.segments_flushed = 0
         self.cleanings = 0
+        #: Fill accounting over every flushed segment: data and
+        #: summary bytes actually used, and the min/total fill ratio,
+        #: so partial-segment waste from eager flushes is visible.
+        self._fill_data_bytes = 0
+        self._fill_summary_bytes = 0
+        self._fill_ratio_total = 0.0
+        self._fill_ratio_min: Optional[float] = None
+        self._fill_segments_sealed = 0
         self.scrub_stats: Dict[str, int] = {
             "scrubs": 0,
             "segments_quarantined": 0,
@@ -206,16 +254,28 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self.meter.charge("aru_begin_us")
+            self._maybe_release_parked()
             self._count("begin_aru")
             record = self.arus.begin(self.clock.tick())
             return record.aru_id
 
     def end_aru(self, aru: ARUId) -> None:
-        """Commit an ARU (Section 3: ARUs serialize at EndARU time)."""
+        """Commit an ARU (Section 3: ARUs serialize at EndARU time).
+
+        Under ``group_commit`` the ARU's data and link records are
+        merged into the committed stream as usual, but its commit
+        record is *parked* rather than emitted; the parked group is
+        released (and written out) at the next drain point, when the
+        parked-ARU cap is reached, or when the timer budget of the
+        oldest parked commit expires.  Until then the ARU is
+        committed in memory but not yet durable — exactly the window
+        a buffered commit record has in the serial path.
+        """
         with self._lock:
             self._check_alive()
             self.meter.charge("ld_call_us")
             self.meter.charge("aru_commit_us")
+            self._maybe_release_parked()
             self._count("end_aru")
             record = self.arus.get(aru)
             # Commits may dip into the segment reserve: an interrupted
@@ -225,11 +285,13 @@ class LLD(LogicalDisk):
                 if self.concurrent:
                     self._commit_concurrent(record)
                 op_count = record.op_count
-                self._emit_entry(
-                    SummaryEntry(
-                        EntryKind.COMMIT, int(aru), self.clock.tick(), op_count
+                ts = self.clock.tick()
+                if self.group_commit:
+                    self._park_commit(int(aru), op_count, ts)
+                else:
+                    self._emit_entry(
+                        SummaryEntry(EntryKind.COMMIT, int(aru), ts, op_count)
                     )
-                )
             except DiskFullError:
                 # A half-merged commit cannot be unwound in memory;
                 # fail the instance (recovery from disk restores the
@@ -242,6 +304,11 @@ class LLD(LogicalDisk):
             self._pending_commit_arus.add(int(aru))
             self.meter.charge("summary_entry_us")
             self.arus.finish(aru, committed=True)
+            if (
+                self.group_commit
+                and len(self._parked_commits) >= self.group_commit_max_parked
+            ):
+                self._release_group(drain=True)
             # Commits are the moment space pressure builds (shadow
             # data lands in the log) and the moment it becomes safe
             # to clean again — check here, not just on buffer rolls.
@@ -312,6 +379,68 @@ class LLD(LogicalDisk):
         if self.conflict_policy == "raise":
             raise ConcurrencyError(message)
         self._count("replay_conflicts_skipped")
+
+    # ==================================================================
+    # Group commit: parking and releasing commit records
+    # ==================================================================
+
+    def _park_commit(self, aru_tag: int, op_count: int, ts: int) -> None:
+        """Hold an ARU's commit record for the current group."""
+        if not self._parked_commits:
+            self._parked_deadline_us = (
+                self.clock.now_us + self.group_commit_timeout_us
+            )
+        self._parked_commits.append((aru_tag, op_count, ts))
+
+    def _maybe_release_parked(self) -> None:
+        """Release the parked group if its timer budget expired."""
+        if (
+            self._parked_deadline_us is not None
+            and self.clock.now_us >= self._parked_deadline_us
+        ):
+            self._release_group(drain=True)
+
+    def _release_parked(self) -> None:
+        """Emit every parked commit record into the log stream.
+
+        The records land *after* all of their ARUs' data and link
+        entries (those were appended at ``end_aru`` time), so log
+        order still implies commit-after-data.  Does not by itself
+        make anything durable — callers that need durability follow
+        with a drain (see :meth:`_release_group` / :meth:`flush`).
+        """
+        if not self._parked_commits:
+            return
+        parked, self._parked_commits = self._parked_commits, []
+        self._parked_deadline_us = None
+        self._commit_groups_flushed += 1
+        self._commits_grouped += len(parked)
+        self._emergency = True
+        try:
+            # (summary_entry_us was already charged at end_aru time;
+            # emitting here is the deferred half of the same work.)
+            for aru_tag, op_count, ts in parked:
+                self._emit_entry(
+                    SummaryEntry(EntryKind.COMMIT, aru_tag, ts, op_count)
+                )
+        except DiskFullError:
+            # Parked ARUs are already committed in memory; losing the
+            # ability to write their commit records cannot be unwound.
+            self._dead = True
+            raise
+        finally:
+            self._emergency = False
+
+    def _release_group(self, drain: bool) -> None:
+        """Close the current commit group and make it durable.
+
+        One segment write (plus a queue drain) now covers every
+        parked ARU — this is the N-commits-one-write payoff.
+        """
+        self._release_parked()
+        if drain:
+            self._write_buffer()
+            self._writeback.drain()
 
     # ==================================================================
     # Public interface: blocks
@@ -526,6 +655,13 @@ class LLD(LogicalDisk):
                 if cached is not None:
                     results[index] = cached
                     continue
+                queued = self._writeback.get_buffer(addr.segment)
+                if queued is not None:
+                    # Sealed but not yet on disk: serve from the
+                    # parked image rather than the stale platter.
+                    self.meter.charge("table_access_us")
+                    results[index] = queued.get_slot(addr.slot)
+                    continue
                 if self.usage.state(addr.segment) is SegmentState.QUARANTINED:
                     # Never trust quarantined media; salvage or raise.
                     results[index] = self._degraded_read(addr, block_id)
@@ -644,13 +780,21 @@ class LLD(LogicalDisk):
     # ==================================================================
 
     def flush(self) -> None:
-        """Write the current segment buffer; everything committed
-        becomes persistent."""
+        """Durability barrier: park nothing, queue nothing.
+
+        Releases any parked commit group, seals and submits the
+        current segment buffer, then drains the write-behind queue —
+        after which everything committed is persistent.  An empty
+        buffer with an empty queue is a no-op: no phantom segment is
+        consumed.
+        """
         with self._lock:
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("flush")
+            self._release_parked()
             self._write_buffer()
+            self._writeback.drain()
 
     def write_checkpoint(self) -> None:
         """Flush, then write a checkpoint bounding future recovery.
@@ -1102,9 +1246,23 @@ class LLD(LogicalDisk):
         return addr
 
     def _emit_entry(self, entry: SummaryEntry) -> None:
-        """Append a summary entry, rolling the buffer when full."""
+        """Append a summary entry, rolling the buffer when full.
+
+        Raises:
+            SegmentOverflowError: If the entry could not fit even an
+                *empty* segment's summary region — rolling the buffer
+                can never help, so the record is rejected up front
+                instead of consuming segments forever.
+        """
         self._ensure_buffer()
-        if not self._buffer.has_room(0, entry.encoded_size()):
+        size = entry.encoded_size()
+        if not self._buffer.has_room(0, size):
+            if size > self.geometry.usable_size:
+                raise SegmentOverflowError(
+                    size,
+                    self.geometry.usable_size,
+                    f"summary entry {entry.kind.name}",
+                )
             self._write_buffer()
         self._buffer.add_entry(entry)
 
@@ -1126,33 +1284,87 @@ class LLD(LogicalDisk):
         self._open_new_buffer()
 
     def _write_buffer(self) -> None:
-        """Seal and write the current segment, then fold committed
-        records whose entries (and commit records) are now on disk."""
+        """Seal the current segment and hand it to the write path.
+
+        With write-behind disabled the segment is written
+        synchronously (the serial path); otherwise it parks in the
+        queue and reaches the disk at the next drain — either
+        automatic (queue depth) or forced by a barrier.  Either way a
+        fresh buffer is opened so the caller can keep appending.
+        """
         buffer = self._buffer
         if buffer is None or buffer.is_empty:
             return
         self._buffer = None
         image = buffer.seal()
+        self._account_fill(buffer)
+        self._writeback.submit(buffer, image)
+        self._ensure_buffer()
+
+    def _write_now(self, batch: List[Tuple[SegmentBuffer, bytes]]) -> None:
+        """Write sealed segments to the disk — the only durability
+        point of the write path.
+
+        ``batch`` is in log-sequence order (enforced by construction:
+        buffers are sealed in order and the queue is FIFO), so an
+        ARU's data segments always precede the segment carrying its
+        commit record.  Only here do ``_last_written_seq``,
+        ``_commit_on_disk`` and the committed→persistent fold
+        advance; nothing queued is ever treated as durable.
+        """
+        if not batch:
+            return
+        queued = len(batch) > 1 or (
+            self.usage.state(batch[0][0].segment_no) is SegmentState.QUEUED
+        )
         try:
-            self.disk.write_segment(buffer.segment_no, image)
+            if len(batch) == 1:
+                buffer, image = batch[0]
+                self.disk.write_segment(buffer.segment_no, image)
+            else:
+                self.disk.write_many(
+                    [(buffer.segment_no, image) for buffer, image in batch]
+                )
         except DiskCrashedError:
             self._dead = True
             raise
-        self.segments_flushed += 1
-        self._last_written_seq = buffer.seq
-        self.usage.mark_written(buffer.segment_no, buffer.seq, buffer.block_count)
-        # Write-behind caching: blocks that just left the buffer stay
-        # readable without a disk access (they were readable for free
-        # while the buffer was in memory; dropping them at the write
-        # boundary would charge phantom re-reads for hot meta-data).
-        for _block_id, slot, data in buffer.iter_blocks():
-            self.cache.put(PhysAddr(buffer.segment_no, slot), data)
-        for entry in buffer.entries:
-            if entry.kind is EntryKind.COMMIT:
-                self._commit_on_disk.add(entry.aru_tag)
-                self._pending_commit_arus.discard(entry.aru_tag)
+        for buffer, _image in batch:
+            self.segments_flushed += 1
+            self._last_written_seq = max(self._last_written_seq, buffer.seq)
+            if self.usage.state(buffer.segment_no) is SegmentState.QUEUED:
+                # Liveness was tracked while parked (later writes may
+                # have superseded slots); keep it, just flip durable.
+                self.usage.mark_durable(buffer.segment_no)
+            else:
+                self.usage.mark_written(
+                    buffer.segment_no, buffer.seq, buffer.block_count
+                )
+            # Write-behind caching: blocks that just left the buffer
+            # stay readable without a disk access (they were readable
+            # for free while in memory; dropping them at the write
+            # boundary would charge phantom re-reads for hot
+            # meta-data).
+            for _block_id, slot, data in buffer.iter_blocks():
+                self.cache.put(PhysAddr(buffer.segment_no, slot), data)
+            for entry in buffer.entries:
+                if entry.kind is EntryKind.COMMIT:
+                    self._commit_on_disk.add(entry.aru_tag)
+                    self._pending_commit_arus.discard(entry.aru_tag)
+        if queued:
+            # Completion bookkeeping overlaps the streamed transfer of
+            # the rest of the batch: charge the critical-path share.
+            self.meter.charge("writeback_us", count=len(batch), lanes=len(batch))
         self._fold_committed()
-        self._ensure_buffer()
+
+    def _account_fill(self, buffer: SegmentBuffer) -> None:
+        """Record a sealed segment's fill for ``stats()["segments"]``."""
+        self._fill_segments_sealed += 1
+        self._fill_data_bytes += buffer.block_count * self.geometry.block_size
+        self._fill_summary_bytes += buffer.summary_bytes
+        ratio = buffer.fill_ratio
+        self._fill_ratio_total += ratio
+        if self._fill_ratio_min is None or ratio < self._fill_ratio_min:
+            self._fill_ratio_min = ratio
 
     def _open_new_buffer(self) -> None:
         """Start filling a fresh segment.
@@ -1242,7 +1454,10 @@ class LLD(LogicalDisk):
 
     def _retire_address(self, addr: PhysAddr) -> None:
         """One physical slot is no longer referenced by any version."""
-        if self.usage.state(addr.segment) is SegmentState.DIRTY:
+        if self.usage.state(addr.segment) in (
+            SegmentState.DIRTY,
+            SegmentState.QUEUED,
+        ):
             self.usage.retire_slot(addr.segment)
 
     # ==================================================================
@@ -1263,6 +1478,12 @@ class LLD(LogicalDisk):
         cached = self.cache.get(addr)
         if cached is not None:
             return cached
+        queued = self._writeback.get_buffer(addr.segment)
+        if queued is not None:
+            # Sealed but not yet on disk: serve from the parked image
+            # (the platter holds stale bytes underneath it).
+            self.meter.charge("table_access_us")
+            return queued.get_slot(addr.slot)
         if self.usage.state(addr.segment) is SegmentState.QUARANTINED:
             # The platter may return garbage for a quarantined segment
             # (silent corruption); never read through the address.
@@ -1426,5 +1647,25 @@ class LLD(LogicalDisk):
                     self.usage.quarantined_segments()
                 ),
             },
+            "writeback": self._writeback.stats(),
+            "group_commit": {
+                "enabled": self.group_commit,
+                "parked": len(self._parked_commits),
+                "groups_flushed": self._commit_groups_flushed,
+                "commits_grouped": self._commits_grouped,
+            },
+            "segments": self._segment_fill_stats(),
             "disk": self.disk.stats(),
+        }
+
+    def _segment_fill_stats(self) -> dict:
+        """Fill-ratio accounting over every segment sealed so far."""
+        sealed = self._fill_segments_sealed
+        return {
+            "sealed": sealed,
+            "flushed": self.segments_flushed,
+            "data_bytes": self._fill_data_bytes,
+            "summary_bytes": self._fill_summary_bytes,
+            "avg_fill": (self._fill_ratio_total / sealed) if sealed else 0.0,
+            "min_fill": self._fill_ratio_min,
         }

@@ -111,6 +111,21 @@ class SegmentBuffer:
         """Number of summary entries currently in the buffer."""
         return len(self.entries)
 
+    @property
+    def summary_bytes(self) -> int:
+        """Encoded size of the summary accumulated so far."""
+        return self._summary_bytes
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of the usable segment capacity occupied by data
+        blocks plus summary bytes — the quantity eager flushes waste."""
+        used = (
+            len(self._slot_data) * self.geometry.block_size
+            + self._summary_bytes
+        )
+        return used / self.geometry.usable_size if self.geometry.usable_size else 0.0
+
     # ------------------------------------------------------------------
     # Filling
     # ------------------------------------------------------------------

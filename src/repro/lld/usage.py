@@ -21,6 +21,7 @@ class SegmentState(enum.Enum):
     RESERVED = "reserved"  # checkpoint region, never part of the log
     FREE = "free"
     CURRENT = "current"  # target of the in-memory buffer
+    QUEUED = "queued"  # sealed, waiting in the write-behind queue
     DIRTY = "dirty"  # on disk, part of the log
     QUARANTINED = "quarantined"  # failed media; never reused
 
@@ -90,6 +91,29 @@ class SegmentUsage:
         self._seq[seg] = seq
         self._live[seg] = live_slots
         self._total[seg] = live_slots
+
+    def mark_queued(self, seg: int, seq: int, live_slots: int) -> None:
+        """Transition a sealed buffer's segment to write-behind state.
+
+        A QUEUED segment's image exists only in the write-behind
+        queue: its liveness is tracked (later writes may supersede
+        slots while it waits), but it is invisible to
+        :meth:`dirty_segments` — the cleaner, the scrubber and the
+        log-copy salvage must never read it from the platter, because
+        nothing is there yet.
+        """
+        self._state[seg] = SegmentState.QUEUED
+        self._seq[seg] = seq
+        self._live[seg] = live_slots
+        self._total[seg] = live_slots
+
+    def mark_durable(self, seg: int) -> None:
+        """A QUEUED segment's image reached the disk: now plain DIRTY."""
+        if self._state[seg] is not SegmentState.QUEUED:
+            raise ValueError(
+                f"segment {seg} is {self._state[seg].value}, not queued"
+            )
+        self._state[seg] = SegmentState.DIRTY
 
     def quarantine(self, seg: int) -> None:
         """Retire a failed segment permanently.

@@ -55,6 +55,17 @@ def _verify_segment_states(lld) -> List[str]:
     leaked = [seg for seg in current if seg not in expected]
     if leaked:
         problems.append(f"leaked CURRENT segments: {leaked}")
+    queued_table = [
+        seg
+        for seg in range(lld.geometry.num_segments)
+        if lld.usage.state(seg) is SegmentState.QUEUED
+    ]
+    parked = lld._writeback.pending_segments()
+    orphaned = [seg for seg in queued_table if seg not in parked]
+    if orphaned:
+        problems.append(
+            f"QUEUED segments with no parked write-behind image: {orphaned}"
+        )
     if (
         lld._buffer is not None
         and lld.usage.state(lld._buffer.segment_no)
@@ -188,7 +199,11 @@ def _verify_usage(lld) -> List[str]:
         current = (
             lld._buffer is not None and addr.segment == lld._buffer.segment_no
         )
-        if state is not SegmentState.DIRTY and not current:
+        if (
+            state is not SegmentState.DIRTY
+            and state is not SegmentState.QUEUED
+            and not current
+        ):
             problems.append(
                 f"block {block_id}: persistent address {addr} points at a "
                 f"{state.value} segment"

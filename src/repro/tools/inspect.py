@@ -98,6 +98,7 @@ def describe_segments(
             f"  quarantined by scrub: {sorted(quarantined)}"
         )
     shown = 0
+    fills: List[float] = []
     for seg in range(reserved, geo.num_segments):
         if seg not in disk._segments:
             continue
@@ -131,10 +132,16 @@ def describe_segments(
         commits = sum(
             1 for e in decoded.entries if e.kind is EntryKind.COMMIT
         )
+        summary_bytes = sum(e.encoded_size() for e in decoded.entries)
+        fill = (
+            decoded.block_count * geo.block_size + summary_bytes
+        ) / geo.usable_size
+        fills.append(fill)
         lines.append(
             f"  segment {seg:4d}: seq {decoded.seq:6d}  "
             f"{decoded.block_count:3d} blocks  "
-            f"{len(decoded.entries):4d} entries  {commits:3d} commits"
+            f"{len(decoded.entries):4d} entries  {commits:3d} commits  "
+            f"{fill * 100:5.1f}% full"
         )
         shown += 1
         if entries:
@@ -146,6 +153,12 @@ def describe_segments(
                 )
     if shown == 0:
         lines.append("  (none written)")
+    elif fills:
+        lines.append(
+            f"  fill (data+summary over usable bytes): avg "
+            f"{sum(fills) / len(fills) * 100:.1f}%  min "
+            f"{min(fills) * 100:.1f}%  over {len(fills)} valid segments"
+        )
     return "\n".join(lines)
 
 

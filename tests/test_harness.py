@@ -8,6 +8,7 @@ from repro.harness.runner import (
     run_figure5,
     run_figure6,
     run_scrub_experiment,
+    run_writepath_experiment,
 )
 from repro.harness.variants import VARIANTS, build_variant, paper_geometry
 
@@ -94,3 +95,12 @@ class TestRunners:
         # Nothing the scrubber salvaged may be missing afterwards.
         assert result.blocks_intact + result.blocks_lost <= 60
         assert "quarantined" in result.summary
+
+    def test_run_writepath_experiment(self):
+        result = run_writepath_experiment(n_arus=60)
+        # All 60 commits are grouped, so the pipeline writes far
+        # fewer (fuller) segments and must be faster, not just equal.
+        assert result.commits_grouped == 60
+        assert result.pipelined_segments < result.serial_segments
+        assert result.speedup > 1.0
+        assert "60 durable ARUs" in result.summary
