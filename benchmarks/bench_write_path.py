@@ -118,7 +118,7 @@ def test_sequential_fill(benchmark):
 # ======================================================================
 
 
-def run_storm(group_commit):
+def run_storm(group_commit, metrics=True):
     # 1 KB blocks keep the platter small while the storm writes one
     # segment per serial commit.
     segments_needed = STORM_ARUS + 64 if not group_commit else STORM_ARUS + 64
@@ -129,6 +129,7 @@ def run_storm(group_commit):
         group_commit=group_commit,
         group_commit_max_parked=16,
         group_commit_timeout_us=1e12,
+        metrics=metrics,
     )
     lst = ld.new_list()
     start_us = ld.clock.now_us
@@ -198,6 +199,74 @@ def test_commit_storm(benchmark):
         f"group commit only {speedup:.2f}x over flush-per-commit "
         f"({serial_ms:.1f} ms -> {grouped_ms:.1f} ms)"
     )
+
+
+# ======================================================================
+# Metrics overhead
+# ======================================================================
+
+#: Quick-scale commit-storm baselines recorded before the
+#: observability subsystem landed (STORM_ARUS=400).  The simulated
+#: times are deterministic, so staying within the 3% gate proves the
+#: instrumented write path costs (next to) nothing simulated.
+PRE_OBS_SERIAL_MS = 3086.9
+PRE_OBS_GROUPED_MS = 508.8
+
+
+@pytest.mark.benchmark(group="write_path")
+def test_metrics_overhead(benchmark):
+    """The observability guardrail.
+
+    1. Metrics on vs off must produce *identical* simulated times —
+       the registry and recorder never touch the simulated clock.
+    2. At quick scale, both storm variants must stay within 3% of the
+       pre-observability baselines, so the instrumentation (and its
+       disabled fast path) cannot silently tax the write path.
+    3. Host wall-clock for both modes is reported (informational).
+    """
+    import time
+
+    def run():
+        timings = {}
+        wall = time.perf_counter()
+        on_serial_ms, _ = run_storm(group_commit=False, metrics=True)
+        on_grouped_ms, _ = run_storm(group_commit=True, metrics=True)
+        timings["wall_on_s"] = time.perf_counter() - wall
+        wall = time.perf_counter()
+        off_serial_ms, _ = run_storm(group_commit=False, metrics=False)
+        off_grouped_ms, _ = run_storm(group_commit=True, metrics=False)
+        timings["wall_off_s"] = time.perf_counter() - wall
+        return on_serial_ms, on_grouped_ms, off_serial_ms, off_grouped_ms, \
+            timings
+
+    on_serial, on_grouped, off_serial, off_grouped, timings = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert on_serial == off_serial, (
+        f"metrics changed simulated serial time: {on_serial} vs {off_serial}"
+    )
+    assert on_grouped == off_grouped, (
+        f"metrics changed simulated grouped time: "
+        f"{on_grouped} vs {off_grouped}"
+    )
+    if not full_scale():
+        for label, got, baseline in (
+            ("serial", off_serial, PRE_OBS_SERIAL_MS),
+            ("grouped", off_grouped, PRE_OBS_GROUPED_MS),
+        ):
+            drift = abs(got - baseline) / baseline
+            assert drift < 0.03, (
+                f"{label} storm drifted {drift:.1%} from the "
+                f"pre-observability baseline ({got:.1f} ms vs "
+                f"{baseline:.1f} ms)"
+            )
+    _RESULTS["metrics_overhead"] = {
+        "serial_ms": round(off_serial, 1),
+        "grouped_ms": round(off_grouped, 1),
+        "wall_metrics_on_s": round(timings["wall_on_s"], 3),
+        "wall_metrics_off_s": round(timings["wall_off_s"], 3),
+    }
+    _save()
 
 
 # ======================================================================

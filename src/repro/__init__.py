@@ -45,6 +45,7 @@ from repro.errors import LDError
 from repro.ld.interface import LogicalDisk
 from repro.ld.types import ARUId, BlockId, FIRST, ListId
 from repro.jld.jld import JLD, recover_jld
+from repro.lld.config import LLDConfig
 from repro.lld.lld import LLD
 from repro.lld.recovery import RecoveryReport, recover
 
@@ -61,6 +62,7 @@ __all__ = [
     "JLD",
     "LDError",
     "LLD",
+    "LLDConfig",
     "ListId",
     "LogicalDisk",
     "RecoveryReport",

@@ -23,6 +23,7 @@ from repro.disk.clock import SimClock
 from repro.disk.faults import FaultInjector
 from repro.disk.geometry import DiskGeometry
 from repro.disk.timing import DiskModel, DiskTimer, HP_C3010
+from repro.obs.registry import NULL_HISTOGRAM
 
 
 class SimulatedDisk:
@@ -54,6 +55,26 @@ class SimulatedDisk:
         #: Set when :meth:`power_cycle` hands the platter to a
         #: successor disk; all I/O through this handle then raises.
         self._retired = False
+        # Per-op latency histograms; no-ops until an owning system
+        # calls :meth:`attach_observability`.  Observing a latency
+        # never touches the clock (the timer already charged it), so
+        # instrumentation cannot change simulated results.
+        self._h_read_us = NULL_HISTOGRAM
+        self._h_write_us = NULL_HISTOGRAM
+        self._h_batch_read_us = NULL_HISTOGRAM
+        self._h_batch_write_us = NULL_HISTOGRAM
+
+    def attach_observability(self, obs) -> None:
+        """Register per-op latency histograms against ``obs``.
+
+        Called by the owning logical disk; a disabled registry hands
+        back null instruments, keeping the hot path free.
+        """
+        metrics = obs.metrics
+        self._h_read_us = metrics.histogram("disk.read_us")
+        self._h_write_us = metrics.histogram("disk.write_us")
+        self._h_batch_read_us = metrics.histogram("disk.batch_read_us")
+        self._h_batch_write_us = metrics.histogram("disk.batch_write_us")
 
     # ------------------------------------------------------------------
     # I/O
@@ -77,7 +98,7 @@ class SimulatedDisk:
         self._check_retired(f"write to segment {segment_no}")
         surviving = self.injector.on_write(segment_no, len(data))
         if surviving is None:
-            self.timer.access(offset, len(data))
+            self._h_write_us.observe(self.timer.access(offset, len(data)))
             self._segments[segment_no] = bytes(data)
             self.write_count += 1
             return
@@ -147,8 +168,10 @@ class SimulatedDisk:
             # The writes that completed were serviced before the power
             # loss; charge them even when the batch ends in a crash.
             if ranges:
-                self.timer.access_batch(
-                    ranges, requests=len(ranges), is_write=True
+                self._h_batch_write_us.observe(
+                    self.timer.access_batch(
+                        ranges, requests=len(ranges), is_write=True
+                    )
                 )
 
     def write_at(self, segment_no: int, offset: int, data: bytes) -> None:
@@ -170,8 +193,11 @@ class SimulatedDisk:
             segment_no, b"\x00" * self.geometry.segment_size
         )
         if surviving is None:
-            self.timer.access(
-                self.geometry.segment_offset(segment_no) + offset, len(data)
+            self._h_write_us.observe(
+                self.timer.access(
+                    self.geometry.segment_offset(segment_no) + offset,
+                    len(data),
+                )
             )
             self._segments[segment_no] = (
                 old[:offset] + data + old[offset + len(data):]
@@ -205,7 +231,7 @@ class SimulatedDisk:
         if raw is None:
             raw = b"\x00" * self.geometry.segment_size
         raw = self.injector.on_read(segment_no, raw)
-        self.timer.access(base + offset, nbytes)
+        self._h_read_us.observe(self.timer.access(base + offset, nbytes))
         self.read_count += 1
         return raw[offset : offset + nbytes]
 
@@ -263,7 +289,9 @@ class SimulatedDisk:
             ranges.append((geometry.segment_offset(segment_no) + offset, nbytes))
             self.read_count += 1
         if ranges:
-            self.timer.access_batch(ranges, requests=len(ranges))
+            self._h_batch_read_us.observe(
+                self.timer.access_batch(ranges, requests=len(ranges))
+            )
         return results
 
     # ------------------------------------------------------------------

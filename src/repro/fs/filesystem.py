@@ -96,6 +96,16 @@ class MinixFS:
         self.inode_list = inode_list
         self.delete_policy = delete_policy
         self.use_arus = use_arus
+        # FS-level counters go into the owning LD's registry when it
+        # has one (a bare JLD does not; fall back to the shared
+        # disabled registry so the charge sites stay branch-free).
+        from repro.obs.registry import DISABLED_REGISTRY
+
+        obs = getattr(ld, "obs", None)
+        metrics = obs.metrics if obs is not None else DISABLED_REGISTRY
+        self._c_fs_calls = metrics.counter("fs.calls")
+        self._c_dirent_scans = metrics.counter("fs.dirent_scans")
+        self._c_dirents_scanned = metrics.counter("fs.dirents_scanned")
         self._lock = threading.RLock()
         self._inode_blocks: List[BlockId] = list(ld.list_blocks(inode_list))
         self._inodes: Dict[int, Inode] = {}
@@ -708,6 +718,8 @@ class MinixFS:
         return entries
 
     def _charge_scan(self, n_entries: int) -> None:
+        self._c_dirent_scans.inc()
+        self._c_dirents_scanned.add(n_entries)
         meter = getattr(self.ld, "meter", None)
         if meter is not None and n_entries:
             meter.charge("dirent_scan_us", n_entries)
@@ -904,6 +916,7 @@ class MinixFS:
         self._dir_cache.clear()
 
     def _charge_fs_call(self) -> None:
+        self._c_fs_calls.inc()
         meter = getattr(self.ld, "meter", None)
         if meter is not None:
             meter.charge("fs_call_us")

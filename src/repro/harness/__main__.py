@@ -6,11 +6,14 @@ A thin command-line front end over the experiment runners::
     python -m repro.harness --full          # the paper's sizes
     python -m repro.harness figure5         # one experiment
     python -m repro.harness figure6 aru
+    python -m repro.harness --metrics out/  # emit metrics JSON per run
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -26,6 +29,36 @@ from repro.harness.variants import paper_geometry
 EXPERIMENTS = ("figure5", "figure6", "aru", "scrub", "writepath")
 
 
+def emit_metrics(directory: str, experiment: str, metrics: dict) -> str:
+    """Write one experiment's observability artifact as JSON.
+
+    Every per-variant ``stats`` block is validated against the frozen
+    schema (:mod:`repro.obs.schema`) before it is written, so a schema
+    drift fails the harness run rather than producing a silently
+    unreadable artifact.
+    """
+    from repro.obs.schema import validate_stats
+
+    for label, entry in metrics.items():
+        problems = validate_stats(entry["stats"])
+        if problems:
+            raise SystemExit(
+                f"metrics artifact for {experiment}/{label} violates the "
+                f"stats schema: {problems}"
+            )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"metrics_{experiment}.json")
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(
+            {"experiment": experiment, "variants": metrics},
+            out,
+            indent=2,
+            sort_keys=True,
+        )
+        out.write("\n")
+    return path
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -39,6 +72,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--full", action="store_true", help="use the paper's full sizes"
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="DIR",
+        default=None,
+        help="write a metrics_<experiment>.json artifact per experiment",
     )
     args = parser.parse_args(argv)
     chosen = args.experiments or list(EXPERIMENTS)
@@ -60,11 +99,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         file_size = 16 * 1024 * 1024
         iterations = 60_000
 
+    def emitted(experiment: str, metrics: dict) -> None:
+        if args.metrics is not None:
+            path = emit_metrics(args.metrics, experiment, metrics)
+            print(f"[metrics -> {path}]")
+
     if "figure5" in chosen:
-        print(run_figure5(size_classes=size_classes, geometry=geometry).table)
+        result5 = run_figure5(size_classes=size_classes, geometry=geometry)
+        print(result5.table)
+        emitted("figure5", result5.metrics)
         print()
     if "figure6" in chosen:
-        print(run_figure6(file_size=file_size).table)
+        result6 = run_figure6(file_size=file_size)
+        print(result6.table)
+        emitted("figure6", result6.metrics)
         print()
     if "aru" in chosen:
         result = run_aru_latency_experiment(iterations=iterations)
@@ -73,11 +121,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({result.scaled_segments(500_000):.1f} segments per 500k; "
             "paper: 78.47 us, 24 segments)"
         )
+        emitted("aru", result.metrics)
     if "scrub" in chosen:
-        print(run_scrub_experiment().summary)
+        scrub = run_scrub_experiment()
+        print(scrub.summary)
+        emitted("scrub", scrub.metrics)
     if "writepath" in chosen:
         n_arus = 1000 if args.full else 200
-        print(run_writepath_experiment(n_arus=n_arus).summary)
+        wp = run_writepath_experiment(n_arus=n_arus)
+        print(wp.summary)
+        emitted("writepath", wp.metrics)
     return 0
 
 

@@ -20,6 +20,16 @@ from repro.workloads.largefile import LargeFileResult, run_large_file
 from repro.workloads.smallfile import SmallFileResult, run_small_files
 
 
+def capture_metrics(ld) -> Dict[str, dict]:
+    """One experiment run's observability artifact for a system.
+
+    ``stats`` is the frozen schema-stable view (see
+    :mod:`repro.obs.schema`); ``registry`` is the full instrument
+    snapshot including latency histograms.
+    """
+    return {"stats": ld.stats(), "registry": ld.obs.snapshot()}
+
+
 @dataclasses.dataclass
 class Figure5Result:
     """Figure 5: small-file throughput per variant and size class."""
@@ -27,6 +37,8 @@ class Figure5Result:
     #: (variant, n_files, file_size) -> phase results
     results: Dict[str, Dict[int, SmallFileResult]]
     table: str
+    #: per-run observability artifacts, keyed "variant/file_size"
+    metrics: Dict[str, dict] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -35,6 +47,7 @@ class Figure6Result:
 
     results: Dict[str, LargeFileResult]
     table: str
+    metrics: Dict[str, dict] = dataclasses.field(default_factory=dict)
 
 
 def run_figure5(
@@ -47,18 +60,20 @@ def run_figure5(
 ) -> Figure5Result:
     """The small-file experiment for every variant and size class."""
     results: Dict[str, Dict[int, SmallFileResult]] = {}
+    metrics: Dict[str, dict] = {}
     for name in variants:
         variant = VARIANTS[name]
         per_size: Dict[int, SmallFileResult] = {}
         for spec in size_classes:
             geo = geometry if geometry is not None else paper_geometry(0.25)
-            _disk, _ld, fs = build_variant(
+            _disk, ld, fs = build_variant(
                 variant, geometry=geo,
                 n_inodes=max(1024, spec["n_files"] + spec["n_files"] // 64 + 64),
             )
             per_size[spec["file_size"]] = run_small_files(
                 fs, spec["n_files"], spec["file_size"]
             )
+            metrics[f"{name}/{spec['file_size']}"] = capture_metrics(ld)
         results[name] = per_size
 
     columns: List[str] = []
@@ -87,7 +102,7 @@ def run_figure5(
         table += "\n\n" + format_deltas(
             "Concurrency overhead vs the old prototype", "old", columns, rows
         )
-    return Figure5Result(results=results, table=table)
+    return Figure5Result(results=results, table=table, metrics=metrics)
 
 
 def run_figure6(
@@ -97,6 +112,7 @@ def run_figure6(
 ) -> Figure6Result:
     """The large-file experiment (write1/read1/write2/read2/read3)."""
     results: Dict[str, LargeFileResult] = {}
+    metrics: Dict[str, dict] = {}
     for name in variants:
         geo = geometry if geometry is not None else paper_geometry(
             _geometry_scale_for(file_size)
@@ -105,11 +121,12 @@ def run_figure6(
         # paper's 80 MB machine was against its 78 MB file; otherwise
         # the read phases just measure the cache.
         cache_blocks = max(64, min(2048, file_size // geo.block_size // 4))
-        _disk, _ld, fs = build_variant(
+        _disk, ld, fs = build_variant(
             VARIANTS[name], geometry=geo, n_inodes=64,
             cache_blocks=cache_blocks,
         )
         results[name] = run_large_file(fs, file_size=file_size)
+        metrics[name] = capture_metrics(ld)
     columns = ["write1", "read1", "write2", "read2", "read3"]
     rows = {
         name: [results[name].phase(phase) for phase in columns]
@@ -126,7 +143,7 @@ def run_figure6(
         table += "\n\n" + format_deltas(
             "Concurrency overhead vs the old prototype", "old", columns, rows
         )
-    return Figure6Result(results=results, table=table)
+    return Figure6Result(results=results, table=table, metrics=metrics)
 
 
 def run_aru_latency_experiment(
@@ -136,7 +153,9 @@ def run_aru_latency_experiment(
     """The Section 5.3 microbenchmark on the new (concurrent) LLD."""
     geo = geometry if geometry is not None else paper_geometry(0.25)
     _disk, ld, _fs = build_variant(VARIANTS["new"], geometry=geo, n_inodes=64)
-    return run_aru_latency(ld, iterations=iterations)
+    result = run_aru_latency(ld, iterations=iterations)
+    result.metrics["new"] = capture_metrics(ld)
+    return result
 
 
 @dataclasses.dataclass
@@ -150,6 +169,7 @@ class ScrubResult:
     blocks_intact: int
     verify_problems: int
     summary: str
+    metrics: Dict[str, dict] = dataclasses.field(default_factory=dict)
 
 
 def run_scrub_experiment(
@@ -239,6 +259,7 @@ def run_scrub_experiment(
         blocks_intact=intact,
         verify_problems=len(problems),
         summary=summary,
+        metrics={"scrub": capture_metrics(ld)},
     )
 
 
@@ -254,6 +275,7 @@ class WritePathResult:
     commits_grouped: int
     groups_flushed: int
     summary: str
+    metrics: Dict[str, dict] = dataclasses.field(default_factory=dict)
 
 
 def run_writepath_experiment(
@@ -321,6 +343,10 @@ def run_writepath_experiment(
         commits_grouped=gc_stats["commits_grouped"],
         groups_flushed=gc_stats["groups_flushed"],
         summary=summary,
+        metrics={
+            "serial": capture_metrics(serial_ld),
+            "pipelined": capture_metrics(pipelined_ld),
+        },
     )
 
 

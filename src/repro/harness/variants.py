@@ -27,6 +27,7 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.simdisk import SimulatedDisk
 from repro.disk.timing import DiskModel, HP_C3010
 from repro.fs.filesystem import MinixFS
+from repro.lld.config import LLDConfig
 from repro.lld.lld import LLD
 
 
@@ -88,17 +89,21 @@ def build_variant(
     n_inodes: int = 4096,
     cost_model: Optional[CostModel] = None,
     disk_model: DiskModel = HP_C3010,
+    config: Optional[LLDConfig] = None,
     **lld_kwargs,
 ) -> Tuple[SimulatedDisk, LLD, MinixFS]:
-    """Build (disk, lld, fs) for one Table 1 variant."""
+    """Build (disk, lld, fs) for one Table 1 variant.
+
+    Knobs route through :class:`~repro.lld.config.LLDConfig`: pass a
+    prebuilt ``config=`` or the historical LLD keyword arguments; the
+    variant's ARU mode always wins.
+    """
     geo = geometry if geometry is not None else paper_geometry(0.25)
     disk = SimulatedDisk(geo, model=disk_model)
-    ld = LLD(
-        disk,
-        cost_model=cost_model,
-        aru_mode=variant.aru_mode,
-        **lld_kwargs,
+    cfg = LLDConfig.from_kwargs(config, **lld_kwargs).replace(
+        aru_mode=variant.aru_mode
     )
+    ld = LLD(disk, cost_model=cost_model, config=cfg)
     fs = MinixFS.mkfs(
         ld,
         n_inodes=n_inodes,

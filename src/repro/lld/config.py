@@ -1,0 +1,137 @@
+"""`LLDConfig`: every LLD tuning knob in one validated dataclass.
+
+The :class:`~repro.lld.lld.LLD` constructor grew a knob per PR
+(write-behind depth, group commit, cleaner thresholds, cache size,
+recovery parallelism…).  This module consolidates them: construct an
+:class:`LLDConfig` and pass it as ``LLD(disk, config=cfg)``, or keep
+using the historical keyword arguments — ``LLD(disk,
+writeback_depth=8)`` — which :meth:`LLDConfig.from_kwargs` folds into
+a config for you.  Either way :meth:`LLDConfig.validate` is the single
+place knob values are checked.
+
+``aru_mode`` and ``visibility`` live here too (they are constructor
+knobs), but ``cost_model`` does not: it is a collaborating object
+with its own type, not a tunable scalar, and stays a direct ``LLD``
+parameter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.visibility import Visibility
+
+
+@dataclasses.dataclass(frozen=True)
+class LLDConfig:
+    """Tuning knobs for an LLD instance (and its recovery).
+
+    Field groups, in rough subsystem order:
+
+    * ARU semantics: ``aru_mode``, ``visibility``, ``conflict_policy``
+    * read path: ``cache_blocks``, ``readahead``
+    * checkpointing: ``checkpoint_slot_segments``
+    * cleaner: ``clean_low_water``, ``clean_high_water``,
+      ``cleaner_policy``
+    * write pipeline: ``writeback_depth``, ``group_commit``,
+      ``group_commit_max_parked``, ``group_commit_timeout_us``
+    * recovery: ``recovery_parallel``, ``recovery_workers``
+    * observability: ``metrics``, ``recorder_events``,
+      ``flight_dump_path``
+    """
+
+    aru_mode: str = "concurrent"
+    visibility: Visibility = Visibility.ARU_LOCAL
+    conflict_policy: str = "raise"
+    cache_blocks: int = 2048
+    readahead: bool = True
+    checkpoint_slot_segments: Optional[int] = None
+    clean_low_water: int = 4
+    clean_high_water: int = 8
+    cleaner_policy: str = "cost_benefit"
+    writeback_depth: int = 0
+    group_commit: bool = False
+    group_commit_max_parked: int = 8
+    group_commit_timeout_us: float = 10_000.0
+    recovery_parallel: bool = True
+    recovery_workers: int = 4
+    metrics: bool = True
+    recorder_events: int = 256
+    flight_dump_path: Optional[str] = None
+
+    def validate(self) -> "LLDConfig":
+        """Raise ``ValueError`` for any out-of-range knob.
+
+        This is the single validation point: the LLD constructor,
+        ``recover()`` and ``build_variant`` all funnel through it.
+        """
+        if self.aru_mode not in ("concurrent", "sequential"):
+            raise ValueError(f"unknown aru_mode: {self.aru_mode!r}")
+        if self.conflict_policy not in ("raise", "skip"):
+            raise ValueError(
+                f"unknown conflict_policy: {self.conflict_policy!r}"
+            )
+        if self.cleaner_policy not in ("cost_benefit", "greedy"):
+            raise ValueError(f"unknown cleaner policy: {self.cleaner_policy!r}")
+        if self.cache_blocks < 0:
+            raise ValueError(f"cache_blocks must be >= 0, got {self.cache_blocks}")
+        if (
+            self.checkpoint_slot_segments is not None
+            and self.checkpoint_slot_segments < 1
+        ):
+            raise ValueError(
+                "checkpoint_slot_segments must be >= 1, got "
+                f"{self.checkpoint_slot_segments}"
+            )
+        if self.clean_low_water < 1:
+            raise ValueError(
+                f"clean_low_water must be >= 1, got {self.clean_low_water}"
+            )
+        if self.writeback_depth < 0:
+            raise ValueError(
+                f"writeback depth must be >= 0, got {self.writeback_depth}"
+            )
+        if self.group_commit_max_parked < 1:
+            raise ValueError("group_commit_max_parked must be >= 1")
+        if self.group_commit_timeout_us <= 0:
+            raise ValueError(
+                "group_commit_timeout_us must be > 0, got "
+                f"{self.group_commit_timeout_us}"
+            )
+        if self.recovery_workers < 1:
+            raise ValueError(
+                f"recovery_workers must be >= 1, got {self.recovery_workers}"
+            )
+        if self.recorder_events < 1:
+            raise ValueError(
+                f"recorder_events must be >= 1, got {self.recorder_events}"
+            )
+        return self
+
+    @classmethod
+    def from_kwargs(
+        cls, config: Optional["LLDConfig"] = None, **kwargs
+    ) -> "LLDConfig":
+        """The backward-compatible kwargs shim.
+
+        Starts from ``config`` (or the defaults), applies any
+        historical keyword arguments as overrides, and validates.
+        Unknown keywords raise ``TypeError`` with the valid knob
+        names, exactly as a misspelled constructor argument used to.
+        """
+        base = config if config is not None else cls()
+        if not kwargs:
+            return base.validate()
+        valid = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown LLD config knob(s): {', '.join(unknown)} "
+                f"(valid: {', '.join(sorted(valid))})"
+            )
+        return dataclasses.replace(base, **kwargs).validate()
+
+    def replace(self, **changes) -> "LLDConfig":
+        """A copy with ``changes`` applied, re-validated."""
+        return dataclasses.replace(self, **changes).validate()

@@ -58,6 +58,7 @@ from repro.errors import (
 from repro.ld.interface import LogicalDisk
 from repro.ld.types import ARU_NONE, ARUId, BlockId, FIRST, ListId, PhysAddr, Predecessor
 from repro.lld.cache import BlockCache
+from repro.lld.config import LLDConfig
 from repro.lld.checkpoint import (
     BlockSnapshot,
     CheckpointData,
@@ -70,6 +71,7 @@ from repro.lld.segment import SegmentBuffer
 from repro.lld.summary import EntryKind, SummaryEntry, entry_size
 from repro.lld.usage import SegmentState, SegmentUsage
 from repro.lld.writeback import WritebackQueue
+from repro.obs import Observability
 
 _WRITE_ENTRY_SIZE = entry_size(EntryKind.WRITE)
 
@@ -80,85 +82,59 @@ class LLD(LogicalDisk):
     Args:
         disk: The (simulated) disk to run on.
         cost_model: CPU cost model; defaults to the calibrated model.
-        aru_mode: ``"concurrent"`` (the paper's new prototype) or
-            ``"sequential"`` (the old baseline).
-        visibility: Read-visibility policy for concurrent ARUs
-            (Section 3.3); the paper's choice — and our default — is
-            option 3, ``Visibility.ARU_LOCAL``.
-        cache_blocks: Capacity of the block read cache, in blocks.
-        readahead: Fetch the rest of a segment on sequential misses.
-        conflict_policy: What commit-time replay does when a logged
-            list operation no longer applies (a concurrent stream
-            changed the list): ``"raise"`` (default; clients are
-            expected to lock) or ``"skip"``.
-        checkpoint_slot_segments: Segments reserved per checkpoint
-            slot; sized for worst-case tables when omitted.
-        clean_low_water / clean_high_water: Free-segment thresholds
-            that trigger / stop the cleaner.
-        cleaner_policy: ``"greedy"`` or ``"cost_benefit"``.
-        writeback_depth: Sealed segments parked in the write-behind
-            queue before an automatic drain.  ``0`` (default) keeps
-            the serial write path: every sealed segment is written
-            synchronously.  With a positive depth, sealed segments
-            queue and drain in log order through one scatter-gather
-            :meth:`~repro.disk.simdisk.SimulatedDisk.write_many`
-            batch; ``flush()``/``write_checkpoint()`` are barriers
-            that drain the queue first.
-        group_commit: Park ARU commit records at ``end_aru`` instead
-            of emitting them immediately; a parked group is released
-            — and made durable — when ``group_commit_max_parked``
-            commits accumulate, the oldest parked commit is older
-            than ``group_commit_timeout_us`` of simulated time, or
-            any drain point (``flush()``, checkpoint, cleaning) is
-            reached.  N small ARUs then share one segment write
-            instead of N partial-segment flushes.
-        group_commit_max_parked: Parked-commit cap forcing a group
-            release.
-        group_commit_timeout_us: Simulated-time budget a commit may
-            stay parked before the next operation releases the group.
+        config: An :class:`~repro.lld.config.LLDConfig` carrying
+            every tuning knob — ARU semantics, read cache,
+            checkpointing, cleaner thresholds, the write pipeline,
+            recovery parallelism and observability.  See that class
+            for per-knob documentation.
+        **kwargs: The historical keyword arguments (``aru_mode=``,
+            ``writeback_depth=``, ``group_commit=``, …) are still
+            accepted and are applied as overrides on top of
+            ``config`` via :meth:`LLDConfig.from_kwargs`; validation
+            happens there, in one place.
     """
 
     def __init__(
         self,
         disk: SimulatedDisk,
         cost_model: Optional[CostModel] = None,
-        aru_mode: str = "concurrent",
-        visibility: Visibility = Visibility.ARU_LOCAL,
-        cache_blocks: int = 2048,
-        readahead: bool = True,
-        conflict_policy: str = "raise",
-        checkpoint_slot_segments: Optional[int] = None,
-        clean_low_water: int = 4,
-        clean_high_water: int = 8,
-        cleaner_policy: str = "cost_benefit",
-        writeback_depth: int = 0,
-        group_commit: bool = False,
-        group_commit_max_parked: int = 8,
-        group_commit_timeout_us: float = 10_000.0,
+        config: Optional[LLDConfig] = None,
         _defer_init: bool = False,
+        **kwargs,
     ) -> None:
-        if aru_mode not in ("concurrent", "sequential"):
-            raise ValueError(f"unknown aru_mode {aru_mode!r}")
-        if conflict_policy not in ("raise", "skip"):
-            raise ValueError(f"unknown conflict_policy {conflict_policy!r}")
+        cfg = LLDConfig.from_kwargs(config, **kwargs)
+        self.config = cfg
         self.disk = disk
         self.geometry = disk.geometry
         self.clock = disk.clock
         self.meter = CostMeter(self.clock, cost_model or CostModel())
-        self.concurrent = aru_mode == "concurrent"
-        self.visibility = visibility
-        self.conflict_policy = conflict_policy
+        # Observability comes up before any collaborator (write-behind
+        # queue, disk instruments) so they can register against it.
+        # Instruments never touch the simulated clock, so metrics
+        # on/off cannot change any simulated result.
+        self.obs = Observability(
+            metrics=cfg.metrics,
+            recorder_events=cfg.recorder_events,
+            dump_path=cfg.flight_dump_path,
+        )
+        self.obs.bind_clock(self.clock)
+        attach = getattr(disk, "attach_observability", None)
+        if attach is not None:
+            attach(self.obs)
+        self.concurrent = cfg.aru_mode == "concurrent"
+        self.visibility = cfg.visibility
+        self.conflict_policy = cfg.conflict_policy
         if self.geometry.usable_size < self.geometry.block_size + 64:
             raise ValueError("segments too small to hold a block plus summary")
 
         slot_segs = (
-            checkpoint_slot_segments
-            if checkpoint_slot_segments is not None
+            cfg.checkpoint_slot_segments
+            if cfg.checkpoint_slot_segments is not None
             else default_slot_segments(self.geometry)
         )
         self.checkpoints = CheckpointManager(disk, slot_segs)
         reserved = self.checkpoints.reserved_segments
-        if reserved >= self.geometry.num_segments - max(2, clean_low_water):
+        if reserved >= self.geometry.num_segments - max(2, cfg.clean_low_water):
             raise ValueError(
                 "checkpoint reservation leaves too few log segments; "
                 "use a larger partition or fewer checkpoint segments"
@@ -170,11 +146,13 @@ class LLD(LogicalDisk):
         self.committed_blocks = StateChain()
         self.committed_lists = StateChain()
         self.usage = SegmentUsage(self.geometry.num_segments, reserved=reserved)
-        self.cache = BlockCache(cache_blocks)
-        self.readahead = readahead
-        self.clean_low_water = clean_low_water
-        self.clean_high_water = max(clean_high_water, clean_low_water + 1)
-        self.cleaner_policy = cleaner_policy
+        self.cache = BlockCache(cfg.cache_blocks)
+        self.readahead = cfg.readahead
+        self.clean_low_water = cfg.clean_low_water
+        self.clean_high_water = max(
+            cfg.clean_high_water, cfg.clean_low_water + 1
+        )
+        self.cleaner_policy = cfg.cleaner_policy
 
         self._next_block_id = 1
         self._next_list_id = 1
@@ -200,46 +178,56 @@ class LLD(LogicalDisk):
         self._last_read_key: Optional[Tuple[int, int]] = None
         self._lock = threading.RLock()
         self._buffer: Optional[SegmentBuffer] = None
-        self._writeback = WritebackQueue(self, writeback_depth)
-        if group_commit_max_parked < 1:
-            raise ValueError("group_commit_max_parked must be >= 1")
-        self.group_commit = bool(group_commit)
-        self.group_commit_max_parked = group_commit_max_parked
-        self.group_commit_timeout_us = float(group_commit_timeout_us)
+        self._writeback = WritebackQueue(self, cfg.writeback_depth)
+        self.group_commit = bool(cfg.group_commit)
+        self.group_commit_max_parked = cfg.group_commit_max_parked
+        self.group_commit_timeout_us = float(cfg.group_commit_timeout_us)
         #: Commit records parked by ``end_aru`` under group commit:
         #: (aru tag, op count, commit timestamp) in commit order.
         self._parked_commits: List[Tuple[int, int, int]] = []
         #: Simulated deadline by which the oldest parked commit must
         #: be released (None while nothing is parked).
         self._parked_deadline_us: Optional[float] = None
-        self._commit_groups_flushed = 0
-        self._commits_grouped = 0
         #: Segments a foreground read or the cleaner found damaged;
         #: the next :meth:`scrub` pass inspects them.
         self._scrub_pending: Set[int] = set()
 
-        # Statistics
-        self.op_counts: Dict[str, int] = {}
-        self.segments_flushed = 0
-        self.cleanings = 0
-        #: Fill accounting over every flushed segment: data and
-        #: summary bytes actually used, and the min/total fill ratio,
-        #: so partial-segment waste from eager flushes is visible.
-        self._fill_data_bytes = 0
-        self._fill_summary_bytes = 0
-        self._fill_ratio_total = 0.0
-        self._fill_ratio_min: Optional[float] = None
-        self._fill_segments_sealed = 0
-        self.scrub_stats: Dict[str, int] = {
-            "scrubs": 0,
-            "segments_quarantined": 0,
-            "blocks_salvaged": 0,
-            "blocks_salvaged_stale": 0,
-            "blocks_lost": 0,
-            "degraded_reads": 0,
-            "salvaged_reads": 0,
-            "unrecoverable_reads": 0,
+        # Statistics — registry-backed (docs/OBSERVABILITY.md names
+        # every instrument).  The historical attributes (`op_counts`,
+        # `segments_flushed`, `scrub_stats`, …) are read-only
+        # properties over these counters.
+        m = self.obs.metrics
+        self._op_counters: Dict[str, object] = {}
+        self._c_segments_flushed = m.counter("lld.segments.flushed")
+        self._c_cleanings = m.counter("lld.cleaner.passes")
+        self._c_commit_groups_flushed = m.counter(
+            "lld.group_commit.groups_flushed"
+        )
+        self._c_commits_grouped = m.counter("lld.group_commit.commits_grouped")
+        #: Fill accounting over every sealed segment: data and summary
+        #: bytes actually used, and the min/total fill ratio, so
+        #: partial-segment waste from eager flushes is visible.
+        self._c_fill_sealed = m.counter("lld.segments.sealed")
+        self._c_fill_data_bytes = m.counter("lld.segments.data_bytes")
+        self._c_fill_summary_bytes = m.counter("lld.segments.summary_bytes")
+        self._c_fill_ratio_total = m.counter("lld.segments.fill_ratio_total")
+        self._g_fill_min = m.gauge("lld.segments.min_fill", initial=None)
+        self._scrub_counters = {
+            name: m.counter(f"lld.scrub.{name}")
+            for name in (
+                "scrubs",
+                "segments_quarantined",
+                "blocks_salvaged",
+                "blocks_salvaged_stale",
+                "blocks_lost",
+                "degraded_reads",
+                "salvaged_reads",
+                "unrecoverable_reads",
+            )
         }
+        self._h_commit_us = m.histogram("lld.commit_us")
+        self._h_flush_us = m.histogram("lld.flush_us")
+        self._h_cleaner_us = m.histogram("lld.cleaner.pass_us")
 
         if not _defer_init:
             self._open_new_buffer()
@@ -257,6 +245,7 @@ class LLD(LogicalDisk):
             self._maybe_release_parked()
             self._count("begin_aru")
             record = self.arus.begin(self.clock.tick())
+            self.obs.record("aru.begin", aru=int(record.aru_id))
             return record.aru_id
 
     def end_aru(self, aru: ARUId) -> None:
@@ -277,6 +266,7 @@ class LLD(LogicalDisk):
             self.meter.charge("aru_commit_us")
             self._maybe_release_parked()
             self._count("end_aru")
+            commit_start_us = self.clock.now_us
             record = self.arus.get(aru)
             # Commits may dip into the segment reserve: an interrupted
             # merge cannot be unwound, so completion beats headroom.
@@ -297,13 +287,20 @@ class LLD(LogicalDisk):
                 # fail the instance (recovery from disk restores the
                 # consistent pre-commit state, since no commit record
                 # was written).
-                self._dead = True
+                self._mark_dead("commit_disk_full")
                 raise
             finally:
                 self._emergency = False
             self._pending_commit_arus.add(int(aru))
             self.meter.charge("summary_entry_us")
             self.arus.finish(aru, committed=True)
+            self.obs.record(
+                "aru.commit",
+                aru=int(aru),
+                ops=op_count,
+                parked=self.group_commit,
+            )
+            self._h_commit_us.observe(self.clock.now_us - commit_start_us)
             if (
                 self.group_commit
                 and len(self._parked_commits) >= self.group_commit_max_parked
@@ -339,6 +336,7 @@ class LLD(LogicalDisk):
                 self.ltable.drop_if_empty(shadow.list_id)
                 self.meter.charge("record_transition_us")
             record.oplog.clear()
+            self.obs.record("aru.abort", aru=int(aru))
 
     def _commit_concurrent(self, record: ARURecord) -> None:
         """Merge an ARU's shadow state into the committed stream."""
@@ -413,8 +411,9 @@ class LLD(LogicalDisk):
             return
         parked, self._parked_commits = self._parked_commits, []
         self._parked_deadline_us = None
-        self._commit_groups_flushed += 1
-        self._commits_grouped += len(parked)
+        self._c_commit_groups_flushed.inc()
+        self._c_commits_grouped.add(len(parked))
+        self.obs.record("group_commit.release", commits=len(parked))
         self._emergency = True
         try:
             # (summary_entry_us was already charged at end_aru time;
@@ -426,7 +425,7 @@ class LLD(LogicalDisk):
         except DiskFullError:
             # Parked ARUs are already committed in memory; losing the
             # ability to write their commit records cannot be unwound.
-            self._dead = True
+            self._mark_dead("group_commit_disk_full")
             raise
         finally:
             self._emergency = False
@@ -792,9 +791,11 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("flush")
+            flush_start_us = self.clock.now_us
             self._release_parked()
             self._write_buffer()
             self._writeback.drain()
+            self._h_flush_us.observe(self.clock.now_us - flush_start_us)
 
     def write_checkpoint(self) -> None:
         """Flush, then write a checkpoint bounding future recovery.
@@ -816,7 +817,12 @@ class LLD(LogicalDisk):
                     "active sequential-mode ARU still references the log"
                 )
             self._ckpt_seq += 1
-            self.checkpoints.write(self._snapshot_checkpoint())
+            try:
+                self.checkpoints.write(self._snapshot_checkpoint())
+            except DiskCrashedError:
+                self._mark_dead("disk_crashed_mid_checkpoint")
+                raise
+            self.obs.record("checkpoint", seq=self._ckpt_seq)
 
     def checkpoint_safe(self) -> bool:
         """True when the persistent tables fully capture the log
@@ -1326,10 +1332,10 @@ class LLD(LogicalDisk):
                     [(buffer.segment_no, image) for buffer, image in batch]
                 )
         except DiskCrashedError:
-            self._dead = True
+            self._mark_dead("disk_crashed_mid_write")
             raise
         for buffer, _image in batch:
-            self.segments_flushed += 1
+            self._c_segments_flushed.inc()
             self._last_written_seq = max(self._last_written_seq, buffer.seq)
             if self.usage.state(buffer.segment_no) is SegmentState.QUEUED:
                 # Liveness was tracked while parked (later writes may
@@ -1358,13 +1364,21 @@ class LLD(LogicalDisk):
 
     def _account_fill(self, buffer: SegmentBuffer) -> None:
         """Record a sealed segment's fill for ``stats()["segments"]``."""
-        self._fill_segments_sealed += 1
-        self._fill_data_bytes += buffer.block_count * self.geometry.block_size
-        self._fill_summary_bytes += buffer.summary_bytes
+        self._c_fill_sealed.inc()
+        self._c_fill_data_bytes.add(
+            buffer.block_count * self.geometry.block_size
+        )
+        self._c_fill_summary_bytes.add(buffer.summary_bytes)
         ratio = buffer.fill_ratio
-        self._fill_ratio_total += ratio
-        if self._fill_ratio_min is None or ratio < self._fill_ratio_min:
-            self._fill_ratio_min = ratio
+        self._c_fill_ratio_total.add(ratio)
+        self._g_fill_min.update_min(ratio)
+        self.obs.record(
+            "segment.seal",
+            segment=buffer.segment_no,
+            log_seq=buffer.seq,
+            blocks=buffer.block_count,
+            fill=round(ratio, 4),
+        )
 
     def _open_new_buffer(self) -> None:
         """Start filling a fresh segment.
@@ -1384,10 +1398,19 @@ class LLD(LogicalDisk):
         from repro.lld.cleaner import SegmentCleaner
 
         self._cleaning = True
+        pass_start_us = self.clock.now_us
         try:
             cleaner = SegmentCleaner(self, policy=self.cleaner_policy)
-            cleaner.clean(target_free=self.clean_high_water)
-            self.cleanings += 1
+            report = cleaner.clean(target_free=self.clean_high_water)
+            self._c_cleanings.inc()
+            self.obs.record(
+                "cleaner.pass",
+                victims=len(report.victims),
+                blocks_copied=report.blocks_copied,
+                segments_freed=report.segments_freed,
+                damaged=len(report.damaged),
+            )
+            self._h_cleaner_us.observe(self.clock.now_us - pass_start_us)
         finally:
             self._cleaning = False
 
@@ -1535,7 +1558,13 @@ class LLD(LogicalDisk):
         is gone.
         """
         self._count("degraded_reads")
-        self.scrub_stats["degraded_reads"] += 1
+        self._scrub_counters["degraded_reads"].inc()
+        self.obs.record(
+            "media.degraded_read",
+            segment=addr.segment,
+            slot=addr.slot,
+            block=int(block_id) if block_id is not None else None,
+        )
         if self.usage.state(addr.segment) is SegmentState.DIRTY:
             self._scrub_pending.add(addr.segment)
         if block_id is None:
@@ -1547,10 +1576,13 @@ class LLD(LogicalDisk):
 
         found = find_log_copy(self, block_id, exclude={addr.segment})
         if found is None:
-            self.scrub_stats["unrecoverable_reads"] += 1
+            self._scrub_counters["unrecoverable_reads"].inc()
             raise UnrecoverableBlockError(int(block_id), addr.segment)
         data, _seq = found
-        self.scrub_stats["salvaged_reads"] += 1
+        self._scrub_counters["salvaged_reads"].inc()
+        self.obs.record(
+            "scrub.salvage", block=int(block_id), segment=addr.segment
+        )
         self.cache.put(addr, data)
         return data
 
@@ -1568,15 +1600,21 @@ class LLD(LogicalDisk):
             self.meter.charge("ld_call_us")
             self._count("scrub")
             report = Scrubber(self).scrub(segments)
-            self.scrub_stats["scrubs"] += 1
-            self.scrub_stats["segments_quarantined"] += (
-                report.segments_quarantined
+            counters = self._scrub_counters
+            counters["scrubs"].inc()
+            counters["segments_quarantined"].add(report.segments_quarantined)
+            counters["blocks_salvaged"].add(report.blocks_salvaged)
+            counters["blocks_salvaged_stale"].add(report.blocks_salvaged_stale)
+            counters["blocks_lost"].add(report.blocks_lost)
+            for segment, kind in sorted(report.damaged.items()):
+                self.obs.record("scrub.quarantine", segment=segment, kind=kind)
+            self.obs.record(
+                "scrub.pass",
+                checked=report.segments_checked,
+                quarantined=report.segments_quarantined,
+                salvaged=report.blocks_salvaged,
+                lost=report.blocks_lost,
             )
-            self.scrub_stats["blocks_salvaged"] += report.blocks_salvaged
-            self.scrub_stats["blocks_salvaged_stale"] += (
-                report.blocks_salvaged_stale
-            )
-            self.scrub_stats["blocks_lost"] += report.blocks_lost
             return report
 
     # ==================================================================
@@ -1620,16 +1658,64 @@ class LLD(LogicalDisk):
 
     def _check_alive(self) -> None:
         if self._dead or self.disk.crashed:
-            self._dead = True
+            self._mark_dead("disk_crashed")
             raise DiskCrashedError("logical disk lost its backing store")
 
+    def _mark_dead(self, reason: str) -> None:
+        """Fail the instance, once: record the terminal event and dump
+        the flight-recorder ring (if a dump path is configured)."""
+        if self._dead:
+            return
+        self._dead = True
+        self.obs.record("lld.dead", reason=reason)
+        self.obs.crash_dump(reason)
+
     def _count(self, name: str) -> None:
-        self.op_counts[name] = self.op_counts.get(name, 0) + 1
+        counter = self._op_counters.get(name)
+        if counter is None:
+            counter = self._op_counters[name] = self.obs.metrics.counter(
+                f"lld.ops.{name}"
+            )
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    # Historical counter attributes, as read-only registry views
+    # ------------------------------------------------------------------
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        """Per-operation call counts (``lld.ops.*`` in the registry)."""
+        return self.obs.metrics.group_values("lld.ops.")
+
+    @property
+    def segments_flushed(self) -> int:
+        return self._c_segments_flushed.value
+
+    @property
+    def cleanings(self) -> int:
+        return self._c_cleanings.value
+
+    @property
+    def scrub_stats(self) -> Dict[str, int]:
+        return {
+            name: counter.value
+            for name, counter in self._scrub_counters.items()
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The full registry + recorder snapshot (JSON-ready)."""
+        return self.obs.snapshot()
 
     def stats(self) -> dict:
-        """Operation, CPU, disk and cache statistics for the harness."""
+        """Operation, CPU, disk and cache statistics for the harness.
+
+        A thin, schema-stable view over the metrics registry: every
+        key is declared in :data:`repro.obs.schema.STATS_SCHEMA`, and
+        ``tests/test_stats_schema.py`` freezes the shape.
+        """
+        recorder = self.obs.recorder
         return {
-            "ops": dict(self.op_counts),
+            "ops": self.op_counts,
             "cpu_us": dict(self.meter.charged_us),
             "cpu_counts": dict(self.meter.counters),
             "segments_flushed": self.segments_flushed,
@@ -1651,21 +1737,29 @@ class LLD(LogicalDisk):
             "group_commit": {
                 "enabled": self.group_commit,
                 "parked": len(self._parked_commits),
-                "groups_flushed": self._commit_groups_flushed,
-                "commits_grouped": self._commits_grouped,
+                "groups_flushed": self._c_commit_groups_flushed.value,
+                "commits_grouped": self._c_commits_grouped.value,
             },
             "segments": self._segment_fill_stats(),
             "disk": self.disk.stats(),
+            "obs": {
+                "metrics_enabled": self.obs.metrics.enabled,
+                "events_recorded": recorder.recorded,
+                "events_dropped": recorder.dropped,
+                "events_capacity": recorder.capacity,
+            },
         }
 
     def _segment_fill_stats(self) -> dict:
         """Fill-ratio accounting over every segment sealed so far."""
-        sealed = self._fill_segments_sealed
+        sealed = self._c_fill_sealed.value
         return {
             "sealed": sealed,
             "flushed": self.segments_flushed,
-            "data_bytes": self._fill_data_bytes,
-            "summary_bytes": self._fill_summary_bytes,
-            "avg_fill": (self._fill_ratio_total / sealed) if sealed else 0.0,
-            "min_fill": self._fill_ratio_min,
+            "data_bytes": self._c_fill_data_bytes.value,
+            "summary_bytes": self._c_fill_summary_bytes.value,
+            "avg_fill": (
+                (self._c_fill_ratio_total.value / sealed) if sealed else 0.0
+            ),
+            "min_fill": self._g_fill_min.value,
         }

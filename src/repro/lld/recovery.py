@@ -518,30 +518,44 @@ def _scan_batched(
 def recover(
     disk: SimulatedDisk,
     sweep_orphans: bool = True,
-    parallel: bool = True,
-    workers: int = 4,
+    parallel: Optional[bool] = None,
+    workers: Optional[int] = None,
+    config=None,
     **lld_kwargs,
 ) -> Tuple[LLD, RecoveryReport]:
     """Recover an :class:`LLD` instance from a (crashed) disk.
 
     Accepts the same keyword arguments as :class:`LLD` (mode,
-    visibility, cost model, ...).  ``sweep_orphans=False`` skips the
-    consistency sweep, exposing the paper's intermediate state where
-    blocks allocated by undone ARUs remain allocated.
+    visibility, cost model, ...) or a prebuilt
+    :class:`~repro.lld.config.LLDConfig` via ``config=``.
+    ``sweep_orphans=False`` skips the consistency sweep, exposing the
+    paper's intermediate state where blocks allocated by undone ARUs
+    remain allocated.
 
-    ``parallel=True`` (the default) uses the batched, pipelined scan;
-    ``parallel=False`` falls back to the serial one-segment-at-a-time
-    scan.  Both produce identical logical-disk state; ``workers``
-    bounds the decode pool (and the simulated overlap) of the
-    pipeline.
+    ``parallel=True`` (the config default) uses the batched,
+    pipelined scan; ``parallel=False`` falls back to the serial
+    one-segment-at-a-time scan.  Both produce identical logical-disk
+    state; ``workers`` bounds the decode pool (and the simulated
+    overlap) of the pipeline.  When omitted, both come from the
+    config's ``recovery_parallel`` / ``recovery_workers`` knobs.
     """
+    from repro.lld.config import LLDConfig
+
+    cost_model = lld_kwargs.pop("cost_model", None)
+    cfg = LLDConfig.from_kwargs(config, **lld_kwargs)
+    if parallel is None:
+        parallel = cfg.recovery_parallel
+    if workers is None:
+        workers = cfg.recovery_workers
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     wall_start = time.perf_counter()
     start_us = disk.clock.now_us
     batches_before = disk.timer.batches
     runs_before = disk.timer.batched_runs
-    lld = LLD(disk, _defer_init=True, **lld_kwargs)
+    lld = LLD(disk, cost_model=cost_model, config=cfg, _defer_init=True)
+    lld.obs.record("recovery.start", parallel=parallel, workers=workers)
+    lld.obs.metrics.counter("lld.recovery.recoveries").inc()
     ckpt = lld.checkpoints.load()
     report = RecoveryReport(
         checkpoint_seq=ckpt.ckpt_seq, parallel=parallel, workers=workers
@@ -677,4 +691,14 @@ def recover(
     report.wall_seconds = time.perf_counter() - wall_start
     report.read_batches = disk.timer.batches - batches_before
     report.batched_runs = disk.timer.batched_runs - runs_before
+    for phase, us in report.phase_us.items():
+        lld.obs.metrics.counter(f"lld.recovery.{phase}_us").add(us)
+        lld.obs.record("recovery.phase", phase=phase, us=round(us, 3))
+    lld.obs.record(
+        "recovery.done",
+        segments_replayed=report.segments_replayed,
+        arus_committed=report.arus_committed,
+        arus_discarded=report.arus_discarded,
+        total_us=round(report.recovery_time_us, 3),
+    )
     return lld, report

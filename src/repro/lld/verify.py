@@ -35,6 +35,11 @@ def verify_lld(lld) -> List[str]:
     problems += _verify_usage(lld)
     problems += _verify_lists_well_formed(lld)
     problems += _verify_segment_states(lld)
+    if problems:
+        obs = getattr(lld, "obs", None)
+        if obs is not None:
+            obs.record("verify.failed", problems=len(problems))
+            obs.crash_dump("verify_failed")
     return problems
 
 

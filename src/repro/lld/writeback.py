@@ -62,11 +62,29 @@ class WritebackQueue:
         self.depth = depth
         self._pending: List[Tuple[SegmentBuffer, bytes]] = []
         self._by_segment: Dict[int, SegmentBuffer] = {}
-        # Statistics (surfaced via lld.stats()["writeback"]).
-        self.submitted = 0
-        self.drains = 0
-        self.auto_drains = 0
-        self.max_depth_seen = 0
+        # Statistics (surfaced via lld.stats()["writeback"]), kept in
+        # the owner's metrics registry.
+        metrics = lld.obs.metrics
+        self._c_submitted = metrics.counter("lld.writeback.submitted")
+        self._c_drains = metrics.counter("lld.writeback.drains")
+        self._c_auto_drains = metrics.counter("lld.writeback.auto_drains")
+        self._g_max_depth = metrics.gauge("lld.writeback.max_depth_seen")
+
+    @property
+    def submitted(self) -> int:
+        return self._c_submitted.value
+
+    @property
+    def drains(self) -> int:
+        return self._c_drains.value
+
+    @property
+    def auto_drains(self) -> int:
+        return self._c_auto_drains.value
+
+    @property
+    def max_depth_seen(self) -> int:
+        return self._g_max_depth.value
 
     @property
     def enabled(self) -> bool:
@@ -96,10 +114,10 @@ class WritebackQueue:
         self.lld.usage.mark_queued(
             buffer.segment_no, buffer.seq, buffer.block_count
         )
-        self.submitted += 1
-        self.max_depth_seen = max(self.max_depth_seen, len(self._pending))
+        self._c_submitted.inc()
+        self._g_max_depth.update_max(len(self._pending))
         if len(self._pending) >= self.depth:
-            self.auto_drains += 1
+            self._c_auto_drains.inc()
             self.drain()
 
     # ------------------------------------------------------------------
@@ -119,7 +137,8 @@ class WritebackQueue:
         batch = self._pending
         self._pending = []
         self._by_segment = {}
-        self.drains += 1
+        self._c_drains.inc()
+        self.lld.obs.record("writeback.drain", segments=len(batch))
         self.lld._write_now(batch)
         return len(batch)
 

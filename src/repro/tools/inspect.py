@@ -162,6 +162,38 @@ def describe_segments(
     return "\n".join(lines)
 
 
+def describe_metrics(
+    disk: SimulatedDisk, slot_segments: Optional[int] = None
+) -> str:
+    """Recover the image read-only and print its metrics as JSON.
+
+    Runs LLD recovery against a power-cycled copy of the image and
+    returns the recovered system's observability state: the recovery
+    report (phase timings included), the frozen ``stats()`` view, and
+    the full registry snapshot with latency histograms.
+    """
+    import json
+
+    survivor = disk.power_cycle()
+    kwargs = {}
+    if slot_segments is not None:
+        kwargs["checkpoint_slot_segments"] = slot_segments
+    ld, report = recover(survivor, **kwargs)
+    payload = {
+        "recovery": {
+            "segments_replayed": report.segments_replayed,
+            "entries_replayed": report.entries_replayed,
+            "arus_committed": report.arus_committed,
+            "arus_discarded": report.arus_discarded,
+            "checkpoint_seq": report.checkpoint_seq,
+            "phase_us": dict(report.phase_us),
+        },
+        "stats": ld.stats(),
+        "registry": ld.obs.snapshot(),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def describe_fs(
     disk: SimulatedDisk,
     slot_segments: Optional[int] = None,

@@ -10,6 +10,7 @@ Options:
     --limit N          cap the number of segments listed
     --checkpoints      show both checkpoint slots
     --fs               recover (read-only) and print the file tree
+    --metrics          recover (read-only) and print metrics as JSON
     --ckpt-segments N  checkpoint slot size, if non-default
 
 With no options, prints the disk summary plus checkpoints.
@@ -27,6 +28,7 @@ from repro.tools.inspect import (
     describe_checkpoints,
     describe_disk,
     describe_fs,
+    describe_metrics,
     describe_segments,
 )
 
@@ -41,6 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--limit", type=int, default=None)
     parser.add_argument("--checkpoints", action="store_true")
     parser.add_argument("--fs", action="store_true")
+    parser.add_argument("--metrics", action="store_true")
     parser.add_argument("--ckpt-segments", type=int, default=None)
     parser.add_argument(
         "--substrate", choices=["lld", "jld"], default="lld",
@@ -57,6 +60,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, LDError) as exc:
         print(f"lddump: {exc}", file=sys.stderr)
         return 1
+    if args.metrics:
+        # JSON mode: the metrics payload is the whole output, so
+        # machine consumers can pipe it straight into a parser.
+        print(describe_metrics(disk, slot_segments=args.ckpt_segments))
+        return 0
     sections = [describe_disk(disk)]
     everything = not (args.segments or args.entries or args.fs)
     if args.checkpoints or everything:

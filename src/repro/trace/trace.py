@@ -33,6 +33,9 @@ class TraceOp:
     result_id: Optional[int] = None
     #: Hex digest of returned data (read), for verification.
     read_hex: Optional[str] = None
+    #: Per-block hex digests of returned data (read_many), in call
+    #: order, for verification.
+    read_many_hex: Optional[List[str]] = None
     #: Error type name when the call raised an LDError.
     error: Optional[str] = None
 
@@ -102,6 +105,8 @@ class TraceRecorder:
             entry.result_id = int(result)
         elif op == "read":
             entry.read_hex = result.hex()
+        elif op == "read_many":
+            entry.read_many_hex = [data.hex() for data in result]
         self.trace.ops.append(entry)
         return result
 
@@ -144,6 +149,16 @@ class TraceRecorder:
                 "aru": int(aru) if aru is not None else None,
             },
             lambda: self.ld.read(block_id, aru=aru),
+        )
+
+    def read_many(self, block_ids, aru=None):
+        return self._record(
+            "read_many",
+            {
+                "blocks": [int(block_id) for block_id in block_ids],
+                "aru": int(aru) if aru is not None else None,
+            },
+            lambda: self.ld.read_many(block_ids, aru=aru),
         )
 
     def delete_block(self, block_id, aru=None):
@@ -255,6 +270,28 @@ def replay_trace(
                             "returned different data than recorded"
                         )
                     result.reads_verified += 1
+            elif entry.op == "read_many":
+                batch = ld.read_many(
+                    [blocks[b] for b in args["blocks"]],
+                    aru=maru(args["aru"]),
+                )
+                if verify_reads and entry.read_many_hex is not None:
+                    if len(batch) != len(entry.read_many_hex):
+                        raise TraceReplayError(
+                            f"op {index}: read_many returned {len(batch)} "
+                            f"blocks, trace recorded "
+                            f"{len(entry.read_many_hex)}"
+                        )
+                    for pos, (data, want) in enumerate(
+                        zip(batch, entry.read_many_hex)
+                    ):
+                        if data.hex() != want:
+                            raise TraceReplayError(
+                                f"op {index}: read_many block "
+                                f"{args['blocks'][pos]} returned different "
+                                "data than recorded"
+                            )
+                        result.reads_verified += 1
             elif entry.op == "delete_block":
                 ld.delete_block(blocks[args["block"]], aru=maru(args["aru"]))
             elif entry.op == "delete_list":

@@ -21,6 +21,8 @@ class ARULatencyResult:
     total_s: float
     latency_us: float
     segments_written: int
+    #: observability artifacts attached by the harness runner
+    metrics: dict = dataclasses.field(default_factory=dict)
 
     def scaled_segments(self, to_iterations: int) -> float:
         """Segment count extrapolated to another iteration count

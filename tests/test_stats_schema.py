@@ -1,0 +1,216 @@
+"""The frozen ``stats()`` schema: snapshot + conformance tests.
+
+The snapshot below is a deliberate duplicate of
+:data:`repro.obs.schema.STATS_SCHEMA` — flattened, sorted, typed.  A
+failing comparison means the stats surface changed; if that change is
+intentional, update *both* the schema module and this snapshot in the
+same commit, so the surface never drifts silently.
+"""
+
+import pytest
+
+from repro.obs.schema import (
+    schema_paths,
+    validate_artifact,
+    validate_stats,
+)
+
+from tests.conftest import make_lld
+
+#: The frozen surface.  Keep sorted; ``group.*`` marks an open group.
+FROZEN_PATHS = [
+    "active_arus:int",
+    "arus_begun:int",
+    "arus_committed:int",
+    "cache_hits:int",
+    "cache_misses:int",
+    "cleanings:int",
+    "cpu_counts.*:number",
+    "cpu_us.*:number",
+    "disk.batched_requests:int",
+    "disk.batched_runs:int",
+    "disk.busy_us:number",
+    "disk.bytes_transferred:int",
+    "disk.read_batches:int",
+    "disk.reads:int",
+    "disk.requests:int",
+    "disk.sequential_requests:int",
+    "disk.write_batched_requests:int",
+    "disk.write_batched_runs:int",
+    "disk.write_batches:int",
+    "disk.writes:int",
+    "free_segments:int",
+    "group_commit.commits_grouped:int",
+    "group_commit.enabled:bool",
+    "group_commit.groups_flushed:int",
+    "group_commit.parked:int",
+    "obs.events_capacity:int",
+    "obs.events_dropped:int",
+    "obs.events_recorded:int",
+    "obs.metrics_enabled:bool",
+    "ops.*:int",
+    "scrub.blocks_lost:int",
+    "scrub.blocks_salvaged:int",
+    "scrub.blocks_salvaged_stale:int",
+    "scrub.degraded_reads:int",
+    "scrub.pending_segments:int",
+    "scrub.quarantined_segments:int",
+    "scrub.salvaged_reads:int",
+    "scrub.scrubs:int",
+    "scrub.segments_quarantined:int",
+    "scrub.unrecoverable_reads:int",
+    "segments.avg_fill:number",
+    "segments.data_bytes:int",
+    "segments.flushed:int",
+    "segments.min_fill:number-or-null",
+    "segments.sealed:int",
+    "segments.summary_bytes:int",
+    "segments_flushed:int",
+    "writeback.auto_drains:int",
+    "writeback.depth:int",
+    "writeback.drains:int",
+    "writeback.max_depth_seen:int",
+    "writeback.queued:int",
+    "writeback.submitted:int",
+]
+
+
+class TestFrozenSchema:
+    def test_snapshot(self):
+        assert schema_paths() == FROZEN_PATHS, (
+            "the stats() schema changed — if intentional, update "
+            "FROZEN_PATHS and repro.obs.schema together"
+        )
+
+    def test_fresh_lld_conforms(self):
+        assert validate_stats(make_lld().stats()) == []
+
+    def test_worked_lld_conforms(self):
+        ld = make_lld(
+            writeback_depth=4,
+            group_commit=True,
+            group_commit_timeout_us=1e12,
+        )
+        lst = ld.new_list()
+        for index in range(8):
+            aru = ld.begin_aru()
+            block = ld.new_block(lst, aru=aru)
+            ld.write(block, bytes([index + 1]) * 64, aru=aru)
+            ld.end_aru(aru)
+        ld.flush()
+        ld.read_many([block])
+        ld.scrub()
+        assert validate_stats(ld.stats()) == []
+
+    def test_metrics_disabled_still_conforms(self):
+        ld = make_lld(metrics=False)
+        lst = ld.new_list()
+        ld.write(ld.new_block(lst), b"x")
+        ld.flush()
+        stats = ld.stats()
+        assert validate_stats(stats) == []
+        assert stats["obs"]["metrics_enabled"] is False
+
+
+class TestValidation:
+    def test_detects_missing_key(self):
+        stats = make_lld().stats()
+        del stats["cache_hits"]
+        assert any("cache_hits: missing" in p for p in validate_stats(stats))
+
+    def test_detects_extra_key(self):
+        stats = make_lld().stats()
+        stats["surprise"] = 1
+        stats["scrub"]["novel"] = 2
+        problems = validate_stats(stats)
+        assert any("surprise: not in the frozen schema" in p
+                   for p in problems)
+        assert any("scrub.novel: not in the frozen schema" in p
+                   for p in problems)
+
+    def test_detects_type_mismatch(self):
+        stats = make_lld().stats()
+        stats["cleanings"] = "three"
+        stats["group_commit"]["enabled"] = 1  # int is not bool
+        problems = validate_stats(stats)
+        assert any("cleanings" in p for p in problems)
+        assert any("group_commit.enabled" in p for p in problems)
+
+    def test_open_groups_accept_any_keys(self):
+        stats = make_lld().stats()
+        stats["ops"]["some_future_op"] = 3
+        assert validate_stats(stats) == []
+        stats["ops"]["bad"] = "nope"
+        assert any("ops.bad" in p for p in validate_stats(stats))
+
+    def test_validate_artifact_shapes(self):
+        stats = make_lld().stats()
+        assert validate_artifact(stats) == []  # bare stats dict
+        artifact = {
+            "experiment": "x",
+            "variants": {"v": {"stats": stats}},
+        }
+        assert validate_artifact(artifact) == []
+        assert validate_artifact({"variants": {}}) != []
+        assert any(
+            "missing 'stats'" in p
+            for p in validate_artifact({"variants": {"v": {}}})
+        )
+
+    def test_validate_artifact_reports_nested_problems(self):
+        stats = make_lld().stats()
+        del stats["free_segments"]
+        problems = validate_artifact(
+            {"variants": {"broken": {"stats": stats}}}
+        )
+        assert any(
+            p.startswith("variants.broken.stats: free_segments")
+            for p in problems
+        )
+
+    def test_cli_roundtrip(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.schema import main
+
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(make_lld().stats()))
+        assert main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"variants": {"v": {}}}))
+        assert main([str(bad)]) == 1
+        assert main([]) == 2
+        capsys.readouterr()
+
+
+class TestStatsAreRegistryBacked:
+    """stats() is a thin view over the registry: the numbers must be
+    the same object of record, not parallel hand-maintained state."""
+
+    def test_counters_agree(self):
+        ld = make_lld()
+        lst = ld.new_list()
+        for _index in range(5):
+            ld.write(ld.new_block(lst), b"payload")
+        ld.flush()
+        stats = ld.stats()
+        metrics = ld.obs.metrics
+        assert stats["segments_flushed"] == metrics.value(
+            "lld.segments.flushed"
+        )
+        assert stats["ops"] == metrics.group_values("lld.ops.")
+        assert stats["segments"]["sealed"] == metrics.value(
+            "lld.segments.sealed"
+        )
+        assert stats["scrub"]["scrubs"] == metrics.value("lld.scrub.scrubs")
+        assert stats["writeback"]["submitted"] == metrics.value(
+            "lld.writeback.submitted"
+        )
+
+    def test_pending_scrub_counts_stay_live(self):
+        # pending/quarantined are gauges over the usage table, not
+        # registry counters — they must still track reality.
+        ld = make_lld()
+        stats = ld.stats()
+        assert stats["scrub"]["pending_segments"] == 0
+        assert stats["scrub"]["quarantined_segments"] == 0

@@ -136,6 +136,57 @@ class TestReplay:
         with pytest.raises(TraceReplayError):
             replay_trace(recorder.trace, fresh_lld())
 
+    def test_replay_read_many_equivalence(self):
+        """read_many is recorded with per-block digests and replays
+        byte-identically — on LLD (batched) and JLD (the interface's
+        read loop) alike."""
+        recorder = TraceRecorder(fresh_lld())
+        lst = recorder.new_list()
+        blocks = [recorder.new_block(lst) for _ in range(6)]
+        for index, block in enumerate(blocks):
+            recorder.write(block, bytes([index + 1]) * 32)
+        recorder.flush()
+        recorder.read_many(blocks)
+        recorder.read_many(list(reversed(blocks[:3])))
+        aru = recorder.begin_aru()
+        recorder.write(blocks[0], b"shadow", aru=aru)
+        recorder.read_many(blocks[:2], aru=aru)  # sees its own shadow
+        recorder.end_aru(aru)
+
+        entries = [e for e in recorder.trace.ops if e.op == "read_many"]
+        assert [len(e.read_many_hex) for e in entries] == [6, 3, 2]
+
+        for target in (fresh_lld(), fresh_jld()):
+            result = replay_trace(recorder.trace, target)
+            assert result.ops_replayed == len(recorder.trace)
+            assert result.reads_verified == 6 + 3 + 2
+
+    def test_replay_read_many_detects_divergence(self):
+        recorder = TraceRecorder(fresh_lld())
+        lst = recorder.new_list()
+        block = recorder.new_block(lst)
+        recorder.write(block, b"payload")
+        recorder.read_many([block])
+        entry = next(
+            e for e in recorder.trace.ops if e.op == "read_many"
+        )
+        entry.read_many_hex = ["ff" * 16]
+        with pytest.raises(TraceReplayError):
+            replay_trace(recorder.trace, fresh_lld())
+
+    def test_read_many_survives_save_load(self, tmp_path):
+        recorder = TraceRecorder(fresh_lld())
+        lst = recorder.new_list()
+        blocks = [recorder.new_block(lst) for _ in range(3)]
+        for block in blocks:
+            recorder.write(block, b"x" * 16)
+        recorder.read_many(blocks)
+        path = tmp_path / "many.trace"
+        recorder.trace.save(path)
+        loaded = Trace.load(path)
+        result = replay_trace(loaded, fresh_lld())
+        assert result.reads_verified == 3
+
     def test_replay_without_verification(self):
         recorder = TraceRecorder(fresh_lld())
         sample_workload(recorder)
