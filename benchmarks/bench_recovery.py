@@ -199,3 +199,106 @@ def test_parallel_scan_speedup(benchmark):
         f"scan pipeline only {speedup:.2f}x over serial "
         f"({serial_scan_ms:.1f} ms -> {parallel_scan_ms:.1f} ms)"
     )
+
+
+N_SHARDS = 4
+SHARD_ROUNDS = 120 if full_scale() else 40
+
+
+def build_transactional(ld, n_lists: int = 8):
+    """The same durable transactional workload for any LogicalDisk:
+    every round rewrites one block on each list inside one ARU, then
+    flushes (a durable commit per round — on the sharded volume the
+    cross-shard two-phase commit already is one)."""
+    lists = [ld.new_list() for _ in range(n_lists)]
+    blocks = [ld.new_block(lst) for lst in lists]
+    for round_no in range(SHARD_ROUNDS):
+        aru = ld.begin_aru()
+        for list_index, block in enumerate(blocks):
+            payload = f"r{round_no}-l{list_index}".encode().ljust(256, b".")
+            ld.write(block, payload, aru=aru)
+        ld.end_aru(aru)
+        ld.flush()
+    ld.flush()
+    return blocks
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_sharded_recovery_speedup(benchmark):
+    """Parallel recovery of a dirty 4-shard array vs one volume.
+
+    The same transactional workload runs against a single 256-segment
+    volume and against a 4x64-segment sharded array (same total
+    capacity, every transaction a cross-shard two-phase commit); both
+    are power-cycled dirty (no checkpoint) and recovered.  The
+    array's coordinator-first parallel recovery must be at least 2x
+    faster in simulated time than the single volume, and both must
+    read back identical block contents.
+    """
+    from repro.shard import build_sharded
+    from repro.shard.recovery import recover_sharded
+
+    def run():
+        single_geo = DiskGeometry.small(num_segments=256)
+        single = LLD(SimulatedDisk(single_geo), checkpoint_slot_segments=2)
+        single_blocks = build_transactional(single)
+
+        array = build_sharded(
+            N_SHARDS,
+            geometry=DiskGeometry.small(num_segments=256 // N_SHARDS),
+            checkpoint_slot_segments=2,
+        )
+        array_blocks = build_transactional(array)
+
+        single_rec, single_report = recover(
+            single.disk.power_cycle(), checkpoint_slot_segments=2
+        )
+        array_rec, shard_report = recover_sharded(
+            [shard.disk.power_cycle() for shard in array.shards]
+        )
+        identical = all(
+            single_rec.read(sb) == array_rec.read(ab)
+            for sb, ab in zip(single_blocks, array_blocks)
+        )
+        return single_report, shard_report, identical
+
+    single_report, shard_report, identical = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    single_ms = single_report.recovery_time_us / 1000.0
+    parallel_ms = shard_report.parallel_us / 1000.0
+    serial_ms = shard_report.serial_us / 1000.0
+    speedup = single_ms / max(parallel_ms, 1e-9)
+
+    table = format_table(
+        f"Sharded recovery — {SHARD_ROUNDS} cross-shard transactions, "
+        f"{N_SHARDS} shards (simulated)",
+        ["recovery ms"],
+        {
+            "single volume": [single_ms],
+            f"{N_SHARDS}-shard array, parallel": [parallel_ms],
+            f"{N_SHARDS}-shard array, serial": [serial_ms],
+        },
+    )
+    report_table("recovery_sharded", table)
+
+    _RESULTS["sharded_recovery"] = {
+        "shards": N_SHARDS,
+        "transactions": SHARD_ROUNDS,
+        "single_ms": round(single_ms, 1),
+        "sharded_parallel_ms": round(parallel_ms, 1),
+        "sharded_serial_ms": round(serial_ms, 1),
+        "speedup_vs_single": round(speedup, 2),
+        "array_parallel_vs_serial": round(
+            serial_ms / max(parallel_ms, 1e-9), 2
+        ),
+        "decided_xids": len(shard_report.decided_xids),
+        "states_identical": identical,
+    }
+    _save()
+    benchmark.extra_info["sharded_speedup"] = round(speedup, 2)
+    assert identical, "single volume and sharded array reads diverge"
+    assert speedup >= 2.0, (
+        f"sharded parallel recovery only {speedup:.2f}x over one volume "
+        f"({single_ms:.1f} ms -> {parallel_ms:.1f} ms)"
+    )

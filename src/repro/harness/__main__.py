@@ -22,25 +22,27 @@ from repro.harness.runner import (
     run_figure5,
     run_figure6,
     run_scrub_experiment,
+    run_shard_experiment,
     run_writepath_experiment,
 )
 from repro.harness.variants import paper_geometry
 
-EXPERIMENTS = ("figure5", "figure6", "aru", "scrub", "writepath")
+EXPERIMENTS = ("figure5", "figure6", "aru", "scrub", "writepath", "shard")
 
 
 def emit_metrics(directory: str, experiment: str, metrics: dict) -> str:
     """Write one experiment's observability artifact as JSON.
 
     Every per-variant ``stats`` block is validated against the frozen
-    schema (:mod:`repro.obs.schema`) before it is written, so a schema
+    schema (:mod:`repro.obs.schema`) before it is written — sharded
+    volumes against the per-shard + aggregate shape — so a schema
     drift fails the harness run rather than producing a silently
     unreadable artifact.
     """
-    from repro.obs.schema import validate_stats
+    from repro.obs.schema import validate_any_stats
 
     for label, entry in metrics.items():
-        problems = validate_stats(entry["stats"])
+        problems = validate_any_stats(entry["stats"])
         if problems:
             raise SystemExit(
                 f"metrics artifact for {experiment}/{label} violates the "
@@ -131,6 +133,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         wp = run_writepath_experiment(n_arus=n_arus)
         print(wp.summary)
         emitted("writepath", wp.metrics)
+    if "shard" in chosen:
+        rounds = 24 if args.full else 12
+        shard = run_shard_experiment(rounds=rounds)
+        print(shard.summary)
+        emitted("shard", shard.metrics)
     return 0
 
 

@@ -31,12 +31,17 @@ from repro.disk.simdisk import SimulatedDisk
 from repro.errors import DiskFullError
 
 CKPT_MAGIC = b"LCKP"
-CKPT_VERSION = 1
+CKPT_VERSION = 2
 
 #: magic(4s) version(H) pad(H) ckpt_seq(Q) last_log_seq(Q) next_block(Q)
-#: next_list(Q) next_aru(Q) n_blocks(Q) n_lists(Q) n_segs(Q) total_len(Q) crc(Q)
-_HEADER_FMT = "<4sHHQQQQQQQQQQ"
+#: next_list(Q) next_aru(Q) n_blocks(Q) n_lists(Q) n_segs(Q) n_decided(Q)
+#: total_len(Q) crc(Q)
+_HEADER_FMT = "<4sHHQQQQQQQQQQQ"
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+#: one decided coordinator transaction id (cross-volume commit)
+_DECIDED_FMT = "<Q"
+_DECIDED_SIZE = struct.calcsize(_DECIDED_FMT)
 
 #: block_id succ list_id timestamp segment slot flags
 _BLOCK_FMT = "<QQQQIIB"
@@ -89,6 +94,13 @@ class CheckpointData:
     lists: List[ListSnapshot]
     #: segment -> (log seq, live slots, total slots)
     segments: Dict[int, Tuple[int, int, int]]
+    #: Coordinator transaction ids (cross-volume commits) decided by
+    #: this volume whose DECIDE records this checkpoint supersedes.
+    #: A participant volume's recovery may still need them to roll a
+    #: prepared ARU forward, so they ride in the checkpoint until a
+    #: global (all-shard) checkpoint proves every prepare is covered.
+    #: Empty on non-coordinator and single-volume disks.
+    decided_xids: List[int] = dataclasses.field(default_factory=list)
 
     @classmethod
     def empty(cls) -> "CheckpointData":
@@ -102,6 +114,7 @@ class CheckpointData:
             blocks=[],
             lists=[],
             segments={},
+            decided_xids=[],
         )
 
 
@@ -185,6 +198,8 @@ class CheckpointManager:
             )
         for seg, (seq, live, total) in sorted(data.segments.items()):
             body += struct.pack(_SEG_FMT, seg, seq, live, total)
+        for xid in sorted(data.decided_xids):
+            body += struct.pack(_DECIDED_FMT, xid)
         total_len = _HEADER_SIZE + len(body)
         header = struct.pack(
             _HEADER_FMT,
@@ -199,6 +214,7 @@ class CheckpointManager:
             len(data.blocks),
             len(data.lists),
             len(data.segments),
+            len(data.decided_xids),
             total_len,
             0,  # crc placeholder
         )
@@ -242,6 +258,7 @@ class CheckpointManager:
                 n_blocks,
                 n_lists,
                 n_segs,
+                n_decided,
                 total_len,
                 crc,
             ) = struct.unpack_from(_HEADER_FMT, first, 0)
@@ -268,6 +285,7 @@ class CheckpointManager:
             + n_blocks * _BLOCK_SIZE
             + n_lists * _LIST_SIZE
             + n_segs * _SEG_SIZE
+            + n_decided * _DECIDED_SIZE
         )
         if expected != total_len:
             return None
@@ -301,6 +319,11 @@ class CheckpointManager:
             seg, seq, live, total = struct.unpack_from(_SEG_FMT, raw, offset)
             offset += _SEG_SIZE
             segments[seg] = (seq, live, total)
+        decided: List[int] = []
+        for _ in range(n_decided):
+            (xid,) = struct.unpack_from(_DECIDED_FMT, raw, offset)
+            offset += _DECIDED_SIZE
+            decided.append(xid)
         return CheckpointData(
             ckpt_seq=ckpt_seq,
             last_log_seq=last_log_seq,
@@ -310,4 +333,5 @@ class CheckpointManager:
             blocks=blocks,
             lists=lists,
             segments=segments,
+            decided_xids=decided,
         )

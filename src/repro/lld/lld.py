@@ -161,6 +161,15 @@ class LLD(LogicalDisk):
         self._ckpt_seq = 0
         self._commit_on_disk: Set[int] = set()
         self._pending_commit_arus: Set[int] = set()
+        #: ARU tag -> coordinator transaction id for ARUs that emitted
+        #: a PREPARE record and are awaiting the coordinator decision
+        #: (cross-volume commits; see :meth:`prepare_commit`).
+        self._prepared_xids: Dict[int, int] = {}
+        #: Coordinator transaction ids this volume has decided
+        #: committed (shard 0 of a sharded volume; empty elsewhere).
+        #: Persisted in checkpoints so cleaning the segment that holds
+        #: a DECIDE record never loses the decision.
+        self._decided_xids: Set[int] = set()
         self._dead = False
         self._cleaning = False
         self._emergency = False
@@ -337,6 +346,137 @@ class LLD(LogicalDisk):
                 self.meter.charge("record_transition_us")
             record.oplog.clear()
             self.obs.record("aru.abort", aru=int(aru))
+
+    # ==================================================================
+    # Cross-volume commit hooks (sharded volumes; repro.shard)
+    # ==================================================================
+
+    def prepare_commit(self, aru: ARUId, xid: int) -> None:
+        """First phase of a cross-volume commit: park the ARU prepared.
+
+        Like :meth:`end_aru`, the ARU's shadow state merges into the
+        committed stream and the ARU is finished — but a PREPARE
+        record carrying the coordinator transaction id ``xid`` is
+        emitted instead of a COMMIT record.  The ARU's effects become
+        persistent only once a DECIDE record for ``xid`` is durable on
+        the coordinator volume *and* :meth:`finish_prepared` releases
+        the parked state; recovery discards a prepared ARU whose xid
+        was never decided.  Callers must flush this volume before
+        logging the decision, so a durable DECIDE implies every
+        participant's PREPARE (and data) is durable.
+        """
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self.meter.charge("aru_commit_us")
+            self._maybe_release_parked()
+            self._count("prepare_commit")
+            commit_start_us = self.clock.now_us
+            record = self.arus.get(aru)
+            # Same reserve rule as end_aru: an interrupted merge
+            # cannot be unwound, so completion beats headroom.
+            self._emergency = True
+            try:
+                if self.concurrent:
+                    self._commit_concurrent(record)
+                op_count = record.op_count
+                ts = self.clock.tick()
+                # Never parked under group commit: the caller's flush
+                # must make this record durable before the decision.
+                self._emit_entry(
+                    SummaryEntry(
+                        EntryKind.PREPARE, int(aru), ts, op_count, int(xid)
+                    )
+                )
+            except DiskFullError:
+                self._mark_dead("prepare_disk_full")
+                raise
+            finally:
+                self._emergency = False
+            self._pending_commit_arus.add(int(aru))
+            self._prepared_xids[int(aru)] = int(xid)
+            self.meter.charge("summary_entry_us")
+            self.arus.finish(aru, committed=True)
+            self.obs.record(
+                "aru.prepare", aru=int(aru), xid=int(xid), ops=op_count
+            )
+            self._h_commit_us.observe(self.clock.now_us - commit_start_us)
+            if (
+                not self._cleaning
+                and self.usage.free_count <= self.clean_low_water
+            ):
+                self._run_cleaner()
+
+    def log_decision(self, xid: int) -> None:
+        """Coordinator hook: append a DECIDE record for ``xid``.
+
+        Called on shard 0 after every participant's PREPARE is
+        durable; the caller flushes afterwards, and that flush is the
+        commit point of the whole cross-volume ARU.  The decision is
+        also remembered in memory (and rides in checkpoints) so the
+        cleaner superseding the segment that holds the record never
+        loses it while a participant might still need it.
+        """
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("log_decision")
+            self._emergency = True
+            try:
+                self._emit_entry(
+                    SummaryEntry(
+                        EntryKind.DECIDE, 0, self.clock.tick(), int(xid)
+                    )
+                )
+            except DiskFullError:
+                self._mark_dead("decide_disk_full")
+                raise
+            finally:
+                self._emergency = False
+            self._decided_xids.add(int(xid))
+            self.meter.charge("summary_entry_us")
+            self.obs.record("aru.decide", xid=int(xid))
+
+    def finish_prepared(self, aru_tag: int) -> None:
+        """Second phase: release a prepared ARU as committed.
+
+        Called once the coordinator's DECIDE record for the ARU's xid
+        is durable (so by the durability ordering the PREPARE and all
+        the ARU's effects are too).  The tag joins
+        ``_commit_on_disk`` — exactly what recovery computes when it
+        rolls a decided PREPARE forward — and folding proceeds.
+        """
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("finish_prepared")
+            tag = int(aru_tag)
+            self._prepared_xids.pop(tag, None)
+            self._commit_on_disk.add(tag)
+            self._pending_commit_arus.discard(tag)
+            self._fold_committed()
+            # The release is when checkpointing becomes safe again
+            # (no pending commits), so space reclaimed here — unlike
+            # during prepare_commit — can actually be freed.
+            if (
+                not self._cleaning
+                and self.usage.free_count <= self.clean_low_water
+            ):
+                self._run_cleaner()
+
+    def clear_decisions(self) -> None:
+        """Forget the coordinator's decided transaction ids.
+
+        Only safe when every participant volume has a durable
+        checkpoint covering all of its PREPARE records — i.e. from
+        :meth:`repro.shard.ShardedLLD.write_checkpoint`, after the
+        other shards checkpointed and before this volume does.  The
+        shrunken set becomes durable with this volume's next
+        checkpoint; until then the old checkpoint's superset remains,
+        which is always safe (stale decisions are never harmful).
+        """
+        with self._lock:
+            self._decided_xids.clear()
 
     def _commit_concurrent(self, record: ARURecord) -> None:
         """Merge an ARU's shadow state into the committed stream."""
@@ -1654,6 +1794,7 @@ class LLD(LogicalDisk):
             blocks=blocks,
             lists=lists,
             segments=self.usage.snapshot(),
+            decided_xids=sorted(self._decided_xids),
         )
 
     def _check_alive(self) -> None:

@@ -80,6 +80,16 @@ class RecoveryReport:
     arus_committed: int = 0
     arus_discarded: int = 0
     discarded_aru_ids: List[int] = dataclasses.field(default_factory=list)
+    #: Cross-volume (sharded) commit accounting: ARUs found prepared,
+    #: the coordinator transaction ids known decided, and how each
+    #: prepared ARU was resolved (rolled forward vs discarded).
+    arus_prepared: int = 0
+    xids_decided: List[int] = dataclasses.field(default_factory=list)
+    xids_rolled_forward: List[int] = dataclasses.field(default_factory=list)
+    xids_discarded: List[int] = dataclasses.field(default_factory=list)
+    #: Highest coordinator transaction id seen in any PREPARE/DECIDE
+    #: record or checkpoint (for rebuilding the coordinator counter).
+    max_xid: int = 0
     orphan_blocks_freed: List[int] = dataclasses.field(default_factory=list)
     recovery_time_us: float = 0.0
     #: Scan implementation actually used and its worker count.
@@ -521,6 +531,7 @@ def recover(
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
     config=None,
+    decided_xids: Optional[Set[int]] = None,
     **lld_kwargs,
 ) -> Tuple[LLD, RecoveryReport]:
     """Recover an :class:`LLD` instance from a (crashed) disk.
@@ -531,6 +542,12 @@ def recover(
     ``sweep_orphans=False`` skips the consistency sweep, exposing the
     paper's intermediate state where blocks allocated by undone ARUs
     remain allocated.
+
+    ``decided_xids`` supplies coordinator decisions from *another*
+    volume's log: a participant shard of a sharded volume
+    (:mod:`repro.shard`) rolls a PREPARE-tagged ARU forward iff its
+    transaction id appears in its own log/checkpoint or in this set,
+    and discards it otherwise (presumed abort).
 
     ``parallel=True`` (the config default) uses the batched,
     pipelined scan; ``parallel=False`` falls back to the serial
@@ -585,14 +602,42 @@ def recover(
     report.segments_quarantined = len(quarantined)
     replayable.sort(key=lambda d: d.seq)
 
-    # ---- pass 1: committed ARUs ------------------------------------
+    # ---- pass 1: committed ARUs and coordinator decisions ----------
+    # COMMIT records commit their tag outright.  PREPARE records park
+    # their tag on a coordinator transaction id, which commits iff a
+    # DECIDE record for that xid is durable — in this volume's own
+    # checkpoint or log (the coordinator shard resolves itself), or in
+    # the ``decided_xids`` the sharded recovery read from shard 0.
     replay_start = disk.clock.now_us
     committed: Set[int] = set()
+    prepared: Dict[int, int] = {}
+    own_decided: Set[int] = set(ckpt.decided_xids)
     for decoded in replayable:
         for entry in decoded.entries:
             if entry.kind is EntryKind.COMMIT:
                 committed.add(entry.aru_tag)
                 state.max_aru = max(state.max_aru, entry.aru_tag)
+            elif entry.kind is EntryKind.PREPARE:
+                prepared[entry.aru_tag] = entry.b
+                state.max_aru = max(state.max_aru, entry.aru_tag)
+            elif entry.kind is EntryKind.DECIDE:
+                own_decided.add(entry.a)
+    decided = own_decided | (decided_xids or set())
+    report.arus_prepared = len(prepared)
+    report.xids_decided = sorted(own_decided)
+    rolled_forward: Set[int] = set()
+    undecided: Set[int] = set()
+    for tag, xid in prepared.items():
+        if xid in decided:
+            committed.add(tag)
+            rolled_forward.add(xid)
+        else:
+            undecided.add(xid)
+    report.xids_rolled_forward = sorted(rolled_forward)
+    report.xids_discarded = sorted(undecided)
+    report.max_xid = max(
+        [0, *prepared.values(), *own_decided]
+    )
     report.arus_committed = len(committed)
 
     # ---- pass 2: replay ---------------------------------------------
@@ -678,6 +723,10 @@ def recover(
     lld._last_written_seq = max_seq
     lld._ckpt_seq = ckpt.ckpt_seq
     lld._commit_on_disk = committed
+    # The coordinator's decision memory survives recovery: checkpoint
+    # set plus every DECIDE found in the log (never the borrowed
+    # ``decided_xids`` — those belong to the volume that logged them).
+    lld._decided_xids = own_decided
     try:
         lld._open_new_buffer()
     except Exception:

@@ -42,6 +42,17 @@ class EntryKind(enum.IntEnum):
     #: ARU commit record: the tag is the committing ARU, ``a`` = the
     #: number of operations the ARU performed (diagnostic).
     COMMIT = 7
+    #: Cross-volume prepare record (first phase of a sharded commit):
+    #: the tag is the preparing ARU, ``a`` = its operation count,
+    #: ``b`` = the coordinator transaction id (xid).  A prepared ARU
+    #: commits iff its xid has a durable DECIDE record — on this
+    #: volume's own log for the coordinator shard, or supplied to
+    #: recovery from the coordinator's log otherwise.
+    PREPARE = 8
+    #: Coordinator decision record: ``a`` = the xid now decided
+    #: committed.  Always tagged 0 (the decision is not itself inside
+    #: any ARU); written only on the coordinator volume (shard 0).
+    DECIDE = 9
 
 
 #: struct format of the fixed entry header: kind, aru tag, timestamp.
@@ -57,6 +68,8 @@ _PAYLOAD_FMT = {
     EntryKind.DELETE_LIST: "<Q",
     EntryKind.LINK: "<QQQ",
     EntryKind.COMMIT: "<Q",
+    EntryKind.PREPARE: "<QQ",
+    EntryKind.DECIDE: "<Q",
 }
 
 _PAYLOAD_FIELDS = {
@@ -67,6 +80,8 @@ _PAYLOAD_FIELDS = {
     EntryKind.DELETE_LIST: 1,
     EntryKind.LINK: 3,
     EntryKind.COMMIT: 1,
+    EntryKind.PREPARE: 2,
+    EntryKind.DECIDE: 1,
 }
 
 #: Precompiled whole-entry codecs (header + payload in one struct —

@@ -106,6 +106,19 @@ STATS_SCHEMA = {
 }
 
 
+#: The ``sharding`` section a :class:`~repro.shard.sharded.ShardedLLD`
+#: adds beside its per-shard and aggregate stats.  Separate table, not
+#: part of STATS_SCHEMA: single-volume stats never carry it, and the
+#: frozen-path snapshot covers single volumes only.
+SHARDING_SCHEMA = {
+    "shards": INT,
+    "xids_issued": INT,
+    "commits_single_shard": INT,
+    "commits_cross_shard": INT,
+    "decided_pending": INT,
+}
+
+
 def _type_ok(sentinel: str, value) -> bool:
     # bool is a subclass of int, so it must be ruled on first.
     if sentinel == BOOL:
@@ -161,6 +174,59 @@ def validate_stats(stats: dict) -> List[str]:
     return problems
 
 
+def is_sharded_stats(stats) -> bool:
+    """Whether a dict has the sharded-volume stats shape."""
+    return (
+        isinstance(stats, dict)
+        and "shards" in stats
+        and "aggregate" in stats
+    )
+
+
+def validate_sharded_stats(stats: dict) -> List[str]:
+    """Problems with a :class:`ShardedLLD` ``stats()`` dict.
+
+    The shape is ``{"shards": {index: <frozen stats>}, "aggregate":
+    <frozen stats>, "sharding": <SHARDING_SCHEMA>}`` — every per-shard
+    dict and the aggregate must each conform to the frozen
+    single-volume schema.
+    """
+    problems: List[str] = []
+    per_shard = stats.get("shards")
+    if not isinstance(per_shard, dict) or not per_shard:
+        problems.append("shards: expected a non-empty dict")
+    else:
+        for index, entry in per_shard.items():
+            problems += [
+                f"shards.{index}.{problem}"
+                for problem in validate_stats(entry)
+            ]
+    if "aggregate" not in stats:
+        problems.append("aggregate: missing")
+    else:
+        problems += [
+            f"aggregate.{problem}"
+            for problem in validate_stats(stats["aggregate"])
+        ]
+    if "sharding" not in stats:
+        problems.append("sharding: missing")
+    else:
+        sharding: List[str] = []
+        _validate(SHARDING_SCHEMA, stats["sharding"], "sharding", sharding)
+        problems += sharding
+    for key in stats:
+        if key not in ("shards", "aggregate", "sharding"):
+            problems.append(f"{key}: not in the sharded stats shape")
+    return problems
+
+
+def validate_any_stats(stats: dict) -> List[str]:
+    """Validate either stats shape, dispatching on structure."""
+    if is_sharded_stats(stats):
+        return validate_sharded_stats(stats)
+    return validate_stats(stats)
+
+
 def schema_paths() -> List[str]:
     """Every declared key path, dotted, sorted (``ops.*`` style for
     open groups) — the surface the snapshot test freezes."""
@@ -181,7 +247,9 @@ def validate_artifact(payload: dict) -> List[str]:
 
     Artifacts look like ``{"experiment": ..., "variants": {label:
     {"stats": ..., "metrics": ...}}}``; anything else is validated as
-    a bare ``stats()`` dict.
+    a bare ``stats()`` dict.  Each stats entry may be a single-volume
+    dict (the frozen schema) or a sharded-volume dict (per-shard +
+    aggregate + sharding), dispatched on shape.
     """
     problems: List[str] = []
     if "variants" in payload:
@@ -194,10 +262,10 @@ def validate_artifact(payload: dict) -> List[str]:
                 continue
             problems += [
                 f"variants.{label}.stats: {problem}"
-                for problem in validate_stats(entry["stats"])
+                for problem in validate_any_stats(entry["stats"])
             ]
     else:
-        problems += validate_stats(payload)
+        problems += validate_any_stats(payload)
     return problems
 
 

@@ -1,0 +1,31 @@
+"""Sharded multi-volume logical disks.
+
+:class:`ShardedLLD` stripes logical block and list identifiers across
+N independent :class:`~repro.lld.lld.LLD` volumes (each with its own
+simulated disk, clock, cleaner, write-behind queue and metrics
+registry) behind the ordinary :class:`~repro.ld.interface.LogicalDisk`
+API, keeping ``begin_aru``/``end_aru`` failure-atomic *across* the
+volumes via a two-phase coordinator commit on shard 0.
+:func:`recover_sharded` scans every shard in parallel and rolls each
+shard's prepared state forward or discards it according to the
+coordinator's decisions.  See ``docs/SHARDING.md``.
+"""
+
+from repro.shard.recovery import ShardRecoveryReport, recover_sharded
+from repro.shard.sharded import (
+    ShardedLLD,
+    build_sharded,
+    shard_of,
+    to_global,
+    to_local,
+)
+
+__all__ = [
+    "ShardedLLD",
+    "ShardRecoveryReport",
+    "build_sharded",
+    "recover_sharded",
+    "shard_of",
+    "to_global",
+    "to_local",
+]

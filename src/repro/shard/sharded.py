@@ -1,0 +1,461 @@
+"""``ShardedLLD``: one logical disk striped over N LLD volumes.
+
+Identifier striping
+-------------------
+
+Global and per-shard ("local") identifiers are related by a fixed
+bijection for both blocks and lists::
+
+    shard_of(g)  = (g - 1) %  N
+    to_local(g)  = (g - 1) // N + 1
+    to_global(l, s) = (l - 1) * N + s + 1
+
+Each shard's LLD allocates its local identifiers densely from 1, so
+global identifiers are unique by construction (a global id is
+congruent to its shard modulo N).  New lists are placed round-robin
+starting at shard 0 — which keeps the well-known bootstrap list ids
+(1 and 2, used by :class:`~repro.fs.filesystem.MinixFS`) stable for
+any shard count — and a block always lives on its list's shard, so
+every list (and therefore every predecessor search, link record and
+cleaner decision) is wholly local to one volume.
+
+Cross-shard atomicity
+---------------------
+
+An ARU that touched a single shard commits through the ordinary
+:meth:`~repro.lld.lld.LLD.end_aru` — nothing new, and nothing extra
+durable.  An ARU that touched several shards commits with a
+two-phase, presumed-abort protocol whose phases are:
+
+1. **Prepare.** Every participant merges the ARU's shadow state and
+   emits a PREPARE record carrying a fresh coordinator transaction id
+   (xid); every participant is then flushed, so all effects and
+   PREPAREs are durable.
+2. **Decide.** Shard 0 logs a single DECIDE record for the xid and is
+   flushed.  That one segment write is the commit point for the
+   whole cross-shard ARU.
+3. **Release.** Each participant's parked state is released
+   (:meth:`~repro.lld.lld.LLD.finish_prepared`) and folds to
+   persistent.
+
+A crash strictly before the DECIDE record is durable leaves every
+shard's PREPARE undecided — recovery discards them all; a crash at or
+after it rolls every shard forward — all-or-nothing at every torn
+write point (``tests/test_shard.py`` sweeps them exhaustively).
+
+Time and failures
+-----------------
+
+Each shard owns a private :class:`~repro.disk.clock.SimClock` (an
+array of disks, each charging its own latencies); the volume manager
+advances a shard's clock to the global maximum before routing an
+operation to it, modelling one host serializing requests across the
+array.  :func:`build_sharded` shares a single
+:class:`~repro.disk.faults.FaultInjector` across all shard disks, so
+``CrashPlan.after_writes`` counts one global write index over the
+whole array and a power failure halts every shard at once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.disk.clock import CostModel
+from repro.disk.faults import FaultInjector
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.disk.timing import DiskModel, HP_C3010
+from repro.errors import BadARUError
+from repro.ld.interface import LogicalDisk
+from repro.ld.types import ARUId, BlockId, FIRST, ListId, Predecessor
+from repro.lld.config import LLDConfig
+from repro.lld.lld import LLD
+
+
+def shard_of(global_id: int, n: int) -> int:
+    """The shard a global block/list identifier lives on."""
+    return (int(global_id) - 1) % n
+
+
+def to_local(global_id: int, n: int) -> int:
+    """A global identifier's local identifier on its shard."""
+    return (int(global_id) - 1) // n + 1
+
+
+def to_global(local_id: int, shard: int, n: int) -> int:
+    """The global identifier of shard-local ``local_id``."""
+    return (int(local_id) - 1) * n + shard + 1
+
+
+class _MaxClock:
+    """Read-only clock view over the shard array: 'now' is the
+    furthest shard, matching how a host would observe the array."""
+
+    def __init__(self, shards: Sequence[LLD]) -> None:
+        self._shards = shards
+
+    @property
+    def now_us(self) -> float:
+        return max(shard.clock.now_us for shard in self._shards)
+
+    @property
+    def now_s(self) -> float:
+        return self.now_us / 1e6
+
+
+class ShardedLLD(LogicalDisk):
+    """N independent LLD volumes behind one LogicalDisk interface.
+
+    Args:
+        shards: The member volumes, in shard order.  Shard 0 is the
+            coordinator: its log (and checkpoints) carry the DECIDE
+            records that make cross-shard commits atomic.
+
+    Build fresh arrays with :func:`build_sharded`; reassemble crashed
+    ones with :func:`repro.shard.recovery.recover_sharded`.
+    """
+
+    def __init__(self, shards: Sequence[LLD]) -> None:
+        if not shards:
+            raise ValueError("a sharded volume needs at least one shard")
+        self.shards: List[LLD] = list(shards)
+        self.n = len(self.shards)
+        self.geometry = self.shards[0].geometry
+        self.clock = _MaxClock(self.shards)
+        self._lock = threading.RLock()
+        #: global ARU id -> {shard index: local ARU id} for every
+        #: shard the ARU has touched so far (participants).
+        self._arus: Dict[int, Dict[int, ARUId]] = {}
+        self._next_aru = 1
+        #: Coordinator transaction ids are durable state (they appear
+        #: in PREPARE/DECIDE records); recovery restores the counter.
+        self._next_xid = 1
+        # Round-robin pointer for new lists; derived from the shards'
+        # allocation counters so a reassembled array keeps striping
+        # where the crashed one stopped.
+        self._next_shard = (
+            sum(shard._next_list_id - 1 for shard in self.shards) % self.n
+        )
+        self._commits_single = 0
+        self._commits_cross = 0
+
+    # ------------------------------------------------------------------
+    # Clock and routing helpers
+    # ------------------------------------------------------------------
+
+    def _sync_clock(self, shard_index: int) -> None:
+        """Advance one shard's clock to the array-wide 'now' before
+        routing an operation to it (the host serializes requests)."""
+        target = self.clock.now_us
+        clock = self.shards[shard_index].clock
+        if target > clock.now_us:
+            clock.advance_us(target - clock.now_us)
+
+    def _shard_for_list(self, list_id: ListId) -> int:
+        return shard_of(list_id, self.n)
+
+    def _local_aru(
+        self, aru: Optional[ARUId], shard_index: int, create: bool
+    ) -> Optional[ARUId]:
+        """Map a global ARU to its local ARU on one shard.
+
+        ``create=True`` (mutating operations) begins a local ARU on
+        first touch, enrolling the shard as a participant;
+        ``create=False`` (reads) returns None instead — the ARU has no
+        shadow state there to see.
+        """
+        if aru is None:
+            return None
+        participants = self._arus.get(int(aru))
+        if participants is None:
+            raise BadARUError(int(aru))
+        local = participants.get(shard_index)
+        if local is None and create:
+            local = self.shards[shard_index].begin_aru()
+            participants[shard_index] = local
+        return local
+
+    # ------------------------------------------------------------------
+    # ARUs
+    # ------------------------------------------------------------------
+
+    def begin_aru(self) -> ARUId:
+        with self._lock:
+            aru = ARUId(self._next_aru)
+            self._next_aru += 1
+            self._arus[int(aru)] = {}
+            return aru
+
+    def end_aru(self, aru: ARUId) -> None:
+        """Commit an ARU across every shard it touched.
+
+        Single-participant ARUs take the local fast path (ordinary
+        ``end_aru`` — durable at the next flush, like any single
+        volume).  Multi-participant ARUs run the two-phase protocol
+        and return *durable*: prepare+flush every participant, log
+        and flush the coordinator decision, release the parked state.
+        """
+        with self._lock:
+            participants = self._arus.get(int(aru))
+            if participants is None:
+                raise BadARUError(int(aru))
+            if len(participants) <= 1:
+                for shard_index, local in participants.items():
+                    self._sync_clock(shard_index)
+                    self.shards[shard_index].end_aru(local)
+                self._commits_single += 1
+                del self._arus[int(aru)]
+                return
+            xid = self._next_xid
+            self._next_xid += 1
+            ordered = sorted(participants.items())
+            # Phase 1: prepare and flush every participant.  After
+            # this loop all the ARU's effects and every PREPARE are
+            # durable; none of them is committed.
+            for shard_index, local in ordered:
+                self._sync_clock(shard_index)
+                self.shards[shard_index].prepare_commit(local, xid)
+            for shard_index, _local in ordered:
+                self._sync_clock(shard_index)
+                self.shards[shard_index].flush()
+            # Phase 2: the commit point — one durable DECIDE record on
+            # the coordinator.
+            self._sync_clock(0)
+            self.shards[0].log_decision(xid)
+            self.shards[0].flush()
+            # Phase 3: release.  Pure in-memory bookkeeping; a crash
+            # from here on changes nothing (recovery rolls forward).
+            for shard_index, local in ordered:
+                self.shards[shard_index].finish_prepared(int(local))
+            self._commits_cross += 1
+            del self._arus[int(aru)]
+
+    def abort_aru(self, aru: ARUId) -> None:
+        with self._lock:
+            participants = self._arus.get(int(aru))
+            if participants is None:
+                raise BadARUError(int(aru))
+            for shard_index, local in sorted(participants.items()):
+                self._sync_clock(shard_index)
+                self.shards[shard_index].abort_aru(local)
+            del self._arus[int(aru)]
+
+    # ------------------------------------------------------------------
+    # Blocks
+    # ------------------------------------------------------------------
+
+    def new_block(
+        self,
+        list_id: ListId,
+        predecessor: Predecessor = FIRST,
+        aru: Optional[ARUId] = None,
+    ) -> BlockId:
+        with self._lock:
+            s = self._shard_for_list(list_id)
+            self._sync_clock(s)
+            local_pred: Predecessor = (
+                FIRST
+                if predecessor is FIRST
+                else BlockId(to_local(predecessor, self.n))
+            )
+            local = self.shards[s].new_block(
+                ListId(to_local(list_id, self.n)),
+                local_pred,
+                aru=self._local_aru(aru, s, create=True),
+            )
+            return BlockId(to_global(local, s, self.n))
+
+    def delete_block(
+        self, block_id: BlockId, aru: Optional[ARUId] = None
+    ) -> None:
+        with self._lock:
+            s = shard_of(block_id, self.n)
+            self._sync_clock(s)
+            self.shards[s].delete_block(
+                BlockId(to_local(block_id, self.n)),
+                aru=self._local_aru(aru, s, create=True),
+            )
+
+    def write(
+        self, block_id: BlockId, data: bytes, aru: Optional[ARUId] = None
+    ) -> None:
+        with self._lock:
+            s = shard_of(block_id, self.n)
+            self._sync_clock(s)
+            self.shards[s].write(
+                BlockId(to_local(block_id, self.n)),
+                data,
+                aru=self._local_aru(aru, s, create=True),
+            )
+
+    def read(self, block_id: BlockId, aru: Optional[ARUId] = None) -> bytes:
+        with self._lock:
+            s = shard_of(block_id, self.n)
+            self._sync_clock(s)
+            return self.shards[s].read(
+                BlockId(to_local(block_id, self.n)),
+                aru=self._local_aru(aru, s, create=False),
+            )
+
+    def read_many(
+        self, block_ids: Sequence[BlockId], aru: Optional[ARUId] = None
+    ) -> List[bytes]:
+        with self._lock:
+            by_shard: Dict[int, List[Tuple[int, BlockId]]] = {}
+            for index, gid in enumerate(block_ids):
+                by_shard.setdefault(shard_of(gid, self.n), []).append(
+                    (index, gid)
+                )
+            results: List[Optional[bytes]] = [None] * len(block_ids)
+            for s in sorted(by_shard):
+                self._sync_clock(s)
+                items = by_shard[s]
+                data = self.shards[s].read_many(
+                    [BlockId(to_local(gid, self.n)) for _i, gid in items],
+                    aru=self._local_aru(aru, s, create=False),
+                )
+                for (index, _gid), payload in zip(items, data):
+                    results[index] = payload
+            return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Lists
+    # ------------------------------------------------------------------
+
+    def new_list(self, aru: Optional[ARUId] = None) -> ListId:
+        with self._lock:
+            s = self._next_shard
+            self._next_shard = (s + 1) % self.n
+            self._sync_clock(s)
+            local = self.shards[s].new_list(
+                aru=self._local_aru(aru, s, create=True)
+            )
+            return ListId(to_global(local, s, self.n))
+
+    def delete_list(
+        self, list_id: ListId, aru: Optional[ARUId] = None
+    ) -> None:
+        with self._lock:
+            s = self._shard_for_list(list_id)
+            self._sync_clock(s)
+            self.shards[s].delete_list(
+                ListId(to_local(list_id, self.n)),
+                aru=self._local_aru(aru, s, create=True),
+            )
+
+    def list_blocks(
+        self, list_id: ListId, aru: Optional[ARUId] = None
+    ) -> List[BlockId]:
+        with self._lock:
+            s = self._shard_for_list(list_id)
+            self._sync_clock(s)
+            locals_ = self.shards[s].list_blocks(
+                ListId(to_local(list_id, self.n)),
+                aru=self._local_aru(aru, s, create=False),
+            )
+            return [BlockId(to_global(b, s, self.n)) for b in locals_]
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            for s in range(self.n):
+                self._sync_clock(s)
+                self.shards[s].flush()
+
+    def write_checkpoint(self) -> None:
+        """Checkpoint every shard (a global recovery bound).
+
+        Ordering matters for the coordinator's decision memory: the
+        participants (shards 1..N-1) checkpoint first, after which
+        every PREPARE they ever logged is covered by a durable
+        checkpoint and no decision can be needed again; only then is
+        shard 0's decided-xid set cleared and shard 0 checkpointed.
+        A crash anywhere in between leaves a superset of the needed
+        decisions recoverable, which is always safe.
+        """
+        with self._lock:
+            self.flush()
+            for s in range(1, self.n):
+                self._sync_clock(s)
+                self.shards[s].write_checkpoint()
+            self.shards[0].clear_decisions()
+            self._sync_clock(0)
+            self.shards[0].write_checkpoint()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def sharding_info(self) -> dict:
+        """Striping and commit-protocol counters (see the stats
+        schema's ``sharding`` section)."""
+        return {
+            "shards": self.n,
+            "xids_issued": self._next_xid - 1,
+            "commits_single_shard": self._commits_single,
+            "commits_cross_shard": self._commits_cross,
+            "decided_pending": len(self.shards[0]._decided_xids),
+        }
+
+    def stats(self) -> dict:
+        """Per-shard stats under the frozen schema, plus a summed
+        aggregate view (itself frozen-schema-conformant) and the
+        sharding counters."""
+        from repro.obs.aggregate import aggregate_stats
+
+        per_shard = {
+            str(index): shard.stats()
+            for index, shard in enumerate(self.shards)
+        }
+        return {
+            "shards": per_shard,
+            "aggregate": aggregate_stats(list(per_shard.values())),
+            "sharding": self.sharding_info(),
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Every shard's registry + recorder snapshot (JSON-ready)."""
+        return {
+            str(index): shard.obs.snapshot()
+            for index, shard in enumerate(self.shards)
+        }
+
+
+def build_sharded(
+    num_shards: int,
+    geometry: Optional[DiskGeometry] = None,
+    cost_model: Optional[CostModel] = None,
+    disk_model: DiskModel = HP_C3010,
+    config: Optional[LLDConfig] = None,
+    injector: Optional[FaultInjector] = None,
+    **lld_kwargs,
+) -> ShardedLLD:
+    """Build a fresh N-shard volume.
+
+    ``geometry`` is per shard (every member volume gets its own
+    partition of that size).  All shard disks share one fault
+    injector — ``injector`` or a fresh fault-free one — so a crash
+    plan counts a single global write index and power failure is
+    simultaneous across the array.  Each shard gets a private clock;
+    remaining keyword arguments configure every member LLD alike.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    geo = geometry if geometry is not None else DiskGeometry.small(
+        num_segments=64
+    )
+    shared = injector if injector is not None else FaultInjector()
+    cfg = LLDConfig.from_kwargs(config, **lld_kwargs)
+    shards = [
+        LLD(
+            SimulatedDisk(geo, model=disk_model, injector=shared),
+            cost_model=cost_model,
+            config=cfg,
+        )
+        for _ in range(num_shards)
+    ]
+    return ShardedLLD(shards)

@@ -50,11 +50,16 @@ def describe_checkpoints(
         if parsed is None:
             lines.append(f"  slot {slot}: invalid or empty")
             continue
+        decided = (
+            f" decided_xids={len(parsed.decided_xids)}"
+            if parsed.decided_xids
+            else ""
+        )
         lines.append(
             f"  slot {slot}: ckpt_seq={parsed.ckpt_seq} "
             f"last_log_seq={parsed.last_log_seq} "
             f"blocks={len(parsed.blocks)} lists={len(parsed.lists)} "
-            f"segments={len(parsed.segments)}"
+            f"segments={len(parsed.segments)}{decided}"
         )
     best = manager.load()
     lines.append(f"  newest valid checkpoint: seq {best.ckpt_seq}")

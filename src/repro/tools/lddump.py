@@ -2,7 +2,13 @@
 
 Usage::
 
-    python -m repro.tools.lddump IMAGE [options]
+    python -m repro.tools.lddump IMAGE [IMAGE ...] [options]
+
+Several images are treated as the member volumes of a sharded array
+(:mod:`repro.shard`) in shard order — each gets its own titled
+section (shard 0 is the coordinator; its checkpoints may carry
+decided cross-shard transaction ids), and ``--metrics`` emits one
+JSON object keyed by shard index.
 
 Options:
     --segments         list every written log segment
@@ -37,7 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lddump", description="Inspect a saved logical-disk image."
     )
-    parser.add_argument("image", help="image file written by save_image()")
+    parser.add_argument(
+        "image",
+        nargs="+",
+        help="image file(s) written by save_image(); several images "
+        "are shown as the shards of one array, in shard order",
+    )
     parser.add_argument("--segments", action="store_true")
     parser.add_argument("--entries", action="store_true")
     parser.add_argument("--limit", type=int, default=None)
@@ -53,18 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    try:
-        disk = SimulatedDisk.load_image(args.image)
-    except (OSError, LDError) as exc:
-        print(f"lddump: {exc}", file=sys.stderr)
-        return 1
-    if args.metrics:
-        # JSON mode: the metrics payload is the whole output, so
-        # machine consumers can pipe it straight into a parser.
-        print(describe_metrics(disk, slot_segments=args.ckpt_segments))
-        return 0
+def _volume_sections(disk: SimulatedDisk, args) -> List[str]:
     sections = [describe_disk(disk)]
     everything = not (args.segments or args.entries or args.fs)
     if args.checkpoints or everything:
@@ -89,6 +89,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                 journal_segments=args.journal_segments,
             )
         )
+    return sections
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    disks: List[SimulatedDisk] = []
+    for path in args.image:
+        try:
+            disks.append(SimulatedDisk.load_image(path))
+        except (OSError, LDError) as exc:
+            print(f"lddump: {path}: {exc}", file=sys.stderr)
+            return 1
+    sharded = len(disks) > 1
+    if args.metrics:
+        # JSON mode: the metrics payload is the whole output, so
+        # machine consumers can pipe it straight into a parser.
+        if sharded:
+            import json
+
+            print(
+                json.dumps(
+                    {
+                        str(index): json.loads(
+                            describe_metrics(
+                                disk, slot_segments=args.ckpt_segments
+                            )
+                        )
+                        for index, disk in enumerate(disks)
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(
+                describe_metrics(disks[0], slot_segments=args.ckpt_segments)
+            )
+        return 0
+    sections: List[str] = []
+    if sharded:
+        sections.append(
+            f"sharded volume: {len(disks)} member images "
+            "(shard 0 is the coordinator)"
+        )
+    for index, (path, disk) in enumerate(zip(args.image, disks)):
+        if sharded:
+            sections.append(f"--- shard {index}: {path} ---")
+        sections.extend(_volume_sections(disk, args))
     print("\n\n".join(sections))
     return 0
 

@@ -214,3 +214,99 @@ class TestStatsAreRegistryBacked:
         stats = ld.stats()
         assert stats["scrub"]["pending_segments"] == 0
         assert stats["scrub"]["quarantined_segments"] == 0
+
+
+class TestShardedStatsShape:
+    """Sharded volumes report per-shard frozen-schema stats plus an
+    aggregate view that is *itself* frozen-schema-conformant, so
+    existing consumers read an array's totals unchanged."""
+
+    def make_array(self, n=3):
+        from repro.disk.geometry import DiskGeometry
+        from repro.shard import build_sharded
+
+        vol = build_sharded(
+            n,
+            geometry=DiskGeometry.small(num_segments=32),
+            checkpoint_slot_segments=2,
+        )
+        lists = [vol.new_list() for _ in range(n)]
+        blocks = [vol.new_block(lst) for lst in lists]
+        aru = vol.begin_aru()
+        for block in blocks:
+            vol.write(block, b"stats-payload", aru=aru)
+        vol.end_aru(aru)
+        return vol
+
+    def test_per_shard_and_aggregate_conform(self):
+        from repro.obs.schema import (
+            is_sharded_stats,
+            validate_any_stats,
+            validate_sharded_stats,
+        )
+
+        stats = self.make_array().stats()
+        assert is_sharded_stats(stats)
+        assert validate_sharded_stats(stats) == []
+        assert validate_any_stats(stats) == []
+        assert sorted(stats["shards"]) == ["0", "1", "2"]
+        for entry in stats["shards"].values():
+            assert validate_stats(entry) == []
+        assert validate_stats(stats["aggregate"]) == []
+
+    def test_aggregate_sums_counters(self):
+        stats = self.make_array().stats()
+        per_shard = list(stats["shards"].values())
+        agg = stats["aggregate"]
+        assert agg["segments_flushed"] == sum(
+            s["segments_flushed"] for s in per_shard
+        )
+        assert agg["arus_committed"] == sum(
+            s["arus_committed"] for s in per_shard
+        )
+        assert agg["disk"]["writes"] == sum(
+            s["disk"]["writes"] for s in per_shard
+        )
+        assert agg["obs"]["metrics_enabled"] is True
+
+    def test_sharding_section(self):
+        stats = self.make_array().stats()
+        sharding = stats["sharding"]
+        assert sharding["shards"] == 3
+        assert sharding["commits_cross_shard"] == 1
+        assert sharding["xids_issued"] == 1
+        assert sharding["decided_pending"] == 1
+
+    def test_validation_detects_sharded_drift(self):
+        from repro.obs.schema import validate_sharded_stats
+
+        stats = self.make_array().stats()
+        del stats["shards"]["1"]["cache_hits"]
+        stats["aggregate"]["surprise"] = 1
+        stats["sharding"]["shards"] = "three"
+        problems = validate_sharded_stats(stats)
+        assert any(p.startswith("shards.1.cache_hits") for p in problems)
+        assert any("aggregate.surprise" in p for p in problems)
+        assert any("sharding.shards" in p for p in problems)
+
+    def test_artifact_dispatches_on_shape(self):
+        stats = self.make_array().stats()
+        artifact = {
+            "experiment": "shard",
+            "variants": {
+                "single": {"stats": make_lld().stats()},
+                "sharded": {"stats": stats},
+            },
+        }
+        assert validate_artifact(artifact) == []
+        del stats["aggregate"]["cleanings"]
+        assert any(
+            "variants.sharded.stats: aggregate.cleanings" in p
+            for p in validate_artifact(artifact)
+        )
+
+    def test_aggregate_of_single_dict_is_identity(self):
+        from repro.obs.aggregate import aggregate_stats
+
+        stats = make_lld().stats()
+        assert aggregate_stats([stats]) == stats

@@ -159,3 +159,57 @@ class TestCLI:
     def test_missing_file(self, tmp_path, capsys):
         assert lddump_main([str(tmp_path / "nope.img")]) == 1
         assert "lddump:" in capsys.readouterr().err
+
+
+class TestLddumpSharded:
+    def save_array(self, tmp_path):
+        from repro.disk.geometry import DiskGeometry
+        from repro.shard import build_sharded
+
+        vol = build_sharded(
+            3,
+            geometry=DiskGeometry.small(num_segments=24),
+            checkpoint_slot_segments=2,
+        )
+        lists = [vol.new_list() for _ in range(3)]
+        blocks = [vol.new_block(lst) for lst in lists]
+        aru = vol.begin_aru()
+        for block in blocks:
+            vol.write(block, b"dump-me", aru=aru)
+        vol.end_aru(aru)
+        paths = []
+        for index, shard in enumerate(vol.shards):
+            path = tmp_path / f"shard{index}.img"
+            shard.disk.save_image(str(path))
+            paths.append(str(path))
+        return paths
+
+    def test_multi_image_dump(self, tmp_path, capsys):
+        paths = self.save_array(tmp_path)
+        assert lddump_main([*paths, "--ckpt-segments", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded volume: 3 member images" in out
+        for index in range(3):
+            assert f"--- shard {index}:" in out
+        assert out.count("LD disk image") == 3
+
+    def test_multi_image_metrics_json(self, tmp_path, capsys):
+        import json
+
+        paths = self.save_array(tmp_path)
+        code = lddump_main([*paths, "--metrics", "--ckpt-segments", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["0", "1", "2"]
+
+    def test_coordinator_entries_show_two_phase_records(
+        self, tmp_path, capsys
+    ):
+        paths = self.save_array(tmp_path)
+        code = lddump_main(
+            [paths[0], "--entries", "--ckpt-segments", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PREPARE" in out
+        assert "DECIDE" in out
