@@ -106,7 +106,11 @@ class SimulatedDisk:
         # the segment with stale bytes), then report the power loss.
         if surviving > 0:
             old = self._segments.get(segment_no, b"\x00" * len(data))
-            self._segments[segment_no] = data[:surviving] + old[surviving:]
+            # bytes(...) also normalizes bytearray images (the sealed
+            # buffer's own image) to the immutable platter snapshot.
+            self._segments[segment_no] = bytes(
+                data[:surviving] + old[surviving:]
+            )
         from repro.errors import DiskCrashedError
 
         raise DiskCrashedError(
@@ -155,7 +159,7 @@ class SimulatedDisk:
                     continue
                 if surviving > 0:
                     old = self._segments.get(segment_no, b"\x00" * len(data))
-                    self._segments[segment_no] = (
+                    self._segments[segment_no] = bytes(
                         data[:surviving] + old[surviving:]
                     )
                 from repro.errors import DiskCrashedError
@@ -200,12 +204,12 @@ class SimulatedDisk:
                 )
             )
             self._segments[segment_no] = (
-                old[:offset] + data + old[offset + len(data):]
+                old[:offset] + bytes(data) + old[offset + len(data):]
             )
             self.write_count += 1
             return
         if surviving > 0:
-            kept = data[:surviving]
+            kept = bytes(data[:surviving])
             self._segments[segment_no] = (
                 old[:offset] + kept + old[offset + len(kept):]
             )

@@ -7,15 +7,17 @@ A thin command-line front end over the experiment runners::
     python -m repro.harness figure5         # one experiment
     python -m repro.harness figure6 aru
     python -m repro.harness --metrics out/  # emit metrics JSON per run
+    python -m repro.harness --profile       # cProfile each experiment
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import os
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional, TypeVar
 
 from repro.harness.runner import (
     run_aru_latency_experiment,
@@ -28,6 +30,35 @@ from repro.harness.runner import (
 from repro.harness.variants import paper_geometry
 
 EXPERIMENTS = ("figure5", "figure6", "aru", "scrub", "writepath", "shard")
+
+T = TypeVar("T")
+
+
+def profile_to(directory: str, experiment: str, fn: Callable[[], T]) -> T:
+    """Run ``fn`` under :mod:`cProfile`, dumping raw pstats next to the
+    metrics artifacts.
+
+    The dump is the binary :mod:`pstats` format, so it feeds directly
+    into ``python -m pstats`` or snakeviz-style viewers::
+
+        python -m pstats out/profile_figure5.pstats
+        % sort cumulative
+        % stats 25
+
+    Profiling measures *wall-clock* hot paths only — the simulated
+    clock (and therefore every reported metric) is unaffected.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"profile_{experiment}.pstats")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"[profile -> {path}]")
+    return result
 
 
 def emit_metrics(directory: str, experiment: str, metrics: dict) -> str:
@@ -81,6 +112,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="write a metrics_<experiment>.json artifact per experiment",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run each experiment under cProfile and write a "
+            "profile_<experiment>.pstats dump next to the metrics "
+            "artifacts (the --metrics dir if given, else the cwd)"
+        ),
+    )
     args = parser.parse_args(argv)
     chosen = args.experiments or list(EXPERIMENTS)
 
@@ -106,18 +146,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             path = emit_metrics(args.metrics, experiment, metrics)
             print(f"[metrics -> {path}]")
 
+    profile_dir = args.metrics if args.metrics is not None else os.curdir
+
+    def run(experiment: str, thunk: Callable[[], T]) -> T:
+        if args.profile:
+            return profile_to(profile_dir, experiment, thunk)
+        return thunk()
+
     if "figure5" in chosen:
-        result5 = run_figure5(size_classes=size_classes, geometry=geometry)
+        result5 = run(
+            "figure5",
+            lambda: run_figure5(size_classes=size_classes, geometry=geometry),
+        )
         print(result5.table)
         emitted("figure5", result5.metrics)
         print()
     if "figure6" in chosen:
-        result6 = run_figure6(file_size=file_size)
+        result6 = run("figure6", lambda: run_figure6(file_size=file_size))
         print(result6.table)
         emitted("figure6", result6.metrics)
         print()
     if "aru" in chosen:
-        result = run_aru_latency_experiment(iterations=iterations)
+        result = run(
+            "aru", lambda: run_aru_latency_experiment(iterations=iterations)
+        )
         print(
             f"ARU begin/end: {result.latency_us:.2f} us per pair "
             f"({result.scaled_segments(500_000):.1f} segments per 500k; "
@@ -125,17 +177,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         emitted("aru", result.metrics)
     if "scrub" in chosen:
-        scrub = run_scrub_experiment()
+        scrub = run("scrub", run_scrub_experiment)
         print(scrub.summary)
         emitted("scrub", scrub.metrics)
     if "writepath" in chosen:
         n_arus = 1000 if args.full else 200
-        wp = run_writepath_experiment(n_arus=n_arus)
+        wp = run("writepath", lambda: run_writepath_experiment(n_arus=n_arus))
         print(wp.summary)
         emitted("writepath", wp.metrics)
     if "shard" in chosen:
         rounds = 24 if args.full else 12
-        shard = run_shard_experiment(rounds=rounds)
+        shard = run("shard", lambda: run_shard_experiment(rounds=rounds))
         print(shard.summary)
         emitted("shard", shard.metrics)
     return 0

@@ -28,7 +28,7 @@ from typing import List, Optional
 from repro.core.versions import VersionState
 from repro.ld.types import ARU_NONE, BlockId
 from repro.lld.segment import decode_segment
-from repro.lld.summary import EntryKind
+from repro.lld.summary import KIND_WRITE
 
 
 @dataclasses.dataclass
@@ -226,14 +226,18 @@ class SegmentCleaner:
         decoded = decode_segment(raw, lld.geometry, seg)
         if decoded is None:
             return None
-        lld.meter.charge("decode_entry_us", len(decoded.entries))
+        lld.meter.charge("decode_entry_us", decoded.entry_count)
         copied = 0
         seen = set()
-        for entry in decoded.entries:
-            if entry.kind is not EntryKind.WRITE:
+        # Hot loop: raw entry tuples (no SummaryEntry objects) and
+        # zero-copy slot views — add_block consumes the view into the
+        # new segment image immediately, so the only byte copy per
+        # evacuated block is the one into the destination buffer.
+        for fields in decoded.entry_tuples:
+            if fields[0] != KIND_WRITE:
                 continue
-            block_id = BlockId(entry.a)
-            slot = entry.b
+            block_id = BlockId(fields[3])
+            slot = fields[4]
             if (block_id, slot) in seen:
                 continue
             seen.add((block_id, slot))
@@ -250,7 +254,7 @@ class SegmentCleaner:
             # so the old slot need not move.
             if root.find(VersionState.COMMITTED, ARU_NONE) is not None:
                 continue
-            data = decoded.slot_data(slot)
+            data = decoded.slot_view(slot)
             ts = lld.clock.tick()
             addr = lld._append_block_data(block_id, data, 0, ts)
             persistent.address = addr

@@ -36,7 +36,8 @@ class LLDConfig:
       ``cleaner_policy``
     * write pipeline: ``writeback_depth``, ``group_commit``,
       ``group_commit_max_parked``, ``group_commit_timeout_us``
-    * recovery: ``recovery_parallel``, ``recovery_workers``
+    * recovery: ``recovery_parallel``, ``recovery_workers``,
+      ``recovery_executor``
     * observability: ``metrics``, ``recorder_events``,
       ``flight_dump_path``
     """
@@ -56,6 +57,12 @@ class LLDConfig:
     group_commit_timeout_us: float = 10_000.0
     recovery_parallel: bool = True
     recovery_workers: int = 4
+    #: Worker pool flavor for the parallel scan's CRC+decode lanes:
+    #: ``"thread"`` (GIL-bound but cheap to start) or ``"process"``
+    #: (a ``multiprocessing`` pool that wins wall-clock time on large
+    #: scans).  Simulated time is identical either way — the pool
+    #: flavor is a host-side detail the cost model never sees.
+    recovery_executor: str = "thread"
     metrics: bool = True
     recorder_events: int = 256
     flight_dump_path: Optional[str] = None
@@ -102,6 +109,10 @@ class LLDConfig:
         if self.recovery_workers < 1:
             raise ValueError(
                 f"recovery_workers must be >= 1, got {self.recovery_workers}"
+            )
+        if self.recovery_executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown recovery_executor: {self.recovery_executor!r}"
             )
         if self.recorder_events < 1:
             raise ValueError(

@@ -1447,7 +1447,7 @@ class LLD(LogicalDisk):
         self._writeback.submit(buffer, image)
         self._ensure_buffer()
 
-    def _write_now(self, batch: List[Tuple[SegmentBuffer, bytes]]) -> None:
+    def _write_now(self, batch: List[Tuple[SegmentBuffer, bytearray]]) -> None:
         """Write sealed segments to the disk — the only durability
         point of the write path.
 

@@ -6,46 +6,116 @@ and the time-stamp of the last write; the list-table records the
 first and last block of each list (Section 4, Figure 3).  Both
 double as the roots of the same-identifier chains of alternative
 (shadow/committed) records.
+
+Wall-clock layout: LLD allocates block and list identifiers densely
+from 1, so both tables keep their chain roots in a flat list indexed
+by identifier — one bounds check and one list index on the hot
+lookup path instead of hashing — with a spill dict for any sparse
+identifiers outside the dense range (imported images, adversarial
+ids).  Iteration is in ascending identifier order, deterministic and
+identical across every scan/replay variant, which the differential
+recovery tests rely on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.records import BlockVersion, ChainRoot, ListVersion
 from repro.core.versions import VersionState
 from repro.ld.types import BlockId, ListId
 
+#: How far past the current dense range an identifier may land while
+#: still being stored densely (the gap is filled with None).  Beyond
+#: this, the identifier goes to the sparse spill dict.
+_DENSE_SLACK = 1024
 
-class BlockNumberMap:
-    """Logical block id -> chain root (persistent record + alternatives)."""
+
+class _RootTable:
+    """Chain-root storage shared by the block map and the list table.
+
+    A flat list ``_dense`` holds roots for identifiers ``0 ..
+    len-1`` (identifier 0 is never used; the slot is a sacrificial
+    placeholder that keeps indexing offset-free); ``_sparse`` catches
+    outliers.  ``_count`` tracks live roots so ``__len__`` stays O(1).
+    """
+
+    __slots__ = ("_dense", "_sparse", "_count")
 
     def __init__(self) -> None:
-        self._roots: Dict[BlockId, ChainRoot] = {}
+        self._dense: List[Optional[ChainRoot]] = []
+        self._sparse: Dict[int, ChainRoot] = {}
+        self._count = 0
 
-    def root(self, block_id: BlockId, create: bool = False) -> Optional[ChainRoot]:
-        """Return the chain root for ``block_id``.
+    def root(self, ident: int, create: bool = False) -> Optional[ChainRoot]:
+        """Return the chain root for ``ident``.
 
         With ``create=True`` a fresh empty root is installed when the
         identifier has never been seen.
         """
-        found = self._roots.get(block_id)
+        dense = self._dense
+        if 0 <= ident < len(dense):
+            found = dense[ident]
+            if found is None and create:
+                found = ChainRoot()
+                dense[ident] = found
+                self._count += 1
+            return found
+        found = self._sparse.get(ident)
         if found is None and create:
             found = ChainRoot()
-            self._roots[block_id] = found
+            if 0 <= ident < len(dense) + _DENSE_SLACK:
+                dense.extend([None] * (ident + 1 - len(dense)))
+                dense[ident] = found
+            else:
+                self._sparse[ident] = found
+            self._count += 1
         return found
 
-    def drop_if_empty(self, block_id: BlockId) -> None:
-        """Remove the table entry once no version of the block remains."""
-        root = self._roots.get(block_id)
+    def drop_if_empty(self, ident: int) -> None:
+        """Remove the table entry once no version remains."""
+        dense = self._dense
+        if 0 <= ident < len(dense):
+            root = dense[ident]
+            if root is not None and root.empty:
+                dense[ident] = None
+                self._count -= 1
+            return
+        root = self._sparse.get(ident)
         if root is not None and root.empty:
-            del self._roots[block_id]
+            del self._sparse[ident]
+            self._count -= 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, ident: int) -> bool:
+        dense = self._dense
+        if 0 <= ident < len(dense):
+            return dense[ident] is not None
+        return ident in self._sparse
+
+    def items(self) -> Iterator[Tuple[int, ChainRoot]]:
+        """Iterate (identifier, root), ascending through the dense
+        range, then any sparse outliers in ascending order."""
+        for ident, root in enumerate(self._dense):
+            if root is not None:
+                yield ident, root
+        if self._sparse:
+            for ident in sorted(self._sparse):
+                yield ident, self._sparse[ident]
+
+
+class BlockNumberMap(_RootTable):
+    """Logical block id -> chain root (persistent record + alternatives)."""
+
+    __slots__ = ()
 
     def persistent_blocks(self) -> Iterator[Tuple[BlockId, BlockVersion]]:
         """Iterate (id, persistent record) for all persistent blocks."""
-        for block_id, root in self._roots.items():
+        for block_id, root in self.items():
             if root.persistent is not None:
-                yield block_id, root.persistent
+                yield BlockId(block_id), root.persistent
 
     def install_persistent(self, record: BlockVersion) -> None:
         """Install a persistent record (recovery / checkpoint load)."""
@@ -53,53 +123,20 @@ class BlockNumberMap:
             raise ValueError("only persistent records belong in the map directly")
         self.root(record.block_id, create=True).persistent = record
 
-    def __len__(self) -> int:
-        return len(self._roots)
 
-    def __contains__(self, block_id: BlockId) -> bool:
-        return block_id in self._roots
-
-    def items(self) -> Iterator[Tuple[BlockId, ChainRoot]]:
-        return iter(self._roots.items())
-
-
-class ListTable:
+class ListTable(_RootTable):
     """Logical list id -> chain root (persistent record + alternatives)."""
 
-    def __init__(self) -> None:
-        self._roots: Dict[ListId, ChainRoot] = {}
-
-    def root(self, list_id: ListId, create: bool = False) -> Optional[ChainRoot]:
-        """Return the chain root for ``list_id`` (optionally creating it)."""
-        found = self._roots.get(list_id)
-        if found is None and create:
-            found = ChainRoot()
-            self._roots[list_id] = found
-        return found
-
-    def drop_if_empty(self, list_id: ListId) -> None:
-        """Remove the table entry once no version of the list remains."""
-        root = self._roots.get(list_id)
-        if root is not None and root.empty:
-            del self._roots[list_id]
+    __slots__ = ()
 
     def persistent_lists(self) -> Iterator[Tuple[ListId, ListVersion]]:
         """Iterate (id, persistent record) for all persistent lists."""
-        for list_id, root in self._roots.items():
+        for list_id, root in self.items():
             if root.persistent is not None:
-                yield list_id, root.persistent
+                yield ListId(list_id), root.persistent
 
     def install_persistent(self, record: ListVersion) -> None:
         """Install a persistent record (recovery / checkpoint load)."""
         if record.state is not VersionState.PERSISTENT:
             raise ValueError("only persistent records belong in the table directly")
         self.root(record.list_id, create=True).persistent = record
-
-    def __len__(self) -> int:
-        return len(self._roots)
-
-    def __contains__(self, list_id: ListId) -> bool:
-        return list_id in self._roots
-
-    def items(self) -> Iterator[Tuple[ListId, ChainRoot]]:
-        return iter(self._roots.items())

@@ -39,25 +39,52 @@ Two scan implementations share the classification rules:
 
 Both rebuild byte-identical logical-disk state; the pipeline is just
 faster, which the differential tests and ``bench_recovery`` pin down.
+
+Wall-clock fast paths (host speed; simulated time is unaffected):
+
+* The decode pool flavor is selectable via the ``recovery_executor``
+  config knob: ``"thread"`` (default) or ``"process"``, a
+  ``multiprocessing`` pool that sidesteps the GIL for the Python-side
+  summary decode and falls back to threads when the host cannot spawn
+  processes.  Either flavor charges the same simulated ``lanes``.
+* Replay consumes the raw summary field tuples
+  (:attr:`~repro.lld.segment.DecodedSegment.entry_tuples`) through
+  :meth:`_ReplayState.apply_tuple` — no ``SummaryEntry``/``EntryKind``
+  objects on the hot path.  ``recover(replay="object")`` keeps the
+  original object-based replay as a differential reference; the
+  crash-sweep identity tests run both and compare state.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.records import BlockVersion, ListVersion
 from repro.core.versions import VersionState
-from repro.disk.geometry import TRAILER_SIZE
+from repro.disk.geometry import TRAILER_SIZE, DiskGeometry
 from repro.disk.simdisk import SimulatedDisk
 from repro.errors import MediaError
 from repro.ld.types import ARU_NONE, BlockId, ListId, PhysAddr
 from repro.lld.checkpoint import CheckpointData
 from repro.lld.lld import LLD
 from repro.lld.segment import DecodedSegment, decode_segment, parse_trailer
-from repro.lld.summary import EntryKind, SummaryEntry
+from repro.lld.summary import (
+    KIND_ALLOC_BLOCK,
+    KIND_COMMIT,
+    KIND_DECIDE,
+    KIND_DELETE_BLOCK,
+    KIND_DELETE_LIST,
+    KIND_LINK,
+    KIND_NEW_LIST,
+    KIND_PREPARE,
+    KIND_WRITE,
+    EntryKind,
+    SummaryEntry,
+)
 from repro.lld.usage import QUARANTINE_SEQ, SegmentState
 
 
@@ -95,6 +122,13 @@ class RecoveryReport:
     #: Scan implementation actually used and its worker count.
     parallel: bool = False
     workers: int = 1
+    #: Decode pool flavor actually used by the batched scan:
+    #: ``"thread"``, ``"process"``, or ``"serial"`` when no pool ran
+    #: (serial scan, or a single candidate).
+    executor: str = "serial"
+    #: Replay representation used: ``"tuple"`` (fast path) or
+    #: ``"object"`` (the reference implementation).
+    replay: str = "tuple"
     #: Simulated microseconds per phase: ``scan`` (classification
     #: reads), ``decode`` (CRC + summary decode), ``replay`` (the two
     #: passes and the orphan sweep), ``install`` (tables, usage,
@@ -152,50 +186,88 @@ class _ReplayState:
             ]
 
     # -- entry application -------------------------------------------
+    #
+    # Two entry representations funnel into one set of replay rules:
+    # ``apply`` takes the reference ``SummaryEntry`` objects,
+    # ``apply_tuple`` the raw field tuples of the batch decoder.  The
+    # non-trivial rules (delete, link, unlink) live in shared helpers
+    # taking plain ints, so the two paths cannot drift.
 
     def apply(self, entry: SummaryEntry, segment_no: int) -> bool:
-        """Apply one summary entry; returns False on a conflict."""
+        """Apply one summary entry (reference path); False on conflict."""
         kind = entry.kind
         if kind is EntryKind.WRITE:
-            return self._apply_write(entry, segment_no)
+            blk = self.blocks.get(entry.a)
+            if blk is None or not blk[0]:
+                return False
+            blk[1] = (segment_no, entry.b)
+            blk[4] = entry.timestamp
+            return True
         if kind is EntryKind.ALLOC_BLOCK:
             self.blocks[entry.a] = [True, None, 0, 0, entry.timestamp]
             self.max_block = max(self.max_block, entry.a)
             return True
         if kind is EntryKind.DELETE_BLOCK:
-            return self._apply_delete_block(entry)
+            return self._apply_delete_block(entry.a)
         if kind is EntryKind.NEW_LIST:
             self.lists[entry.a] = [True, 0, 0, 0, entry.timestamp]
             self.max_list = max(self.max_list, entry.a)
             return True
         if kind is EntryKind.DELETE_LIST:
-            return self._apply_delete_list(entry)
+            return self._apply_delete_list(entry.a)
         if kind is EntryKind.LINK:
-            return self._apply_link(entry)
+            return self._apply_link(entry.a, entry.b, entry.c, entry.timestamp)
         return True  # COMMIT entries carry no table state
 
-    def _apply_write(self, entry: SummaryEntry, segment_no: int) -> bool:
-        blk = self.blocks.get(entry.a)
-        if blk is None or not blk[0]:
-            return False
-        blk[1] = (segment_no, entry.b)
-        blk[4] = entry.timestamp
-        return True
+    def apply_tuple(self, fields: Tuple[int, ...], segment_no: int) -> bool:
+        """Apply one raw entry tuple (fast path); False on conflict.
 
-    def _apply_delete_block(self, entry: SummaryEntry) -> bool:
-        blk = self.blocks.get(entry.a)
+        ``fields`` is ``(kind, aru_tag, timestamp, a[, b[, c]])``
+        exactly as :func:`~repro.lld.summary.decode_entry_tuples`
+        unpacked it.
+        """
+        kind = fields[0]
+        if kind == KIND_WRITE:
+            blk = self.blocks.get(fields[3])
+            if blk is None or not blk[0]:
+                return False
+            blk[1] = (segment_no, fields[4])
+            blk[4] = fields[2]
+            return True
+        if kind == KIND_ALLOC_BLOCK:
+            a = fields[3]
+            self.blocks[a] = [True, None, 0, 0, fields[2]]
+            if a > self.max_block:
+                self.max_block = a
+            return True
+        if kind == KIND_DELETE_BLOCK:
+            return self._apply_delete_block(fields[3])
+        if kind == KIND_NEW_LIST:
+            a = fields[3]
+            self.lists[a] = [True, 0, 0, 0, fields[2]]
+            if a > self.max_list:
+                self.max_list = a
+            return True
+        if kind == KIND_DELETE_LIST:
+            return self._apply_delete_list(fields[3])
+        if kind == KIND_LINK:
+            return self._apply_link(fields[3], fields[4], fields[5], fields[2])
+        return True  # COMMIT entries carry no table state
+
+    def _apply_delete_block(self, block_id: int) -> bool:
+        blk = self.blocks.get(block_id)
         if blk is None or not blk[0]:
             return False
         list_id = blk[3]
         if list_id:
             lst = self.lists.get(list_id)
             if lst is not None and lst[0]:
-                self._unlink(lst, entry.a)
-        del self.blocks[entry.a]
+                self._unlink(lst, block_id)
+        del self.blocks[block_id]
         return True
 
-    def _apply_delete_list(self, entry: SummaryEntry) -> bool:
-        lst = self.lists.get(entry.a)
+    def _apply_delete_list(self, list_id: int) -> bool:
+        lst = self.lists.get(list_id)
         if lst is None or not lst[0]:
             return False
         cursor = lst[1]
@@ -205,32 +277,34 @@ class _ReplayState:
             if member is not None:
                 del self.blocks[cursor]
             cursor = nxt
-        del self.lists[entry.a]
+        del self.lists[list_id]
         return True
 
-    def _apply_link(self, entry: SummaryEntry) -> bool:
-        lst = self.lists.get(entry.a)
-        blk = self.blocks.get(entry.b)
+    def _apply_link(
+        self, list_id: int, block_id: int, pred_id: int, timestamp: int
+    ) -> bool:
+        lst = self.lists.get(list_id)
+        blk = self.blocks.get(block_id)
         if lst is None or not lst[0] or blk is None or not blk[0]:
             return False
         if blk[3]:
             return False  # already in a list
-        if entry.c == 0:
+        if pred_id == 0:
             blk[2] = lst[1]
             if not lst[1]:
-                lst[2] = entry.b
-            lst[1] = entry.b
+                lst[2] = block_id
+            lst[1] = block_id
         else:
-            pred = self.blocks.get(entry.c)
-            if pred is None or not pred[0] or pred[3] != entry.a:
+            pred = self.blocks.get(pred_id)
+            if pred is None or not pred[0] or pred[3] != list_id:
                 return False
             blk[2] = pred[2]
-            pred[2] = entry.b
-            if lst[2] == entry.c:
-                lst[2] = entry.b
-        blk[3] = entry.a
+            pred[2] = block_id
+            if lst[2] == pred_id:
+                lst[2] = block_id
+        blk[3] = list_id
         lst[3] += 1
-        lst[4] = entry.timestamp
+        lst[4] = timestamp
         return True
 
     def _unlink(self, lst: List, block_id: int) -> None:
@@ -343,7 +417,7 @@ def _scan_serial(
             mark = clock.now_us
             decoded = decode_segment(raw, geometry, seg)
             _charge_decode(
-                lld, raw_kb, len(decoded.entries) if decoded else 0, lanes=1
+                lld, raw_kb, decoded.entry_count if decoded else 0, lanes=1
             )
             decode_us += clock.now_us - mark
             if decoded is None:
@@ -362,6 +436,91 @@ def _scan_serial(
     return replayable, ckpt_segments, invalid, quarantined
 
 
+#: Geometry handed to decode worker processes once at pool start, so
+#: each task ships only (segment number, raw bytes).
+_POOL_GEOMETRY: Optional[DiskGeometry] = None
+
+
+def _decode_pool_init(
+    block_size: int, segment_size: int, num_segments: int
+) -> None:
+    global _POOL_GEOMETRY
+    _POOL_GEOMETRY = DiskGeometry(block_size, segment_size, num_segments)
+
+
+def _decode_pool_task(item: Tuple[int, bytes]):
+    """Decode one segment in a worker process.
+
+    Returns the picklable essence of a :class:`DecodedSegment` — the
+    parent reattaches the raw body it already holds, so the large
+    image crosses the process boundary only once (parent → child).
+    """
+    seg, raw = item
+    decoded = decode_segment(raw, _POOL_GEOMETRY, seg)
+    if decoded is None:
+        return None
+    return (
+        decoded.seq,
+        decoded.block_count,
+        decoded.entry_tuples,
+        decoded.summary_start,
+        decoded.summary_len,
+    )
+
+
+def _decode_with_processes(
+    geometry: DiskGeometry,
+    bodies: Dict[int, bytes],
+    decodable: List[int],
+    lanes: int,
+) -> Optional[List[Optional[DecodedSegment]]]:
+    """Decode candidates on a ``multiprocessing`` pool.
+
+    Returns the decoded list (entries aligned with ``decodable``), or
+    None when the host cannot run a process pool — the caller falls
+    back to threads.  Wall-clock only: the simulated cost charge is
+    identical for every pool flavor.
+    """
+    try:
+        with ProcessPoolExecutor(
+            max_workers=lanes,
+            initializer=_decode_pool_init,
+            initargs=(
+                geometry.block_size,
+                geometry.segment_size,
+                geometry.num_segments,
+            ),
+        ) as pool:
+            packed = list(
+                pool.map(
+                    _decode_pool_task,
+                    [(seg, bodies[seg]) for seg in decodable],
+                    chunksize=max(1, len(decodable) // (lanes * 4) or 1),
+                )
+            )
+    except (OSError, ImportError, BrokenProcessPool):
+        return None
+    out: List[Optional[DecodedSegment]] = []
+    for seg, item in zip(decodable, packed):
+        if item is None:
+            out.append(None)
+            continue
+        seq, nblocks, entry_tuples, summary_start, summary_len = item
+        out.append(
+            DecodedSegment(
+                segment_no=seg,
+                seq=seq,
+                entry_tuples=entry_tuples,
+                block_count=nblocks,
+                raw=bodies[seg],
+                geometry=geometry,
+                summary_start=summary_start,
+                summary_len=summary_len,
+            )
+        )
+    return out
+
+
 def _scan_batched(
     lld: LLD,
     disk: SimulatedDisk,
@@ -369,6 +528,7 @@ def _scan_batched(
     reserved: int,
     report: RecoveryReport,
     workers: int,
+    executor: str = "thread",
 ) -> Tuple[
     List[DecodedSegment],
     Dict[int, Tuple[int, int, int]],
@@ -490,7 +650,13 @@ def _scan_batched(
     # nothing; results are collected in submission order.
     decode_start = clock.now_us
     lanes = max(1, min(workers, len(decodable)))
-    if lanes > 1:
+    decoded_list: Optional[List[Optional[DecodedSegment]]] = None
+    pool_flavor = "serial"
+    if lanes > 1 and executor == "process":
+        decoded_list = _decode_with_processes(geometry, bodies, decodable, lanes)
+        if decoded_list is not None:
+            pool_flavor = "process"
+    if decoded_list is None and lanes > 1:
         with ThreadPoolExecutor(max_workers=lanes) as pool:
             decoded_list = list(
                 pool.map(
@@ -498,10 +664,12 @@ def _scan_batched(
                     decodable,
                 )
             )
-    else:
+        pool_flavor = "thread"
+    if decoded_list is None:
         decoded_list = [
             decode_segment(bodies[seg], geometry, seg) for seg in decodable
         ]
+    report.executor = pool_flavor
     replayable: List[DecodedSegment] = []
     total_entries = 0
     for seg, decoded in zip(decodable, decoded_list):
@@ -510,7 +678,7 @@ def _scan_batched(
             report.segments_invalid += 1
             status[seg] = "invalid"
         else:
-            total_entries += len(decoded.entries)
+            total_entries += decoded.entry_count
             replayable.append(decoded)
     _charge_decode(
         lld,
@@ -530,6 +698,8 @@ def recover(
     sweep_orphans: bool = True,
     parallel: Optional[bool] = None,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    replay: str = "tuple",
     config=None,
     decided_xids: Optional[Set[int]] = None,
     **lld_kwargs,
@@ -554,7 +724,14 @@ def recover(
     one-segment-at-a-time scan.  Both produce identical logical-disk
     state; ``workers`` bounds the decode pool (and the simulated
     overlap) of the pipeline.  When omitted, both come from the
-    config's ``recovery_parallel`` / ``recovery_workers`` knobs.
+    config's ``recovery_parallel`` / ``recovery_workers`` knobs, as
+    does ``executor`` (``"thread"`` or ``"process"``, the host-side
+    decode pool flavor — wall-clock only, never simulated time).
+
+    ``replay`` selects the replay representation: ``"tuple"`` (the
+    wall-clock fast path over raw summary field tuples, the default)
+    or ``"object"`` (the original ``SummaryEntry``-based replay, kept
+    as a differential reference).  Both rebuild identical state.
     """
     from repro.lld.config import LLDConfig
 
@@ -564,18 +741,29 @@ def recover(
         parallel = cfg.recovery_parallel
     if workers is None:
         workers = cfg.recovery_workers
+    if executor is None:
+        executor = cfg.recovery_executor
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor not in ("thread", "process"):
+        raise ValueError(f"unknown recovery executor: {executor!r}")
+    if replay not in ("tuple", "object"):
+        raise ValueError(f"unknown replay mode: {replay!r}")
     wall_start = time.perf_counter()
     start_us = disk.clock.now_us
     batches_before = disk.timer.batches
     runs_before = disk.timer.batched_runs
     lld = LLD(disk, cost_model=cost_model, config=cfg, _defer_init=True)
-    lld.obs.record("recovery.start", parallel=parallel, workers=workers)
+    lld.obs.record(
+        "recovery.start", parallel=parallel, workers=workers, executor=executor
+    )
     lld.obs.metrics.counter("lld.recovery.recoveries").inc()
     ckpt = lld.checkpoints.load()
     report = RecoveryReport(
-        checkpoint_seq=ckpt.ckpt_seq, parallel=parallel, workers=workers
+        checkpoint_seq=ckpt.ckpt_seq,
+        parallel=parallel,
+        workers=workers,
+        replay=replay,
     )
 
     state = _ReplayState()
@@ -593,7 +781,7 @@ def recover(
     reserved = lld.checkpoints.reserved_segments
     if parallel:
         replayable, ckpt_segments, invalid, quarantined = _scan_batched(
-            lld, disk, ckpt, reserved, report, workers
+            lld, disk, ckpt, reserved, report, workers, executor
         )
     else:
         replayable, ckpt_segments, invalid, quarantined = _scan_serial(
@@ -612,16 +800,35 @@ def recover(
     committed: Set[int] = set()
     prepared: Dict[int, int] = {}
     own_decided: Set[int] = set(ckpt.decided_xids)
-    for decoded in replayable:
-        for entry in decoded.entries:
-            if entry.kind is EntryKind.COMMIT:
-                committed.add(entry.aru_tag)
-                state.max_aru = max(state.max_aru, entry.aru_tag)
-            elif entry.kind is EntryKind.PREPARE:
-                prepared[entry.aru_tag] = entry.b
-                state.max_aru = max(state.max_aru, entry.aru_tag)
-            elif entry.kind is EntryKind.DECIDE:
-                own_decided.add(entry.a)
+    if replay == "tuple":
+        max_aru = state.max_aru
+        for decoded in replayable:
+            for fields in decoded.entry_tuples:
+                kind = fields[0]
+                if kind == KIND_COMMIT:
+                    tag = fields[1]
+                    committed.add(tag)
+                    if tag > max_aru:
+                        max_aru = tag
+                elif kind == KIND_PREPARE:
+                    tag = fields[1]
+                    prepared[tag] = fields[4]
+                    if tag > max_aru:
+                        max_aru = tag
+                elif kind == KIND_DECIDE:
+                    own_decided.add(fields[3])
+        state.max_aru = max_aru
+    else:
+        for decoded in replayable:
+            for entry in decoded.entries:
+                if entry.kind is EntryKind.COMMIT:
+                    committed.add(entry.aru_tag)
+                    state.max_aru = max(state.max_aru, entry.aru_tag)
+                elif entry.kind is EntryKind.PREPARE:
+                    prepared[entry.aru_tag] = entry.b
+                    state.max_aru = max(state.max_aru, entry.aru_tag)
+                elif entry.kind is EntryKind.DECIDE:
+                    own_decided.add(entry.a)
     decided = own_decided | (decided_xids or set())
     report.arus_prepared = len(prepared)
     report.xids_decided = sorted(own_decided)
@@ -642,19 +849,49 @@ def recover(
 
     # ---- pass 2: replay ---------------------------------------------
     discarded_arus: Set[int] = set()
-    for decoded in replayable:
-        report.segments_replayed += 1
-        for entry in decoded.entries:
-            state.max_aru = max(state.max_aru, entry.aru_tag)
-            tag = entry.aru_tag
-            if tag and tag not in committed and entry.kind is not EntryKind.COMMIT:
-                report.entries_discarded += 1
-                discarded_arus.add(tag)
-                continue
-            if state.apply(entry, decoded.segment_no):
-                report.entries_replayed += 1
-            else:
-                report.replay_conflicts += 1
+    if replay == "tuple":
+        # Fast path: raw field tuples, local counters, no attribute
+        # traffic in the inner loop.
+        replayed = discarded = conflicts = 0
+        max_aru = state.max_aru
+        apply_tuple = state.apply_tuple
+        for decoded in replayable:
+            report.segments_replayed += 1
+            segment_no = decoded.segment_no
+            for fields in decoded.entry_tuples:
+                tag = fields[1]
+                if tag > max_aru:
+                    max_aru = tag
+                if tag and tag not in committed and fields[0] != KIND_COMMIT:
+                    discarded += 1
+                    discarded_arus.add(tag)
+                    continue
+                if apply_tuple(fields, segment_no):
+                    replayed += 1
+                else:
+                    conflicts += 1
+        state.max_aru = max_aru
+        report.entries_replayed += replayed
+        report.entries_discarded += discarded
+        report.replay_conflicts += conflicts
+    else:
+        for decoded in replayable:
+            report.segments_replayed += 1
+            for entry in decoded.entries:
+                state.max_aru = max(state.max_aru, entry.aru_tag)
+                tag = entry.aru_tag
+                if (
+                    tag
+                    and tag not in committed
+                    and entry.kind is not EntryKind.COMMIT
+                ):
+                    report.entries_discarded += 1
+                    discarded_arus.add(tag)
+                    continue
+                if state.apply(entry, decoded.segment_no):
+                    report.entries_replayed += 1
+                else:
+                    report.replay_conflicts += 1
     report.arus_discarded = len(discarded_arus)
     report.discarded_aru_ids = sorted(discarded_arus)
 

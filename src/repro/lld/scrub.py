@@ -49,7 +49,7 @@ from repro.core.versions import VersionState
 from repro.errors import MediaError
 from repro.ld.types import ARU_NONE, BlockId
 from repro.lld.segment import decode_segment
-from repro.lld.summary import EntryKind
+from repro.lld.summary import KIND_WRITE
 from repro.lld.usage import SegmentState
 
 
@@ -109,20 +109,23 @@ def find_log_copy(
         if decoded is None:
             lld._scrub_pending.add(seg)
             continue
-        lld.meter.charge("decode_entry_us", len(decoded.entries))
+        lld.meter.charge("decode_entry_us", decoded.entry_count)
         slot: Optional[int] = None
-        for entry in decoded.entries:
-            if entry.kind is not EntryKind.WRITE or entry.a != int(block_id):
+        want = int(block_id)
+        for fields in decoded.entry_tuples:
+            if fields[0] != KIND_WRITE or fields[3] != want:
                 continue
-            tag = entry.aru_tag
+            tag = fields[1]
             if (
                 tag
                 and tag not in lld._commit_on_disk
                 and tag not in lld._pending_commit_arus
             ):
                 continue
-            slot = entry.b
+            slot = fields[4]
         if slot is not None:
+            # slot_data (bytes, a copy): the result is cached and
+            # handed to readers, so it must not be a view.
             return decoded.slot_data(slot), seq
     return None
 
@@ -185,7 +188,7 @@ class Scrubber:
             if decoded is None:
                 report.damaged[seg] = "corrupt"
             else:
-                lld.meter.charge("decode_entry_us", len(decoded.entries))
+                lld.meter.charge("decode_entry_us", decoded.entry_count)
                 lld._scrub_pending.discard(seg)
         report.segments_damaged = len(report.damaged)
         if not report.damaged:

@@ -13,18 +13,38 @@ Trailer layout (see :data:`TRAILER_FMT`): magic, format version,
 sequence number, entry count, block count, summary length, CRC-32 of
 the whole segment.  A torn segment write destroys the trailer and/or
 the checksum, so recovery detects and skips it.
+
+Wall-clock fast path
+--------------------
+
+The buffer owns a preallocated ``bytearray`` segment image and fills
+it *as blocks arrive*: :meth:`SegmentBuffer.add_block` slice-assigns
+the caller's data (``bytes`` or ``memoryview``) straight into the
+image, so :meth:`SegmentBuffer.seal` only has to append the summary
+and trailer in place and hand the image out — no assembly copy of the
+data region at seal time and no final ``bytes(image)`` copy (the disk
+layer makes the single platter copy).  A sealed buffer refuses all
+further mutation, which is what makes returning the internal
+``bytearray`` alias-safe (``tests/test_wallclock_fastpath.py`` pins
+this).  :func:`reference_seal` keeps the original copy-everything
+assembly as a differential oracle: both must produce byte-identical
+images.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import struct
 import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.disk.geometry import DiskGeometry, TRAILER_SIZE
 from repro.ld.types import BlockId, PhysAddr
-from repro.lld.summary import SummaryEntry, decode_entries, encode_entries_into
+from repro.lld.summary import (
+    SummaryEntry,
+    decode_entries,
+    decode_entry_tuples,
+    encode_entries_into,
+)
 
 #: magic(4s) version(H) pad(H) seq(Q) nentries(I) nblocks(I)
 #: summary_len(I) pad(I) crc(Q)
@@ -69,15 +89,35 @@ class SegmentBuffer:
             to.
     """
 
+    __slots__ = (
+        "geometry",
+        "seq",
+        "segment_no",
+        "_image",
+        "_slot_data",
+        "_slot_owner",
+        "_block_slot",
+        "entries",
+        "_summary_bytes",
+        "_sealed",
+    )
+
     def __init__(self, geometry: DiskGeometry, seq: int, segment_no: int) -> None:
         self.geometry = geometry
         self.seq = seq
         self.segment_no = segment_no
-        self._slot_data: List[bytes] = []
+        #: The segment image, filled in place as blocks arrive.
+        self._image = bytearray(geometry.segment_size)
+        #: Per-slot source object: the caller's ``bytes`` (kept so
+        #: buffer reads stay zero-copy) or None when the block arrived
+        #: as a borrowed buffer (e.g. a cleaner memoryview) — those
+        #: reads materialize from the image on demand.
+        self._slot_data: List[Optional[bytes]] = []
         self._slot_owner: List[BlockId] = []
         self._block_slot: Dict[BlockId, int] = {}
         self.entries: List[SummaryEntry] = []
         self._summary_bytes = 0
+        self._sealed = False
 
     # ------------------------------------------------------------------
     # Capacity
@@ -100,6 +140,11 @@ class SegmentBuffer:
     def is_empty(self) -> bool:
         """True if nothing has been placed in this buffer."""
         return not self._slot_data and not self.entries
+
+    @property
+    def is_sealed(self) -> bool:
+        """True once :meth:`seal` has run; the buffer is then frozen."""
+        return self._sealed
 
     @property
     def block_count(self) -> int:
@@ -130,12 +175,17 @@ class SegmentBuffer:
     # Filling
     # ------------------------------------------------------------------
 
-    def add_block(self, block_id: BlockId, data: bytes) -> PhysAddr:
+    def add_block(self, block_id: BlockId, data) -> PhysAddr:
         """Place one block of data, deduplicating within this buffer.
 
-        The caller must have checked :meth:`has_room` first when the
-        block is new to this buffer.
+        ``data`` may be ``bytes`` or any buffer (``memoryview``,
+        ``bytearray``): it is slice-assigned into the segment image
+        immediately, so borrowed views are consumed before return and
+        never retained.  The caller must have checked :meth:`has_room`
+        first when the block is new to this buffer.
         """
+        if self._sealed:
+            raise RuntimeError("segment buffer is sealed")
         if len(data) != self.geometry.block_size:
             raise ValueError(
                 f"block data must be {self.geometry.block_size} bytes, "
@@ -146,15 +196,19 @@ class SegmentBuffer:
             slot = len(self._slot_data)
             if not self.has_room(1, 0):
                 raise RuntimeError("segment buffer overflow (missing room check)")
-            self._slot_data.append(data)
+            self._slot_data.append(data if type(data) is bytes else None)
             self._slot_owner.append(block_id)
             self._block_slot[block_id] = slot
         else:
-            self._slot_data[slot] = data
+            self._slot_data[slot] = data if type(data) is bytes else None
+        offset = slot * self.geometry.block_size
+        self._image[offset : offset + self.geometry.block_size] = data
         return PhysAddr(self.segment_no, slot)
 
     def add_entry(self, entry: SummaryEntry) -> None:
         """Append one summary entry (room must have been checked)."""
+        if self._sealed:
+            raise RuntimeError("segment buffer is sealed")
         size = entry.encoded_size()
         if size > self.bytes_free():
             raise RuntimeError("segment summary overflow (missing room check)")
@@ -165,13 +219,24 @@ class SegmentBuffer:
         """True if this buffer currently holds data for ``block_id``."""
         return block_id in self._block_slot
 
+    def _slot_bytes(self, slot: int) -> bytes:
+        """The slot's data as ``bytes``, zero-copy when the caller's
+        original object is on hand, materialized from the image (and
+        cached) otherwise."""
+        data = self._slot_data[slot]
+        if data is None:
+            offset = slot * self.geometry.block_size
+            data = bytes(self._image[offset : offset + self.geometry.block_size])
+            self._slot_data[slot] = data
+        return data
+
     def get_block(self, block_id: BlockId) -> bytes:
         """Read a block's data out of the unwritten buffer."""
-        return self._slot_data[self._block_slot[block_id]]
+        return self._slot_bytes(self._block_slot[block_id])
 
     def get_slot(self, slot: int) -> bytes:
         """Read a data slot out of the unwritten buffer."""
-        return self._slot_data[slot]
+        return self._slot_bytes(slot)
 
     def live_block_ids(self) -> Tuple[BlockId, ...]:
         """The distinct block ids placed in this buffer."""
@@ -180,24 +245,27 @@ class SegmentBuffer:
     def iter_blocks(self):
         """Yield (block id, slot, data) for every block in the buffer."""
         for block_id, slot in self._block_slot.items():
-            yield block_id, slot, self._slot_data[slot]
+            yield block_id, slot, self._slot_bytes(slot)
 
     # ------------------------------------------------------------------
     # Sealing
     # ------------------------------------------------------------------
 
-    def seal(self) -> bytes:
-        """Serialize the buffer to a full segment image.
+    def seal(self) -> bytearray:
+        """Finish the segment image in place and return it.
 
         The image is exactly ``geometry.segment_size`` bytes: data
-        slots from the front, summary just before the trailer, CRC
-        over everything.
+        slots (already in place, filled by :meth:`add_block`), summary
+        just before the trailer, CRC over everything.  The returned
+        object is the buffer's own ``bytearray`` — no copy — which is
+        safe because sealing freezes the buffer: any further
+        ``add_block``/``add_entry`` raises.  The disk layer stores an
+        immutable ``bytes`` snapshot of whatever it is handed.
         """
+        if self._sealed:
+            raise RuntimeError("segment buffer is sealed")
         geo = self.geometry
-        image = bytearray(geo.segment_size)
-        for slot, data in enumerate(self._slot_data):
-            offset = slot * geo.block_size
-            image[offset : offset + geo.block_size] = data
+        image = self._image
         summary_len = self._summary_bytes
         summary_start = geo.segment_size - TRAILER_SIZE - summary_len
         end = encode_entries_into(self.entries, image, summary_start)
@@ -218,36 +286,149 @@ class SegmentBuffer:
         )
         crc = zlib.crc32(memoryview(image)[: geo.segment_size - 8])
         _CRC_STRUCT.pack_into(image, geo.segment_size - 8, crc)
-        return bytes(image)
+        self._sealed = True
+        return image
 
 
-@dataclasses.dataclass
+def reference_seal(buffer: SegmentBuffer) -> bytes:
+    """The pre-fast-path segment assembly, kept as a differential oracle.
+
+    Builds the image the original way — fresh ``bytearray``, one copy
+    per data slot at seal time, then summary, trailer and CRC — without
+    touching ``buffer``'s own image or sealed flag.  Must produce a
+    byte-identical image to :meth:`SegmentBuffer.seal`;
+    ``bench_wallclock.py`` gates the fast path against it and
+    ``tests/test_wallclock_fastpath.py`` proves the identity.
+    """
+    geo = buffer.geometry
+    image = bytearray(geo.segment_size)
+    block_size = geo.block_size
+    for slot in range(buffer.block_count):
+        offset = slot * block_size
+        image[offset : offset + block_size] = buffer._slot_bytes(slot)
+    summary_len = buffer.summary_bytes
+    summary_start = geo.segment_size - TRAILER_SIZE - summary_len
+    end = encode_entries_into(buffer.entries, image, summary_start)
+    if end != summary_start + summary_len:
+        raise RuntimeError("summary size accounting is inconsistent")
+    TRAILER_STRUCT.pack_into(
+        image,
+        geo.segment_size - TRAILER_SIZE,
+        TRAILER_MAGIC,
+        FORMAT_VERSION,
+        0,
+        buffer.seq,
+        len(buffer.entries),
+        buffer.block_count,
+        summary_len,
+        0,
+        0,  # crc placeholder
+    )
+    crc = zlib.crc32(memoryview(image)[: geo.segment_size - 8])
+    _CRC_STRUCT.pack_into(image, geo.segment_size - 8, crc)
+    return bytes(image)
+
+
 class DecodedSegment:
-    """A validated on-disk segment, ready for recovery or cleaning."""
+    """A validated on-disk segment, ready for recovery or cleaning.
 
-    segment_no: int
-    seq: int
-    entries: List[SummaryEntry]
-    block_count: int
-    raw: bytes
-    geometry: DiskGeometry
+    Carries the summary as raw field tuples (``entry_tuples``, from
+    :func:`repro.lld.summary.decode_entry_tuples`) — the wall-clock
+    fast path replay and cleaning loops consume these directly.  The
+    :attr:`entries` property lazily re-decodes the summary bytes with
+    the reference codec for consumers that want
+    :class:`~repro.lld.summary.SummaryEntry` objects (inspection
+    tools, tests); because it starts again from the raw bytes it
+    doubles as an independent differential check on the tuple decoder.
+    """
+
+    __slots__ = (
+        "segment_no",
+        "seq",
+        "entry_tuples",
+        "block_count",
+        "raw",
+        "geometry",
+        "summary_start",
+        "summary_len",
+        "_entries",
+    )
+
+    def __init__(
+        self,
+        segment_no: int,
+        seq: int,
+        entry_tuples: List[Tuple[int, ...]],
+        block_count: int,
+        raw,
+        geometry: DiskGeometry,
+        summary_start: int,
+        summary_len: int,
+    ) -> None:
+        self.segment_no = segment_no
+        self.seq = seq
+        self.entry_tuples = entry_tuples
+        self.block_count = block_count
+        self.raw = raw
+        self.geometry = geometry
+        self.summary_start = summary_start
+        self.summary_len = summary_len
+        self._entries: Optional[List[SummaryEntry]] = None
+
+    @property
+    def entries(self) -> List[SummaryEntry]:
+        """The summary as :class:`SummaryEntry` objects (lazy, cached).
+
+        Decoded from the raw summary bytes with the reference codec,
+        independently of :attr:`entry_tuples`.
+        """
+        if self._entries is None:
+            view = memoryview(self.raw)
+            self._entries = list(
+                decode_entries(
+                    view[self.summary_start : self.summary_start + self.summary_len]
+                )
+            )
+        return self._entries
+
+    @property
+    def entry_count(self) -> int:
+        """Number of summary entries (without materializing objects)."""
+        return len(self.entry_tuples)
 
     def slot_data(self, slot: int) -> bytes:
-        """Return the data of slot ``slot``."""
+        """Return the data of slot ``slot`` as ``bytes`` (a copy)."""
         if not 0 <= slot < self.block_count:
             raise ValueError(f"slot {slot} out of range for decoded segment")
         offset = slot * self.geometry.block_size
-        return self.raw[offset : offset + self.geometry.block_size]
+        return bytes(self.raw[offset : offset + self.geometry.block_size])
+
+    def slot_view(self, slot: int) -> memoryview:
+        """Return slot ``slot`` as a zero-copy read-only view.
+
+        For hot consumers (cleaner evacuation, salvage) that hand the
+        data straight to :meth:`SegmentBuffer.add_block`, which
+        consumes the view immediately; do not retain the view anywhere
+        user-visible (caches and read results must hold ``bytes``).
+        """
+        if not 0 <= slot < self.block_count:
+            raise ValueError(f"slot {slot} out of range for decoded segment")
+        offset = slot * self.geometry.block_size
+        return memoryview(self.raw).toreadonly()[
+            offset : offset + self.geometry.block_size
+        ]
 
 
 def decode_segment(
-    raw: bytes, geometry: DiskGeometry, segment_no: int
+    raw, geometry: DiskGeometry, segment_no: int
 ) -> Optional[DecodedSegment]:
     """Validate and parse a raw segment image.
 
     Returns None if the segment is not a valid LLD segment (never
     written, torn, or corrupted) — recovery treats such segments as
-    free space.
+    free space.  One CRC-32 pass over the whole image (C-backed
+    ``zlib.crc32``) validates everything; the summary is then
+    batch-decoded into field tuples in a single pass.
     """
     if len(raw) != geometry.segment_size:
         return None
@@ -262,18 +443,20 @@ def decode_segment(
     if summary_start < nblocks * geometry.block_size:
         return None
     try:
-        entries = list(
-            decode_entries(view[summary_start : summary_start + summary_len])
+        entry_tuples = decode_entry_tuples(
+            view[summary_start : summary_start + summary_len]
         )
     except ValueError:
         return None
-    if len(entries) != nentries:
+    if len(entry_tuples) != nentries:
         return None
     return DecodedSegment(
         segment_no=segment_no,
         seq=seq,
-        entries=entries,
+        entry_tuples=entry_tuples,
         block_count=nblocks,
         raw=raw,
         geometry=geometry,
+        summary_start=summary_start,
+        summary_len=summary_len,
     )

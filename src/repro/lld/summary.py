@@ -99,6 +99,19 @@ _ENTRY_CODECS: dict = {
     for raw_kind, codec in _ENTRY_STRUCTS.items()
 }
 
+#: Raw kind bytes as plain ints, for consumers of the tuple decoder
+#: (:func:`decode_entry_tuples`) that dispatch with ``==`` instead of
+#: paying an ``EntryKind`` lookup per entry.
+KIND_WRITE = int(EntryKind.WRITE)
+KIND_ALLOC_BLOCK = int(EntryKind.ALLOC_BLOCK)
+KIND_DELETE_BLOCK = int(EntryKind.DELETE_BLOCK)
+KIND_NEW_LIST = int(EntryKind.NEW_LIST)
+KIND_DELETE_LIST = int(EntryKind.DELETE_LIST)
+KIND_LINK = int(EntryKind.LINK)
+KIND_COMMIT = int(EntryKind.COMMIT)
+KIND_PREPARE = int(EntryKind.PREPARE)
+KIND_DECIDE = int(EntryKind.DECIDE)
+
 
 @dataclasses.dataclass(frozen=True)
 class SummaryEntry:
@@ -167,6 +180,13 @@ def decode_entries(raw) -> Iterator[SummaryEntry]:
     ``raw`` may be ``bytes`` or any buffer (e.g. a ``memoryview`` into
     a segment image); decoding never copies the underlying bytes.
 
+    This is the *reference* codec: it materializes one frozen
+    :class:`SummaryEntry` (with its :class:`EntryKind`) per entry,
+    which is convenient but expensive.  Hot paths use
+    :func:`decode_entry_tuples` instead; the differential tests in
+    ``tests/test_wallclock_fastpath.py`` pin the two decoders to each
+    other field for field.
+
     Raises:
         ValueError: On a malformed entry stream (callers treat the
             whole segment as invalid; the checksum normally catches
@@ -191,3 +211,40 @@ def decode_entries(raw) -> Iterator[SummaryEntry]:
         offset += codec.size
         padded = fields[3:] + (0,) * (3 - count)
         yield SummaryEntry(kind, fields[1], fields[2], *padded)
+
+
+def decode_entry_tuples(raw) -> List[Tuple[int, ...]]:
+    """Batch-decode a serialized summary into raw field tuples.
+
+    Each tuple is exactly what the entry's precompiled struct unpacks:
+    ``(kind, aru_tag, timestamp, a[, b[, c]])`` with the payload tail
+    cut to the kind's field count (no zero padding).  ``kind`` is the
+    raw int byte — compare against the ``KIND_*`` constants.
+
+    This is the wall-clock fast path: one dict lookup and one
+    ``unpack_from`` per entry, no dataclass or ``EntryKind``
+    construction, the whole summary in a single pass.  It accepts and
+    rejects byte-for-byte the same streams as :func:`decode_entries`
+    (same ``ValueError`` cases), which the differential tests enforce.
+    """
+    offset = 0
+    total = len(raw)
+    codecs = _ENTRY_CODECS
+    out: List[Tuple[int, ...]] = []
+    append = out.append
+    while offset < total:
+        kind_raw = raw[offset]
+        entry = codecs.get(kind_raw)
+        if entry is None:
+            if offset + _HEADER_SIZE > total:
+                raise ValueError("truncated summary entry header")
+            raise ValueError(f"unknown summary entry kind {kind_raw}")
+        codec = entry[0]
+        end = offset + codec.size
+        if end > total:
+            if offset + _HEADER_SIZE > total:
+                raise ValueError("truncated summary entry header")
+            raise ValueError("truncated summary entry payload")
+        append(codec.unpack_from(raw, offset))
+        offset = end
+    return out

@@ -60,7 +60,10 @@ class WritebackQueue:
             raise ValueError(f"writeback depth must be >= 0, got {depth}")
         self.lld = lld
         self.depth = depth
-        self._pending: List[Tuple[SegmentBuffer, bytes]] = []
+        # Parked (buffer, sealed image) pairs.  The image is the
+        # buffer's own frozen bytearray (seal() is zero-copy); the
+        # disk layer snapshots it to immutable bytes at write time.
+        self._pending: List[Tuple[SegmentBuffer, bytearray]] = []
         self._by_segment: Dict[int, SegmentBuffer] = {}
         # Statistics (surfaced via lld.stats()["writeback"]), kept in
         # the owner's metrics registry.
@@ -98,7 +101,7 @@ class WritebackQueue:
     # Producer side
     # ------------------------------------------------------------------
 
-    def submit(self, buffer: SegmentBuffer, image: bytes) -> None:
+    def submit(self, buffer: SegmentBuffer, image: bytearray) -> None:
         """Accept one sealed segment.
 
         With write-behind disabled this degenerates to the serial

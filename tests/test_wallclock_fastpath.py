@@ -1,0 +1,440 @@
+"""Regression tests pinning the wall-clock fast paths to their
+reference implementations.
+
+The fast paths (zero-copy segment assembly, the tuple summary
+decoder, tuple-dispatch replay, the process decode pool, the dense
+root tables) exist purely for wall-clock speed; every observable —
+platter bytes, decoded fields, recovered state, simulated time — must
+be byte-identical to the original code, which is kept in-tree as
+oracles (:func:`repro.lld.segment.reference_seal`,
+:func:`repro.lld.summary.decode_entries`, ``recover(replay="object")``).
+"""
+
+import random
+
+import pytest
+
+from repro.core.records import ChainRoot
+from repro.disk.faults import CrashPlan, FaultInjector
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import DiskCrashedError
+from repro.fs import MinixFS
+from repro.ld.types import BlockId
+from repro.lld.lld import LLD
+from repro.lld.maps import _DENSE_SLACK, BlockNumberMap, ListTable
+from repro.lld.recovery import recover
+from repro.lld.segment import SegmentBuffer, decode_segment, reference_seal
+from repro.lld.summary import (
+    EntryKind,
+    SummaryEntry,
+    decode_entries,
+    decode_entry_tuples,
+    encode_entries,
+)
+
+
+# ----------------------------------------------------------------------
+# Zero-copy assembly vs the copy-at-seal oracle
+# ----------------------------------------------------------------------
+
+
+def _filled_buffer(geometry, seed=7):
+    """A buffer with a representative mix of payloads and entries."""
+    rng = random.Random(seed)
+    buf = SegmentBuffer(geometry, seq=42, segment_no=3)
+    block_id = 1
+    while buf.has_room(1, 64):
+        data = bytes(rng.randrange(256) for _ in range(8)) * (
+            geometry.block_size // 8
+        )
+        # Exercise all three input flavors the write path hands over:
+        # bytes, bytearray, and a borrowed memoryview.
+        flavor = block_id % 3
+        if flavor == 1:
+            payload = data
+        elif flavor == 2:
+            payload = bytearray(data)
+        else:
+            payload = memoryview(data)
+        buf.add_block(BlockId(block_id), payload)
+        buf.add_entry(
+            SummaryEntry(
+                EntryKind.WRITE, block_id % 5, block_id * 10, block_id,
+                buf.block_count - 1,
+            )
+        )
+        if block_id % 7 == 0:
+            buf.add_entry(
+                SummaryEntry(EntryKind.COMMIT, block_id % 5, block_id * 10 + 1, 3)
+            )
+        if block_id % 11 == 0:
+            # Overwrite-in-place of an earlier block (dedup path).
+            buf.add_block(BlockId(max(1, block_id // 2)), memoryview(data))
+        block_id += 1
+    return buf
+
+
+class TestZeroCopyAssembly:
+    def test_seal_matches_reference_assembly(self):
+        geometry = DiskGeometry.small(block_size=1024)
+        buf = _filled_buffer(geometry)
+        reference = reference_seal(buf)  # before seal(); does not mutate
+        image = buf.seal()
+        assert isinstance(image, bytearray)
+        assert bytes(image) == reference
+        # Both images must decode, and identically.
+        fast = decode_segment(bytes(image), geometry, 3)
+        ref = decode_segment(reference, geometry, 3)
+        assert fast is not None and ref is not None
+        assert fast.entry_tuples == ref.entry_tuples
+        assert fast.seq == ref.seq == 42
+
+    def test_sealed_buffer_is_frozen_and_not_aliased(self):
+        """seal() returns the internal bytearray; safety of that alias
+        rests on the buffer refusing every mutation afterwards."""
+        geometry = DiskGeometry.small(block_size=1024)
+        buf = _filled_buffer(geometry, seed=11)
+        reference = reference_seal(buf)
+        image = buf.seal()
+        snapshot = bytes(image)
+        assert buf.is_sealed
+        block = bytes(geometry.block_size)
+        with pytest.raises(RuntimeError):
+            buf.add_block(BlockId(1), block)
+        with pytest.raises(RuntimeError):
+            buf.add_block(BlockId(10_000), block)  # new block, same answer
+        with pytest.raises(RuntimeError):
+            buf.add_entry(SummaryEntry(EntryKind.COMMIT, 1, 2, 3))
+        with pytest.raises(RuntimeError):
+            buf.seal()
+        # The rejected mutations must not have touched the image.
+        assert bytes(image) == snapshot == reference
+
+    def test_borrowed_views_are_consumed_not_retained(self):
+        """A memoryview handed to add_block must be fully consumed
+        before return: mutating the source afterwards cannot reach the
+        buffer or the sealed image."""
+        geometry = DiskGeometry.small(block_size=1024)
+        buf = SegmentBuffer(geometry, seq=1, segment_no=0)
+        source = bytearray(b"\xaa" * geometry.block_size)
+        buf.add_block(BlockId(1), memoryview(source))
+        buf.add_entry(SummaryEntry(EntryKind.WRITE, 0, 1, 1, 0))
+        source[:] = b"\xbb" * geometry.block_size  # mutate after handoff
+        assert buf.get_block(BlockId(1)) == b"\xaa" * geometry.block_size
+        image = buf.seal()
+        assert bytes(image[: geometry.block_size]) == (
+            b"\xaa" * geometry.block_size
+        )
+
+
+# ----------------------------------------------------------------------
+# Tuple decoder vs the reference object codec
+# ----------------------------------------------------------------------
+
+
+_PAYLOAD_FIELD_COUNT = {
+    EntryKind.WRITE: 2,
+    EntryKind.ALLOC_BLOCK: 2,
+    EntryKind.DELETE_BLOCK: 1,
+    EntryKind.NEW_LIST: 1,
+    EntryKind.DELETE_LIST: 1,
+    EntryKind.LINK: 3,
+    EntryKind.COMMIT: 1,
+    EntryKind.PREPARE: 2,
+    EntryKind.DECIDE: 1,
+}
+
+
+def _random_entries(rng, count):
+    entries = []
+    for _ in range(count):
+        kind = rng.choice(list(EntryKind))
+        # WRITE's second payload field is a 32-bit slot; everything
+        # else is 64-bit.
+        b_max = 2**32 - 1 if kind is EntryKind.WRITE else 2**63
+        entries.append(
+            SummaryEntry(
+                kind,
+                aru_tag=rng.randrange(2**63),
+                timestamp=rng.randrange(2**63),
+                a=rng.randrange(2**63),
+                b=rng.randrange(b_max),
+                c=rng.randrange(2**63),
+            )
+        )
+    return entries
+
+
+class TestDecoderDifferential:
+    def test_random_streams_decode_identically(self):
+        rng = random.Random(1234)
+        for trial in range(25):
+            entries = _random_entries(rng, rng.randrange(1, 120))
+            raw = encode_entries(entries)
+            objects = list(decode_entries(raw))
+            tuples = decode_entry_tuples(raw)
+            assert len(objects) == len(tuples) == len(entries)
+            for original, obj, fields in zip(entries, objects, tuples):
+                count = _PAYLOAD_FIELD_COUNT[original.kind]
+                expected = (original.a, original.b, original.c)[:count]
+                assert obj.kind is original.kind
+                assert fields[0] == int(original.kind)
+                assert fields[1] == obj.aru_tag == original.aru_tag
+                assert fields[2] == obj.timestamp == original.timestamp
+                assert fields[3:] == expected
+                assert (obj.a, obj.b, obj.c)[:count] == expected
+
+    def test_memoryview_input(self):
+        rng = random.Random(9)
+        raw = encode_entries(_random_entries(rng, 40))
+        view = memoryview(raw)
+        assert decode_entry_tuples(view) == decode_entry_tuples(raw)
+        assert list(decode_entries(view)) == list(decode_entries(raw))
+
+    @pytest.mark.parametrize("cut", [1, 5, 16, 17, 24])
+    def test_truncated_streams_raise_in_both(self, cut):
+        entry = SummaryEntry(EntryKind.LINK, 1, 2, 3, 4, 5)
+        raw = entry.encode()
+        assert cut < len(raw)
+        with pytest.raises(ValueError):
+            decode_entry_tuples(raw[:cut])
+        with pytest.raises(ValueError):
+            list(decode_entries(raw[:cut]))
+
+    def test_unknown_kind_raises_in_both(self):
+        raw = b"\x7f" + b"\x00" * 24
+        with pytest.raises(ValueError):
+            decode_entry_tuples(raw)
+        with pytest.raises(ValueError):
+            list(decode_entries(raw))
+
+    def test_empty_stream(self):
+        assert decode_entry_tuples(b"") == []
+        assert list(decode_entries(b"")) == []
+
+
+# ----------------------------------------------------------------------
+# Dense root tables
+# ----------------------------------------------------------------------
+
+
+class TestDenseRootTables:
+    def test_create_lookup_len_contains(self):
+        table = BlockNumberMap()
+        assert len(table) == 0
+        assert 5 not in table
+        assert table.root(5) is None
+        root = table.root(5, create=True)
+        assert isinstance(root, ChainRoot)
+        assert table.root(5) is root
+        assert len(table) == 1
+        assert 5 in table and 4 not in table
+
+    def test_sparse_spill_for_huge_identifiers(self):
+        table = ListTable()
+        near = table.root(10, create=True)
+        far_id = 10 + _DENSE_SLACK + 100  # beyond the dense growth window
+        far = table.root(far_id, create=True)
+        assert table.root(far_id) is far
+        assert far_id in table
+        assert len(table) == 2
+        # The dense array must not have been grown out to the outlier.
+        assert len(table._dense) <= 10 + _DENSE_SLACK + 1
+        assert far_id in table._sparse
+        assert table.root(10) is near
+
+    def test_iteration_is_ascending_across_dense_and_sparse(self):
+        table = BlockNumberMap()
+        huge = [2**40 + 7, 2**40 + 3]
+        idents = [9, 2, 5, *huge, 1]
+        for ident in idents:
+            table.root(ident, create=True)
+        seen = [ident for ident, _root in table.items()]
+        assert seen == [1, 2, 5, 9, *sorted(huge)]
+
+    def test_drop_if_empty(self):
+        table = BlockNumberMap()
+        dense_id, sparse_id = 3, 2**40
+        for ident in (dense_id, sparse_id):
+            table.root(ident, create=True)
+        assert len(table) == 2
+        for ident in (dense_id, sparse_id):
+            table.drop_if_empty(ident)  # roots are empty: both go
+            assert ident not in table
+        assert len(table) == 0
+        table.drop_if_empty(999)  # never-seen ident is a no-op
+
+    def test_drop_keeps_nonempty_roots(self):
+        table = BlockNumberMap()
+        root = table.root(4, create=True)
+        root.persistent = object()
+        assert not root.empty
+        table.drop_if_empty(4)
+        assert 4 in table and len(table) == 1
+
+
+# ----------------------------------------------------------------------
+# Recovery: tuple replay and the process pool vs the object oracle
+# ----------------------------------------------------------------------
+
+
+def build(injector=None, num_segments=96):
+    geo = DiskGeometry.small(num_segments=num_segments)
+    disk = SimulatedDisk(geo, injector=injector)
+    return disk, LLD(disk, checkpoint_slot_segments=2)
+
+
+def workload(fs):
+    for index in range(60):
+        path = f"/f{index}"
+        fs.create(path)
+        fs.write_file(path, f"payload-{index}".encode() * (index % 4 + 1))
+        if index % 4 == 1:
+            fs.rename(path, f"/r{index}")
+        if index % 5 == 2:
+            try:
+                fs.unlink(f"/f{index - 1}")
+            except Exception:
+                pass
+        if index % 3 == 0:
+            fs.sync()
+    fs.sync()
+
+
+def state_fingerprint(lld, report):
+    """Everything recovery rebuilds, in comparable form."""
+    return {
+        "checkpoint": lld.checkpoints._serialize(lld._snapshot_checkpoint()),
+        "free_count": lld.usage.free_count,
+        "dirty": sorted(lld.usage.dirty_segments()),
+        "buffer_segment": (
+            lld._buffer.segment_no if lld._buffer is not None else None
+        ),
+        "next_block": lld._next_block_id,
+        "next_list": lld._next_list_id,
+        "next_seq": lld._next_seq,
+        "commit_on_disk": set(lld._commit_on_disk),
+        "report": (
+            report.checkpoint_seq,
+            report.segments_scanned,
+            report.segments_replayed,
+            report.segments_invalid,
+            report.segments_unreadable,
+            report.entries_replayed,
+            report.entries_discarded,
+            report.replay_conflicts,
+            report.arus_committed,
+            report.arus_discarded,
+            tuple(report.discarded_aru_ids),
+            tuple(report.orphan_blocks_freed),
+        ),
+    }
+
+
+def _recover_fingerprint(disk, **kwargs):
+    lld, report = recover(
+        disk.power_cycle(), checkpoint_slot_segments=2, **kwargs
+    )
+    return state_fingerprint(lld, report), report
+
+
+class TestReplayByteIdentity:
+    def test_clean_shutdown_tuple_vs_object(self):
+        disk, ld = build()
+        fs = MinixFS.mkfs(ld, n_inodes=256)
+        workload(fs)
+        tuple_state, tuple_report = _recover_fingerprint(disk, replay="tuple")
+        object_state, object_report = _recover_fingerprint(
+            disk, replay="object"
+        )
+        assert tuple_report.replay == "tuple"
+        assert object_report.replay == "object"
+        assert tuple_state == object_state
+        # Simulated recovery time is identical too (tolerance only for
+        # float summation order: the two runs start the absolute clock
+        # at different magnitudes).
+        assert abs(
+            tuple_report.recovery_time_us - object_report.recovery_time_us
+        ) < 0.01
+
+    @pytest.mark.parametrize("torn", [False, True])
+    def test_crash_sweep_tuple_vs_object(self, torn):
+        """Sampled crash sweep: at every sampled crash point, tuple
+        replay and object replay rebuild identical state from the same
+        platter (test_recovery_parallel.py runs the exhaustive sweep
+        for serial-vs-parallel; the replay codecs share its workload)."""
+        probe, ld = build()
+        fs = MinixFS.mkfs(ld, n_inodes=256)
+        workload(fs)
+        limit = probe.write_count
+        assert limit > 10, "workload too small to be interesting"
+        for crash_after in range(1, limit + 1, 7):
+            injector = FaultInjector(
+                CrashPlan(after_writes=crash_after, torn=torn, seed=crash_after)
+            )
+            disk, ld = build(injector=injector)
+            fs = MinixFS.mkfs(ld, n_inodes=256)
+            try:
+                workload(fs)
+                continue  # the budget outlived the workload
+            except DiskCrashedError:
+                pass
+            tuple_state, _ = _recover_fingerprint(disk, replay="tuple")
+            object_state, _ = _recover_fingerprint(disk, replay="object")
+            assert tuple_state == object_state, (
+                f"replay divergence at crash_after={crash_after} torn={torn}"
+            )
+
+    def test_data_readable_after_tuple_replay(self):
+        disk, ld = build()
+        fs = MinixFS.mkfs(ld, n_inodes=256)
+        workload(fs)
+        lld, report = recover(disk.power_cycle(), checkpoint_slot_segments=2)
+        assert report.replay == "tuple"
+        mounted = MinixFS.mount(lld)
+        for name in mounted.listdir("/"):
+            mounted.read_file(f"/{name}")
+
+    def test_invalid_replay_and_executor_rejected(self):
+        disk, ld = build()
+        ld.flush()
+        with pytest.raises(ValueError):
+            recover(disk.power_cycle(), replay="bogus")
+        with pytest.raises(ValueError):
+            recover(disk.power_cycle(), executor="fibers")
+
+
+class TestProcessExecutor:
+    def test_process_pool_state_matches_threads(self):
+        disk, ld = build()
+        fs = MinixFS.mkfs(ld, n_inodes=256)
+        workload(fs)
+        thread_state, thread_report = _recover_fingerprint(
+            disk, parallel=True, executor="thread"
+        )
+        process_state, process_report = _recover_fingerprint(
+            disk, parallel=True, executor="process"
+        )
+        assert thread_report.executor == "thread"
+        if process_report.executor != "process":
+            pytest.skip("process pool unavailable on this host (fell back)")
+        assert process_state == thread_state
+
+    def test_executor_config_default(self):
+        from repro.lld.config import LLDConfig
+
+        disk, ld = build()
+        fs = MinixFS.mkfs(ld, n_inodes=256)
+        workload(fs)
+        cfg = LLDConfig(recovery_executor="process", checkpoint_slot_segments=2)
+        state_cfg, report = _recover_fingerprint(disk, parallel=True, config=cfg)
+        state_default, _ = _recover_fingerprint(disk, parallel=True)
+        assert report.executor in ("process", "thread")  # thread = fallback
+        assert state_cfg == state_default
+
+    def test_invalid_executor_config_rejected(self):
+        from repro.lld.config import LLDConfig
+
+        with pytest.raises(ValueError):
+            LLDConfig(recovery_executor="fibers").validate()
