@@ -1,0 +1,24 @@
+"""The concurrent multi-tenant front end.
+
+The paper claims ARUs "efficiently support transaction-based systems
+as direct disk system clients"; this package is the layer that makes
+that claim measurable.  A :class:`~repro.frontend.scheduler.FrontEnd`
+admits many concurrent clients, queues their transaction bodies on
+per-shard execution lanes over a (possibly sharded) logical disk,
+runs them through the wait-die transaction layer
+(:mod:`repro.txn`), and applies backpressure when the volume's
+write-behind queue or group-commit window saturates.
+
+See ``docs/CONCURRENCY.md`` for the scheduling model and knobs, and
+``benchmarks/bench_frontend.py`` for the saturation sweep that drives
+it with the open-loop generator (:mod:`repro.workloads.openloop`).
+"""
+
+from repro.frontend.scheduler import (
+    FrontEnd,
+    FrontendConfig,
+    Request,
+    RequestRejected,
+)
+
+__all__ = ["FrontEnd", "FrontendConfig", "Request", "RequestRejected"]

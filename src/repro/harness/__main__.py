@@ -23,13 +23,22 @@ from repro.harness.runner import (
     run_aru_latency_experiment,
     run_figure5,
     run_figure6,
+    run_frontend_experiment,
     run_scrub_experiment,
     run_shard_experiment,
     run_writepath_experiment,
 )
 from repro.harness.variants import paper_geometry
 
-EXPERIMENTS = ("figure5", "figure6", "aru", "scrub", "writepath", "shard")
+EXPERIMENTS = (
+    "figure5",
+    "figure6",
+    "aru",
+    "scrub",
+    "writepath",
+    "shard",
+    "frontend",
+)
 
 T = TypeVar("T")
 
@@ -190,6 +199,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         shard = run("shard", lambda: run_shard_experiment(rounds=rounds))
         print(shard.summary)
         emitted("shard", shard.metrics)
+    if "frontend" in chosen:
+        n_requests = 1200 if args.full else 300
+        fe = run(
+            "frontend",
+            lambda: run_frontend_experiment(n_requests=n_requests),
+        )
+        print(fe.summary)
+        emitted("frontend", fe.metrics)
     return 0
 
 

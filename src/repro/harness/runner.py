@@ -476,3 +476,144 @@ def run_shard_experiment(
             },
         },
     )
+
+
+@dataclasses.dataclass
+class FrontendResult:
+    """Outcome of the concurrent front-end burst."""
+
+    shards: int
+    lanes: int
+    workers: int
+    offered: int
+    admitted: int
+    shed: int
+    completed: int
+    gave_up: int
+    commit_p50_us: float
+    commit_p99_us: float
+    commit_p999_us: float
+    locks: Dict[str, int]
+    summary: str
+    metrics: Dict[str, dict] = dataclasses.field(default_factory=dict)
+
+
+def commit_latency_percentiles(ld) -> Dict[str, float]:
+    """p50/p99/p999 of ARU commit latency (simulated µs) from the
+    volume's existing ``lld.commit_us`` histograms — per-shard
+    distributions merged exactly (shared fixed buckets)."""
+    from repro.obs import merge_histogram_snapshots, percentile_from_snapshot
+
+    shards = getattr(ld, "shards", [ld])
+    merged = merge_histogram_snapshots(
+        [
+            shard.obs.metrics.histogram("lld.commit_us").snapshot()
+            for shard in shards
+        ]
+    )
+    return {
+        "p50": percentile_from_snapshot(merged, 0.50),
+        "p99": percentile_from_snapshot(merged, 0.99),
+        "p999": percentile_from_snapshot(merged, 0.999),
+        "count": merged["count"],
+    }
+
+
+def run_frontend_experiment(
+    shards: int = 4,
+    n_tenants: int = 16,
+    n_requests: int = 300,
+    rate: float = 1500.0,
+    workers_per_lane: int = 2,
+    max_inflight: int = 64,
+    hot_fraction: float = 0.2,
+    seed: int = 2026,
+) -> FrontendResult:
+    """A short open-loop burst through the multi-tenant front end.
+
+    Builds a ``shards``-way array with the write-behind queue and
+    group commit enabled, provisions ``n_tenants`` tenants, offers
+    ``n_requests`` arrivals at ``rate`` per wall second, drains, and
+    reports admission/completion counts, ARU-commit latency
+    percentiles from the shards' ``lld.commit_us`` histograms, and
+    the lock table's final (leak-free) sizes.
+    """
+    from repro.frontend import FrontEnd, FrontendConfig
+    from repro.shard.sharded import build_sharded
+    from repro.workloads.openloop import (
+        OpenLoopConfig,
+        provision_hot_block,
+        provision_tenants,
+        run_openloop,
+    )
+
+    volume = build_sharded(
+        shards,
+        geometry=DiskGeometry.small(num_segments=96),
+        checkpoint_slot_segments=2,
+        writeback_depth=4,
+        group_commit=True,
+        group_commit_max_parked=8,
+    )
+    frontend = FrontEnd(
+        volume,
+        FrontendConfig(
+            workers_per_lane=workers_per_lane,
+            max_inflight=max_inflight,
+            writeback_high_water=8,
+            parked_high_water=16,
+            lock_timeout_s=2.0,
+        ),
+    )
+    tenants = provision_tenants(volume, n_tenants, blocks_per_tenant=4)
+    hot_block = provision_hot_block(volume)
+    result = run_openloop(
+        frontend,
+        tenants,
+        OpenLoopConfig(
+            rate=rate,
+            n_requests=n_requests,
+            n_tenants=n_tenants,
+            hot_fraction=hot_fraction,
+            seed=seed,
+        ),
+        hot_block=hot_block,
+    )
+    frontend.close()
+    latency = commit_latency_percentiles(volume)
+    frontend_stats = frontend.stats()
+    locks = frontend_stats["txn"]["locks"]
+    summary = (
+        f"frontend: {shards} shards x {workers_per_lane} workers, "
+        f"{n_tenants} tenants — offered {result.offered} "
+        f"({rate:.0f}/s), admitted {result.admitted}, shed "
+        f"{result.shed}, completed {result.completed} "
+        f"(gave up {result.gave_up}); ARU commit p50 "
+        f"{latency['p50']:.0f} us, p99 {latency['p99']:.0f} us, "
+        f"p999 {latency['p999']:.0f} us; leaked locks "
+        f"{locks['locks_held']}, leaked owners "
+        f"{locks['owners_registered']}"
+    )
+    return FrontendResult(
+        shards=shards,
+        lanes=frontend.n_lanes,
+        workers=len(frontend._workers),
+        offered=result.offered,
+        admitted=result.admitted,
+        shed=result.shed,
+        completed=result.completed,
+        gave_up=result.gave_up,
+        commit_p50_us=latency["p50"],
+        commit_p99_us=latency["p99"],
+        commit_p999_us=latency["p999"],
+        locks=locks,
+        summary=summary,
+        metrics={
+            "frontend": {
+                "stats": volume.stats(),
+                "registry": volume.metrics_snapshot(),
+                "frontend": frontend_stats,
+                "commit_latency_us": latency,
+            },
+        },
+    )

@@ -1833,6 +1833,21 @@ class LLD(LogicalDisk):
         return self._c_segments_flushed.value
 
     @property
+    def writeback_queued(self) -> int:
+        """Sealed segments parked in the write-behind queue right now.
+
+        Cheap O(1) view for admission control (the front end polls it
+        on every submit; building the full ``stats()`` dict there
+        would dwarf the work being admitted).
+        """
+        return len(self._writeback)
+
+    @property
+    def commits_parked(self) -> int:
+        """ARU commit records parked by group commit right now."""
+        return len(self._parked_commits)
+
+    @property
     def cleanings(self) -> int:
         return self._c_cleanings.value
 

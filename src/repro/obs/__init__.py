@@ -24,6 +24,8 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_histogram_snapshots,
+    percentile_from_snapshot,
 )
 from repro.obs.schema import STATS_SCHEMA, validate_stats
 
@@ -40,6 +42,8 @@ __all__ = [
     "NULL_HISTOGRAM",
     "STATS_SCHEMA",
     "validate_stats",
+    "merge_histogram_snapshots",
+    "percentile_from_snapshot",
 ]
 
 

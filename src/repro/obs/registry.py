@@ -96,6 +96,16 @@ class Histogram:
             self.max = value
         self.counts[bisect_left(BUCKET_BOUNDS_US, value)] += 1
 
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (``0 < q <= 1``) in microseconds.
+
+        Linear interpolation inside the log-spaced bucket that holds
+        the target rank; the overflow bucket reports the observed
+        max.  Good to within one bucket's width — exactly the
+        resolution the fixed bounds promise.
+        """
+        return percentile_from_snapshot(self.snapshot(), q)
+
     def snapshot(self) -> dict:
         """Summary plus the non-empty buckets (``le`` = upper bound in
         simulated µs, ``None`` for the overflow bucket)."""
@@ -172,6 +182,71 @@ class _NullHistogram:
 NULL_COUNTER = _NullCounter()
 NULL_GAUGE = _NullGauge()
 NULL_HISTOGRAM = _NullHistogram()
+
+
+def merge_histogram_snapshots(snapshots) -> dict:
+    """Combine histogram snapshots into one distribution.
+
+    All histograms share the fixed :data:`BUCKET_BOUNDS_US`, so
+    merging is exact: bucket counts and totals sum, the max is the
+    max.  This is how a sharded volume's per-shard ``lld.commit_us``
+    histograms become one array-wide latency distribution.
+    """
+    merged_counts: Dict[Optional[float], int] = {}
+    count = 0
+    total = 0.0
+    peak = 0.0
+    for snap in snapshots:
+        count += snap["count"]
+        total += snap["total_us"]
+        peak = max(peak, snap["max_us"])
+        for bucket in snap["buckets"]:
+            key = bucket["le"]
+            merged_counts[key] = merged_counts.get(key, 0) + bucket["count"]
+    bounds = [*BUCKET_BOUNDS_US, None]
+    buckets = [
+        {"le": bound, "count": merged_counts[bound]}
+        for bound in bounds
+        if bound in merged_counts
+    ]
+    return {
+        "count": count,
+        "total_us": total,
+        "mean_us": (total / count) if count else 0.0,
+        "max_us": peak,
+        "buckets": buckets,
+    }
+
+
+def percentile_from_snapshot(snapshot: dict, q: float) -> float:
+    """Estimated q-quantile (``0 < q <= 1``) of a histogram snapshot.
+
+    Walks the cumulative bucket counts to the target rank and
+    interpolates linearly inside the covering bucket; results are
+    clamped to the observed max (the overflow bucket has no upper
+    bound, and the top of a log-spaced bucket can overshoot it).
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    total = snapshot["count"]
+    if not total:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lower = 0.0
+    for bucket in snapshot["buckets"]:
+        inside = bucket["count"]
+        if cumulative + inside >= target:
+            upper = bucket["le"]
+            if upper is None:
+                return snapshot["max_us"]
+            fraction = (target - cumulative) / inside
+            estimate = lower + (upper - lower) * fraction
+            return min(estimate, snapshot["max_us"])
+        cumulative += inside
+        if bucket["le"] is not None:
+            lower = bucket["le"]
+    return snapshot["max_us"]
 
 
 class MetricsRegistry:

@@ -9,13 +9,38 @@ Deadlock avoidance is the classic *wait-die* scheme: a transaction
 may wait only for **older** transactions (smaller timestamp); when a
 younger one wants a lock an older one holds, the younger requester
 "dies" (:class:`~repro.errors.DeadlockError`) and is expected to
-abort and retry with its original timestamp.
+abort and retry **with its original timestamp** (see
+:func:`repro.txn.transactions.run_transaction`, which threads the
+timestamp through :meth:`repro.txn.transactions.TransactionManager.
+begin`).  Retrying with the original timestamp is what makes wait-die
+starvation-free: a victim only ever gets *relatively older* on each
+retry, so it eventually outranks every competitor and wins.
+
+Two refinements over the textbook scheme, both needed once many
+threads actually contend (``docs/CONCURRENCY.md`` discusses them):
+
+* **Waiter-aware grants.** A requester conflicts not only with the
+  current *holders* but also with older *waiters*.  Without this, a
+  stream of young shared requesters can be granted over and over
+  while an older exclusive waiter starves — wait-die only kills
+  waits-for-older, and those young readers never wait.  Letting an
+  older waiter block (kill, in wait-die terms) younger conflicting
+  requesters keeps every wait pointed at strictly younger owners, so
+  the waits-for graph stays acyclic and the scheme stays
+  deadlock-free.
+* **Deadline timeouts.** Each :meth:`LockManager.acquire` computes
+  one monotonic deadline up front and waits only for the *remaining*
+  time after every wakeup.  Passing the full timeout to every
+  ``Condition.wait`` call would reset the clock on each
+  ``notify_all`` — under heavy traffic a waiter's effective timeout
+  becomes unbounded, which is exactly when timeouts matter most.
 """
 
 from __future__ import annotations
 
 import enum
 import threading
+import time
 from typing import Dict, Hashable, Set
 
 from repro.errors import DeadlockError, LockError
@@ -28,13 +53,18 @@ class LockMode(enum.Enum):
     EXCLUSIVE = "exclusive"
 
 
-class _LockState:
-    """Holders (by owner id -> mode) of one resource's lock."""
+def _conflicts(a: LockMode, b: LockMode) -> bool:
+    return a is LockMode.EXCLUSIVE or b is LockMode.EXCLUSIVE
 
-    __slots__ = ("holders",)
+
+class _LockState:
+    """Holders and waiters (by owner id -> mode) of one resource."""
+
+    __slots__ = ("holders", "waiters")
 
     def __init__(self) -> None:
         self.holders: Dict[int, LockMode] = {}
+        self.waiters: Dict[int, LockMode] = {}
 
 
 class LockManager:
@@ -50,6 +80,7 @@ class LockManager:
         self.grants = 0
         self.waits = 0
         self.deaths = 0
+        self.timeouts = 0
 
     def register(self, owner: int, timestamp: int) -> None:
         """Introduce an owner with its wait-die priority timestamp."""
@@ -60,29 +91,58 @@ class LockManager:
         """Acquire (or upgrade to) ``mode`` on ``resource``.
 
         Raises:
-            DeadlockError: If wait-die decides this owner must abort.
-            LockError: If the owner was never registered, or the wait
-                times out (treated as a deadlock symptom).
+            DeadlockError: If wait-die decides this owner must abort
+                (it conflicts with an older holder or older waiter).
+            LockError: If the owner was never registered, if a holder
+                of the lock is not registered (corrupted lock table),
+                or if the wait times out — a deadlock *symptom*
+                callers should treat like a death (abort and retry
+                with the original timestamp).
         """
+        deadline = time.monotonic() + self.timeout_s
         with self._changed:
             if owner not in self._owner_ts:
                 raise LockError(f"owner {owner} is not registered")
-            while True:
-                # Re-fetch each iteration: release_all drops empty
-                # lock states from the table while we wait, so a
-                # pre-wait reference could be an orphaned object.
-                state = self._locks.setdefault(resource, _LockState())
-                if self._compatible(state, owner, mode):
-                    state.holders[owner] = self._merge_mode(state, owner, mode)
-                    self.grants += 1
-                    return
-                self._check_wait_die(state, owner)
-                self.waits += 1
-                if not self._changed.wait(timeout=self.timeout_s):
-                    raise LockError(
-                        f"timed out waiting for {mode.value} lock on "
-                        f"{resource!r}"
-                    )
+            waiting_on: Hashable = None
+            registered_wait = False
+            try:
+                while True:
+                    # Re-fetch each iteration: release_all drops empty
+                    # lock states from the table while we wait, so a
+                    # pre-wait reference could be an orphaned object.
+                    state = self._locks.setdefault(resource, _LockState())
+                    if self._compatible(state, owner, mode):
+                        state.holders[owner] = self._merge_mode(
+                            state, owner, mode
+                        )
+                        self.grants += 1
+                        return
+                    self._check_wait_die(state, owner, mode)
+                    if not registered_wait:
+                        state.waiters[owner] = mode
+                        waiting_on = resource
+                        registered_wait = True
+                        self.waits += 1
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._changed.wait(
+                        timeout=remaining
+                    ):
+                        self.timeouts += 1
+                        raise LockError(
+                            f"timed out waiting for {mode.value} lock on "
+                            f"{resource!r}"
+                        )
+            finally:
+                if registered_wait:
+                    state = self._locks.get(waiting_on)
+                    if state is not None:
+                        state.waiters.pop(owner, None)
+                        if not state.holders and not state.waiters:
+                            del self._locks[waiting_on]
+                        else:
+                            # Our departure may unblock a younger
+                            # requester that was queued behind us.
+                            self._changed.notify_all()
 
     def _merge_mode(
         self, state: _LockState, owner: int, mode: LockMode
@@ -92,29 +152,74 @@ class LockManager:
             return LockMode.EXCLUSIVE
         return LockMode.SHARED
 
-    def _compatible(self, state: _LockState, owner: int, mode: LockMode) -> bool:
+    def _ts(self, owner: int, other: int, resource_hint: str) -> int:
+        """The registered timestamp of ``other`` — a holder or waiter
+        seen by ``owner``.  An unregistered entry is corrupted state
+        (release_all removes table entries and registration under one
+        mutex acquisition), so it raises rather than silently winning
+        every wait-die comparison."""
+        ts = self._owner_ts.get(other)
+        if ts is None:
+            raise LockError(
+                f"lock table corrupted: {resource_hint} {other} is not a "
+                f"registered owner (seen by owner {owner})"
+            )
+        return ts
+
+    def _compatible(
+        self, state: _LockState, owner: int, mode: LockMode
+    ) -> bool:
         for holder, held_mode in state.holders.items():
             if holder == owner:
                 continue
-            if mode is LockMode.EXCLUSIVE or held_mode is LockMode.EXCLUSIVE:
+            if _conflicts(mode, held_mode):
                 return False
+        # Waiter-aware grants: never overtake an *older* conflicting
+        # waiter, or an old exclusive upgrade can starve behind an
+        # endless stream of young shared grants.  An upgrader (owner
+        # already holds the lock) is exempt — it must run before any
+        # waiter can make progress anyway.
+        if owner not in state.holders:
+            my_ts = self._owner_ts[owner]
+            for waiter, wait_mode in state.waiters.items():
+                if waiter == owner:
+                    continue
+                if _conflicts(mode, wait_mode) and (
+                    self._ts(owner, waiter, "waiter") < my_ts
+                ):
+                    return False
         return True
 
-    def _check_wait_die(self, state: _LockState, owner: int) -> None:
+    def _check_wait_die(
+        self, state: _LockState, owner: int, mode: LockMode
+    ) -> None:
         my_ts = self._owner_ts[owner]
-        for holder in state.holders:
-            if holder == owner:
+        for holder, held_mode in state.holders.items():
+            if holder == owner or not _conflicts(mode, held_mode):
                 continue
-            holder_ts = self._owner_ts.get(holder, -1)
+            holder_ts = self._ts(owner, holder, "holder")
             if my_ts > holder_ts:
                 self.deaths += 1
                 raise DeadlockError(
                     f"wait-die: owner {owner} (ts {my_ts}) must not wait "
                     f"for older owner {holder} (ts {holder_ts})"
                 )
+        for waiter, wait_mode in state.waiters.items():
+            if waiter == owner or not _conflicts(mode, wait_mode):
+                continue
+            if my_ts > self._ts(owner, waiter, "waiter"):
+                self.deaths += 1
+                raise DeadlockError(
+                    f"wait-die: owner {owner} (ts {my_ts}) must not queue "
+                    f"behind older waiter {waiter}"
+                )
 
     def release_all(self, owner: int) -> int:
-        """Drop every lock the owner holds; returns how many."""
+        """Drop every lock the owner holds; returns how many.
+
+        Also retires the owner's timestamp registration, so a
+        released owner id can never shadow the lock table again.
+        """
         with self._changed:
             released = 0
             empty = []
@@ -122,7 +227,8 @@ class LockManager:
                 if owner in state.holders:
                     del state.holders[owner]
                     released += 1
-                if not state.holders:
+                state.waiters.pop(owner, None)
+                if not state.holders and not state.waiters:
                     empty.append(resource)
             for resource in empty:
                 del self._locks[resource]
@@ -137,4 +243,37 @@ class LockManager:
                 resource
                 for resource, state in self._locks.items()
                 if owner in state.holders
+            }
+
+    # ------------------------------------------------------------------
+    # Introspection (leak accounting)
+    # ------------------------------------------------------------------
+
+    def owner_count(self) -> int:
+        """Registered owners — 0 when every transaction finished."""
+        with self._mutex:
+            return len(self._owner_ts)
+
+    def resource_count(self) -> int:
+        """Resources with any holder or waiter — 0 at quiesce."""
+        with self._mutex:
+            return len(self._locks)
+
+    def snapshot(self) -> dict:
+        """Counters plus live table sizes, for stats() views and the
+        front end's leak assertions (all zeros at quiesce)."""
+        with self._mutex:
+            return {
+                "grants": self.grants,
+                "waits": self.waits,
+                "deaths": self.deaths,
+                "timeouts": self.timeouts,
+                "owners_registered": len(self._owner_ts),
+                "resources_locked": len(self._locks),
+                "locks_held": sum(
+                    len(state.holders) for state in self._locks.values()
+                ),
+                "waiters": sum(
+                    len(state.waiters) for state in self._locks.values()
+                ),
             }

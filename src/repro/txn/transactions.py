@@ -16,9 +16,10 @@ transaction-based systems as direct disk system clients."
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, List, Optional, TypeVar
 
-from repro.errors import DeadlockError, TransactionAborted
+from repro.errors import LockError, TransactionAborted
 from repro.ld.interface import LogicalDisk
 from repro.ld.types import ARUId, BlockId, FIRST, ListId, Predecessor
 from repro.txn.locks import LockManager, LockMode
@@ -40,12 +41,17 @@ class Transaction:
         aru: ARUId,
         txn_id: int,
         durable: bool,
+        timestamp: int,
     ) -> None:
         self.manager = manager
         self.ld = manager.ld
         self.aru = aru
         self.txn_id = txn_id
         self.durable = durable
+        #: Wait-die priority.  A retry of a died transaction carries
+        #: the *original* timestamp forward (see ``run_transaction``),
+        #: so a victim ages instead of starving.
+        self.timestamp = timestamp
         self.state = "active"
 
     # ------------------------------------------------------------------
@@ -122,23 +128,66 @@ class Transaction:
     # ------------------------------------------------------------------
 
     def commit(self) -> None:
-        """Commit: EndARU, then (optionally) flush for durability."""
+        """Commit: EndARU, then (optionally) flush for durability.
+
+        A failing ``end_aru`` aborts the transaction (the ARU's
+        shadow state is discarded best-effort) before re-raising; a
+        failing ``flush`` leaves the ARU committed but still releases
+        every lock and finishes the transaction (state ``"failed"``).
+        Either way no lock — and no wait-die timestamp registration —
+        outlives the attempt.
+        """
         self._check_active()
-        self.ld.end_aru(self.aru)
-        if self.durable:
-            self.ld.flush()
+        try:
+            self.ld.end_aru(self.aru)
+        except BaseException:
+            self._fail(discard_aru=True)
+            raise
+        try:
+            if self.durable:
+                self.ld.flush()
+        except BaseException:
+            # The ARU is already committed (and durable at the next
+            # successful flush); only the transaction bookkeeping and
+            # its locks remain to clean up.
+            self._fail(discard_aru=False)
+            raise
         self.state = "committed"
         self.manager.locks.release_all(self.txn_id)
         self.manager._finished(self)
 
+    def _fail(self, discard_aru: bool) -> None:
+        """Tear down after a failed commit: best-effort ARU abort,
+        unconditional lock release and manager bookkeeping."""
+        self.state = "failed"
+        try:
+            if discard_aru:
+                self.ld.abort_aru(self.aru)
+        except Exception:
+            # The primary error (about to be re-raised by commit) is
+            # what the caller must see; a dead disk rejecting the
+            # abort as well adds nothing.
+            pass
+        finally:
+            self.manager.locks.release_all(self.txn_id)
+            self.manager._finished(self)
+
     def abort(self) -> None:
-        """Abort: discard the ARU's shadow state and release locks."""
+        """Abort: discard the ARU's shadow state and release locks.
+
+        Lock release and manager bookkeeping happen even when the
+        disk rejects the ARU abort (e.g. the volume died mid-body) —
+        leaking locks on the way out would wedge every other
+        transaction until its timeout.
+        """
         if self.state != "active":
             return
-        self.ld.abort_aru(self.aru)
         self.state = "aborted"
-        self.manager.locks.release_all(self.txn_id)
-        self.manager._finished(self)
+        try:
+            self.ld.abort_aru(self.aru)
+        finally:
+            self.manager.locks.release_all(self.txn_id)
+            self.manager._finished(self)
 
     def __enter__(self) -> "Transaction":
         return self
@@ -162,14 +211,28 @@ class TransactionManager:
         self.committed = 0
         self.aborted = 0
 
-    def begin(self, durable: bool = True) -> Transaction:
-        """Start a transaction (an ARU plus a lock-owner identity)."""
+    def begin(
+        self, durable: bool = True, timestamp: Optional[int] = None
+    ) -> Transaction:
+        """Start a transaction (an ARU plus a lock-owner identity).
+
+        ``timestamp`` overrides the wait-die priority (default: the
+        fresh transaction id).  Retry loops pass the died attempt's
+        original timestamp so the victim gets relatively older each
+        round instead of starting over as the youngest — the
+        starvation-freedom half of the wait-die contract.
+        """
         with self._mutex:
             txn_id = self._next_txn
             self._next_txn += 1
-        self.locks.register(txn_id, txn_id)
+        # The ARU begins before the owner registers: if the disk
+        # rejects the ARU there must be nothing to unregister (a
+        # stale _owner_ts entry is exactly the leak this layer
+        # promises not to make).
         aru = self.ld.begin_aru()
-        return Transaction(self, aru, txn_id, durable)
+        ts = txn_id if timestamp is None else timestamp
+        self.locks.register(txn_id, ts)
+        return Transaction(self, aru, txn_id, durable, ts)
 
     def _finished(self, txn: Transaction) -> None:
         with self._mutex:
@@ -177,6 +240,17 @@ class TransactionManager:
                 self.committed += 1
             else:
                 self.aborted += 1
+
+    def stats(self) -> dict:
+        """Commit/abort totals plus the lock manager's counters and
+        live table sizes (all table sizes 0 once quiesced)."""
+        with self._mutex:
+            totals = {
+                "begun": self._next_txn - 1,
+                "committed": self.committed,
+                "aborted": self.aborted,
+            }
+        return {**totals, "locks": self.locks.snapshot()}
 
 
 def run_batch(
@@ -216,18 +290,58 @@ def run_transaction(
     body: Callable[[Transaction], T],
     max_attempts: int = 10,
     durable: bool = True,
+    retry_backoff_s: float = 0.001,
 ) -> T:
-    """Run ``body`` in a transaction, retrying on wait-die aborts."""
+    """Run ``body`` in a transaction, retrying on wait-die aborts.
+
+    The retry contract (see ``docs/CONCURRENCY.md``):
+
+    * Every retry reuses the **first attempt's timestamp**, so a
+      wait-die victim ages relative to newly begun transactions and
+      cannot starve.
+    * :class:`~repro.errors.LockError` timeouts retry too — the lock
+      manager documents them as a deadlock symptom, and under load a
+      popular lock's wait can simply exceed one timeout budget.
+      (:class:`~repro.errors.DeadlockError` is a ``LockError``
+      subclass, so one handler covers both.)
+    * Retries back off linearly (``retry_backoff_s`` × attempts so
+      far, capped at 50 ms).  A death means an *older* transaction
+      holds the conflict; retrying instantly just burns the attempt
+      budget inside the same conflict window.  Pass 0 to disable
+      (single-threaded tests don't need to sleep).
+    * Any *other* exception — from the body or from the commit —
+      aborts the transaction (releasing its locks and its timestamp
+      registration) and propagates.  Nothing leaks on any path.
+    """
     last_error: Optional[Exception] = None
-    for _attempt in range(max_attempts):
-        txn = manager.begin(durable=durable)
+    timestamp: Optional[int] = None
+    for attempt in range(max_attempts):
+        if attempt and retry_backoff_s > 0:
+            time.sleep(min(retry_backoff_s * attempt, 0.05))
+        txn = manager.begin(durable=durable, timestamp=timestamp)
+        timestamp = txn.timestamp
         try:
             result = body(txn)
-            txn.commit()
-            return result
-        except DeadlockError as exc:
+        except LockError as exc:
             txn.abort()
             last_error = exc
+            continue
+        except BaseException:
+            try:
+                txn.abort()
+            except Exception:
+                # The body's error is the story; a disk that also
+                # rejects the abort must not displace it.  Locks are
+                # already released (abort's finally ran).
+                pass
+            raise
+        try:
+            txn.commit()
+        except LockError as exc:
+            # commit() already tore the transaction down.
+            last_error = exc
+            continue
+        return result
     raise TransactionAborted(
         f"transaction failed after {max_attempts} wait-die retries"
     ) from last_error
