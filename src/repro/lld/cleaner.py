@@ -96,6 +96,11 @@ class SegmentCleaner:
         genuinely full of live data).
         """
         lld = self.lld
+        if lld._restore is not None:
+            # Live counts are provisional and victim bodies may hold
+            # unapplied summaries while an instant restore is pending;
+            # finish it before reasoning about free space.
+            lld.complete_restore()
         all_victims: list = []
         total_copied = 0
         total_freed = 0

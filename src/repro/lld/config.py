@@ -37,7 +37,8 @@ class LLDConfig:
     * write pipeline: ``writeback_depth``, ``group_commit``,
       ``group_commit_max_parked``, ``group_commit_timeout_us``
     * recovery: ``recovery_parallel``, ``recovery_workers``,
-      ``recovery_executor``
+      ``recovery_executor``, ``recovery_mode``,
+      ``restore_tail_window``, ``restore_drain_segments``
     * observability: ``metrics``, ``recorder_events``,
       ``flight_dump_path``
     """
@@ -63,6 +64,19 @@ class LLDConfig:
     #: scans).  Simulated time is identical either way — the pool
     #: flavor is a host-side detail the cost model never sees.
     recovery_executor: str = "thread"
+    #: ``"eager"`` replays the whole log before the volume opens (the
+    #: classic scan); ``"instant"`` opens the volume right after the
+    #: checkpoint + summary-index pass and replays segments on demand
+    #: per touched block/list, with a background sweep draining the
+    #: rest in log order (see docs/RECOVERY.md).
+    recovery_mode: str = "eager"
+    #: Bytes read from each segment's tail during the instant-restore
+    #: scan (must cover the trailer; summaries longer than the window
+    #: trigger a follow-up batched read of exactly the missing bytes).
+    restore_tail_window: int = 4096
+    #: Segments the background sweep drains per public operation while
+    #: a restore is in progress (0 = only on-demand + explicit drain).
+    restore_drain_segments: int = 1
     metrics: bool = True
     recorder_events: int = 256
     flight_dump_path: Optional[str] = None
@@ -113,6 +127,20 @@ class LLDConfig:
         if self.recovery_executor not in ("thread", "process"):
             raise ValueError(
                 f"unknown recovery_executor: {self.recovery_executor!r}"
+            )
+        if self.recovery_mode not in ("eager", "instant"):
+            raise ValueError(f"unknown recovery_mode: {self.recovery_mode!r}")
+        from repro.disk.geometry import TRAILER_SIZE
+
+        if self.restore_tail_window < TRAILER_SIZE:
+            raise ValueError(
+                f"restore_tail_window must be >= {TRAILER_SIZE}, got "
+                f"{self.restore_tail_window}"
+            )
+        if self.restore_drain_segments < 0:
+            raise ValueError(
+                "restore_drain_segments must be >= 0, got "
+                f"{self.restore_drain_segments}"
             )
         if self.recorder_events < 1:
             raise ValueError(

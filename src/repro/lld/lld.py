@@ -200,6 +200,10 @@ class LLD(LogicalDisk):
         #: Segments a foreground read or the cleaner found damaged;
         #: the next :meth:`scrub` pass inspects them.
         self._scrub_pending: Set[int] = set()
+        #: Instant-restore controller while a redo-on-demand recovery
+        #: is in progress (set by ``recover(mode="instant")``); None
+        #: in normal operation.
+        self._restore = None
 
         # Statistics — registry-backed (docs/OBSERVABILITY.md names
         # every instrument).  The historical attributes (`op_counts`,
@@ -240,6 +244,73 @@ class LLD(LogicalDisk):
 
         if not _defer_init:
             self._open_new_buffer()
+
+    # ==================================================================
+    # Instant restore (redo-on-demand recovery)
+    # ==================================================================
+    #
+    # While ``recover(mode="instant")`` has pending log segments, every
+    # public operation funnels through one of these hooks before it
+    # touches the tables: the id-specific hooks drain exactly the log
+    # prefix covering the touched block/list (charged to the
+    # requester), and every hook gives the background sweep its
+    # ``restore_drain_segments`` quantum.  All hooks are no-ops in
+    # normal operation (one attribute test).
+
+    @property
+    def restore_active(self) -> bool:
+        """True while an instant restore still has pending segments."""
+        return self._restore is not None
+
+    def restore_drain(self, max_segments: Optional[int] = None) -> int:
+        """Apply up to ``max_segments`` pending segments in log order.
+
+        Returns the number of segments drained (0 when no restore is
+        in progress).  With ``max_segments=None`` drains everything
+        pending but — unlike :meth:`complete_restore` — does not run
+        the final consistency sweep.
+        """
+        with self._lock:
+            self._check_alive()
+            controller = self._restore
+            if controller is None:
+                return 0
+            before = controller.watermark
+            controller.drain(max_segments)
+            return controller.watermark - before
+
+    def complete_restore(self) -> None:
+        """Finish an in-progress instant restore synchronously.
+
+        Drains every pending segment, runs the recovery consistency
+        sweep (orphan blocks, exact live counts) and returns the
+        volume to normal operation.  No-op when no restore is active.
+        Called automatically before checkpoints, cleaning, scrubbing
+        and orphan sweeps — those all need final table state.
+        """
+        with self._lock:
+            self._check_alive()
+            controller = self._restore
+            if controller is not None:
+                controller.complete()
+
+    def _restore_tick(self) -> None:
+        if self._restore is not None:
+            self._restore.tick()
+
+    def _restore_block(self, block_id) -> None:
+        # Hold a local reference: the tick's background quantum may
+        # finish the sweep, complete the restore and null the field.
+        controller = self._restore
+        if controller is not None:
+            controller.tick()
+            controller.ensure_block(int(block_id))
+
+    def _restore_list(self, list_id) -> None:
+        controller = self._restore
+        if controller is not None:
+            controller.tick()
+            controller.ensure_list(int(list_id))
 
     # ==================================================================
     # Public interface: ARUs
@@ -596,6 +667,9 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("new_block")
+            self._restore_list(list_id)
+            if predecessor is not FIRST:
+                self._restore_block(predecessor)
             record = self._aru_record(aru)
             shadow_ctx = record if self.concurrent else None
             list_view = self._view_list(list_id, shadow_ctx)
@@ -655,6 +729,7 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("delete_block")
+            self._restore_block(block_id)
             record = self._aru_record(aru)
             shadow_ctx = record if self.concurrent else None
             view = self._view_block(block_id, shadow_ctx)
@@ -685,6 +760,7 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("write")
+            self._restore_block(block_id)
             if len(data) > self.geometry.block_size:
                 raise ValueError(
                     f"data ({len(data)} bytes) exceeds block size "
@@ -744,6 +820,7 @@ class LLD(LogicalDisk):
         """Read one block under the configured visibility policy."""
         with self._lock:
             self._check_alive()
+            self._restore_block(block_id)
             data, addr = self._resolve_read(block_id, aru)
             if data is not None:
                 return data
@@ -776,6 +853,7 @@ class LLD(LogicalDisk):
             results: List[Optional[bytes]] = [None] * len(block_ids)
             pending: Dict[PhysAddr, List[int]] = {}
             for index, block_id in enumerate(block_ids):
+                self._restore_block(block_id)
                 data, addr = self._resolve_read(block_id, aru)
                 if data is not None:
                     results[index] = data
@@ -840,6 +918,7 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("new_list")
+            self._restore_tick()
             record = self._aru_record(aru)
             list_id = ListId(self._next_list_id)
             self._next_list_id += 1
@@ -869,6 +948,7 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("delete_list")
+            self._restore_list(list_id)
             record = self._aru_record(aru)
             shadow_ctx = record if self.concurrent else None
             view = self._view_list(list_id, shadow_ctx)
@@ -895,6 +975,7 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("list_blocks")
+            self._restore_list(list_id)
             self._aru_record(aru)
             shadow_aru = aru if self.concurrent else None
             view = self._visible_list(list_id, shadow_aru)
@@ -931,6 +1012,7 @@ class LLD(LogicalDisk):
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("flush")
+            self._restore_tick()
             flush_start_us = self.clock.now_us
             self._release_parked()
             self._write_buffer()
@@ -950,6 +1032,9 @@ class LLD(LogicalDisk):
         """
         with self._lock:
             self._check_alive()
+            # A checkpoint roster must describe final table state; an
+            # in-progress instant restore is finished first.
+            self.complete_restore()
             self.flush()
             if not self.checkpoint_safe():
                 raise ConcurrencyError(
@@ -967,6 +1052,10 @@ class LLD(LogicalDisk):
     def checkpoint_safe(self) -> bool:
         """True when the persistent tables fully capture the log
         history (so a checkpoint may supersede it)."""
+        if self._restore is not None:
+            # Pending log segments are not yet in the tables; callers
+            # must complete_restore() first.
+            return False
         if not self.concurrent and self.arus.active_count:
             return False
         return (
@@ -985,6 +1074,7 @@ class LLD(LogicalDisk):
         """
         with self._lock:
             self._check_alive()
+            self.complete_restore()
             if self.arus.active_count:
                 raise ConcurrencyError(
                     "cannot sweep orphans while ARUs are active"
@@ -1255,7 +1345,11 @@ class LLD(LogicalDisk):
         if shadow_ctx is None:
             self._emit_entry(
                 SummaryEntry(
-                    EntryKind.DELETE_BLOCK, aru_tag, ts, int(op.block_id)
+                    EntryKind.DELETE_BLOCK,
+                    aru_tag,
+                    ts,
+                    int(op.block_id),
+                    int(list_id) if list_id is not None else 0,
                 )
             )
             self.meter.charge("summary_entry_us")
@@ -1537,6 +1631,9 @@ class LLD(LogicalDisk):
         """Invoke the segment cleaner (lazy import avoids a cycle)."""
         from repro.lld.cleaner import SegmentCleaner
 
+        # The cleaner reasons from live counts and full-CRC segment
+        # bodies; both are only final once the restore has drained.
+        self.complete_restore()
         self._cleaning = True
         pass_start_us = self.clock.now_us
         try:
@@ -1737,6 +1834,9 @@ class LLD(LogicalDisk):
 
         with self._lock:
             self._check_alive()
+            # Scrub salvage decisions compare against final addresses;
+            # drain any in-progress instant restore first.
+            self.complete_restore()
             self.meter.charge("ld_call_us")
             self._count("scrub")
             report = Scrubber(self).scrub(segments)
@@ -1897,6 +1997,7 @@ class LLD(LogicalDisk):
                 "commits_grouped": self._c_commits_grouped.value,
             },
             "segments": self._segment_fill_stats(),
+            "recovery": self._restore_stats(),
             "disk": self.disk.stats(),
             "obs": {
                 "metrics_enabled": self.obs.metrics.enabled,
@@ -1904,6 +2005,25 @@ class LLD(LogicalDisk):
                 "events_dropped": recorder.dropped,
                 "events_capacity": recorder.capacity,
             },
+        }
+
+    def _restore_stats(self) -> dict:
+        """Instant-restore progress (all zeros/False after eager
+        recovery or once a restore has completed)."""
+        m = self.obs.metrics
+        controller = self._restore
+        return {
+            "restoring": controller is not None,
+            "watermark": controller.watermark if controller else 0,
+            "pending_segments": (
+                controller.pending_count if controller else 0
+            ),
+            "on_demand_replays": m.counter(
+                "lld.recovery.on_demand_replays"
+            ).value,
+            "instant_restores": m.counter(
+                "lld.recovery.instant_restores"
+            ).value,
         }
 
     def _segment_fill_stats(self) -> dict:

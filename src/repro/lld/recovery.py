@@ -71,7 +71,12 @@ from repro.errors import MediaError
 from repro.ld.types import ARU_NONE, BlockId, ListId, PhysAddr
 from repro.lld.checkpoint import CheckpointData
 from repro.lld.lld import LLD
-from repro.lld.segment import DecodedSegment, decode_segment, parse_trailer
+from repro.lld.segment import (
+    DecodedSegment,
+    decode_segment,
+    decode_segment_tail,
+    parse_trailer,
+)
 from repro.lld.summary import (
     KIND_ALLOC_BLOCK,
     KIND_COMMIT,
@@ -139,6 +144,19 @@ class RecoveryReport:
     #: Batched-read statistics (deltas over this recovery).
     read_batches: int = 0
     batched_runs: int = 0
+    #: Recovery mode: ``"eager"`` (full scan before the volume opens)
+    #: or ``"instant"`` (open immediately, redo-on-demand).
+    mode: str = "eager"
+    #: Instant restore: requests that had to synchronously replay a
+    #: log suffix before they could be served.
+    on_demand_replays: int = 0
+    #: Instant restore: simulated µs spent applying pending segments
+    #: after the volume opened (on-demand + background sweep).
+    background_sweep_us: float = 0.0
+    #: Simulated µs until the volume could serve its first request:
+    #: equals ``recovery_time_us`` for eager mode, the phase-A setup
+    #: time for instant mode.
+    ttfr_us: float = 0.0
 
 
 def peek_trailer_seq(disk: SimulatedDisk, seg: int) -> Optional[int]:
@@ -660,14 +678,17 @@ def _scan_batched(
         with ThreadPoolExecutor(max_workers=lanes) as pool:
             decoded_list = list(
                 pool.map(
-                    lambda seg: decode_segment(bodies[seg], geometry, seg),
+                    lambda seg: decode_segment(
+                        bodies[seg], geometry, seg
+                    ),
                     decodable,
                 )
             )
         pool_flavor = "thread"
     if decoded_list is None:
         decoded_list = [
-            decode_segment(bodies[seg], geometry, seg) for seg in decodable
+            decode_segment(bodies[seg], geometry, seg)
+            for seg in decodable
         ]
     report.executor = pool_flavor
     replayable: List[DecodedSegment] = []
@@ -702,6 +723,7 @@ def recover(
     replay: str = "tuple",
     config=None,
     decided_xids: Optional[Set[int]] = None,
+    mode: Optional[str] = None,
     **lld_kwargs,
 ) -> Tuple[LLD, RecoveryReport]:
     """Recover an :class:`LLD` instance from a (crashed) disk.
@@ -712,6 +734,19 @@ def recover(
     ``sweep_orphans=False`` skips the consistency sweep, exposing the
     paper's intermediate state where blocks allocated by undone ARUs
     remain allocated.
+
+    ``mode`` selects the recovery strategy (default: the config's
+    ``recovery_mode`` knob).  ``"eager"`` replays the whole log before
+    returning; ``"instant"`` loads the checkpoint, indexes the pending
+    log suffix from per-segment tail reads, and returns an *open*
+    volume immediately — requests touching a block or list whose
+    covering log suffix is not yet applied trigger redo-on-demand,
+    and a background sweep (auto-draining
+    ``restore_drain_segments`` per operation, or explicitly via
+    :meth:`~repro.lld.lld.LLD.restore_drain` /
+    :meth:`~repro.lld.lld.LLD.complete_restore`) drains the rest in
+    log order.  Once drained, the final state is byte-identical to
+    eager recovery (see docs/RECOVERY.md).
 
     ``decided_xids`` supplies coordinator decisions from *another*
     volume's log: a participant shard of a sharded volume
@@ -749,6 +784,14 @@ def recover(
         raise ValueError(f"unknown recovery executor: {executor!r}")
     if replay not in ("tuple", "object"):
         raise ValueError(f"unknown replay mode: {replay!r}")
+    if mode is None:
+        mode = cfg.recovery_mode
+    if mode not in ("eager", "instant"):
+        raise ValueError(f"unknown recovery mode: {mode!r}")
+    if mode == "instant":
+        return _recover_instant(
+            disk, sweep_orphans, workers, cfg, cost_model, decided_xids
+        )
     wall_start = time.perf_counter()
     start_us = disk.clock.now_us
     batches_before = disk.timer.batches
@@ -974,6 +1017,7 @@ def recover(
     report.phase_us["install"] = disk.clock.now_us - install_start
 
     report.recovery_time_us = disk.clock.now_us - start_us
+    report.ttfr_us = report.recovery_time_us
     report.wall_seconds = time.perf_counter() - wall_start
     report.read_batches = disk.timer.batches - batches_before
     report.batched_runs = disk.timer.batched_runs - runs_before
@@ -987,4 +1031,721 @@ def recover(
         arus_discarded=report.arus_discarded,
         total_us=round(report.recovery_time_us, 3),
     )
+    return lld, report
+
+
+# ======================================================================
+# Instant restore: open immediately, redo-on-demand, background sweep
+# ======================================================================
+
+
+class RestoreController:
+    """Redo-on-demand replay engine behind an instantly-restored LLD.
+
+    Phase A of :func:`_recover_instant` installs the checkpoint tables
+    and decodes every pending segment's *summary* from a tail window;
+    this controller then owns the pending suffix.  The **watermark**
+    is the number of pending segments (in log-sequence order) whose
+    entries have been applied to the live persistent records.  The
+    invariant served to traffic: before any block or list id is read
+    or modified, every pending entry naming it lies below the
+    watermark — enforced by :meth:`ensure_block` / :meth:`ensure_list`
+    hooks in the LLD operations, which advance the watermark as a
+    strict log-order prefix (never cherry-picking entries, so replay
+    order is exactly eager recovery's).
+
+    Why a prefix per-id ensure suffices: ``block_index[b]`` is the
+    *last* pending position naming ``b``, so once the watermark passes
+    it no later pending entry can touch ``b`` directly; and ``b``'s
+    list membership is frozen beyond that point, so any later
+    ``DELETE_LIST`` that could delete ``b`` indexes the list ``b``
+    currently belongs to — which the second ensure step also drains.
+
+    The controller performs no disk writes: a crash mid-sweep leaves
+    the platter exactly as the original crash did, which is why a
+    second crash recovers byte-identically to a single eager recovery.
+    """
+
+    def __init__(
+        self,
+        lld: LLD,
+        report: RecoveryReport,
+        pending: List[DecodedSegment],
+        committed: Set[int],
+        sweep_orphans: bool,
+    ) -> None:
+        self.lld = lld
+        self.report = report
+        self.pending = pending
+        self.committed = committed
+        self.sweep_orphans = sweep_orphans
+        #: Pending segments fully applied (index of the next to apply).
+        self.watermark = 0
+        self.done = False
+        #: id -> last pending position whose entries name the id.
+        self.block_index: Dict[int, int] = {}
+        self.list_index: Dict[int, int] = {}
+        #: Counter values at open: ids at or above these were handed
+        #: out by live traffic and are never restore-era state.
+        self.open_next_block = 0
+        self.open_next_list = 0
+        #: Dirty segments whose live counts are provisional until the
+        #: sweep completes (checkpoint roster + pending suffix).
+        self.restore_era: Set[int] = set()
+        self.discarded_arus: Set[int] = set()
+        self.orphans_freed: Set[int] = set()
+        #: Simulated µs spent applying entries after the volume opened.
+        self.apply_us = 0.0
+        #: Watermark-invariant violations (must stay empty; verify_lld
+        #: surfaces them).
+        self.violations: List[str] = []
+        m = lld.obs.metrics
+        self._c_on_demand = m.counter("lld.recovery.on_demand_replays")
+        self._g_pending = m.gauge(
+            "lld.recovery.pending_segments", initial=len(pending)
+        )
+        self._g_watermark = m.gauge("lld.recovery.watermark", initial=0)
+        bindex = self.block_index
+        lindex = self.list_index
+        for pos, decoded in enumerate(pending):
+            for fields in decoded.entry_tuples:
+                kind = fields[0]
+                if kind == KIND_WRITE or kind == KIND_ALLOC_BLOCK:
+                    bindex[fields[3]] = pos
+                elif kind == KIND_DELETE_BLOCK:
+                    bindex[fields[3]] = pos
+                    if fields[4]:
+                        lindex[fields[4]] = pos
+                elif kind == KIND_NEW_LIST or kind == KIND_DELETE_LIST:
+                    lindex[fields[3]] = pos
+                elif kind == KIND_LINK:
+                    lindex[fields[3]] = pos
+                    bindex[fields[4]] = pos
+                    if fields[5]:
+                        bindex[fields[5]] = pos
+
+    # -- public surface ----------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Pending segments not yet applied."""
+        return len(self.pending) - self.watermark
+
+    def tick(self) -> None:
+        """Background sweep quantum: auto-drain per public operation."""
+        if self.done:
+            return
+        step = self.lld.config.restore_drain_segments
+        if step and self.watermark < len(self.pending):
+            self._advance(
+                min(len(self.pending), self.watermark + step) - 1
+            )
+        if step and self.watermark >= len(self.pending):
+            # The sweep just retired the last pending segment: run
+            # the completion pass so the volume collapses back to
+            # normal operation without an explicit call.
+            self.complete()
+
+    def drain(self, max_segments: Optional[int] = None) -> None:
+        """Apply up to ``max_segments`` pending segments in log order."""
+        if max_segments is None:
+            max_segments = self.pending_count
+        if max_segments > 0 and self.watermark < len(self.pending):
+            self._advance(
+                min(len(self.pending), self.watermark + max_segments) - 1
+            )
+
+    def ensure_block(self, block_id: int) -> None:
+        """Drain every pending entry that could affect ``block_id``.
+
+        Two prefix advances: to the block's own last pending mention,
+        then to the last mention of the list it (now) belongs to —
+        which covers membership-changing entries (``DELETE_LIST`` of
+        its list, unlinks by neighbors).  Afterwards the block's
+        persistent record is final with respect to the log, so the
+        orphan rule eager recovery applies at the end is applied here,
+        lazily: a still-unlinked restore-era block is freed before it
+        can be served.
+        """
+        if self.done:
+            return
+        bid = int(block_id)
+        advanced = False
+        pos = self.block_index.get(bid, -1)
+        if pos >= self.watermark:
+            advanced = self._advance(pos)
+        rec = self._blk(bid)
+        if rec is not None and rec.list_id is not None:
+            lpos = self.list_index.get(int(rec.list_id), -1)
+            if lpos >= self.watermark:
+                advanced = self._advance(lpos) or advanced
+        if advanced:
+            self._c_on_demand.inc()
+            self.report.on_demand_replays += 1
+        if self.block_index.get(bid, -1) >= self.watermark:
+            self.violations.append(
+                f"block {bid} served below the replay watermark"
+            )
+        if self.sweep_orphans and bid < self.open_next_block:
+            rec = self._blk(bid)
+            if (
+                rec is not None
+                and rec.allocated
+                and rec.list_id is None
+                and rec.successor is None
+            ):
+                self._drop_block(bid)
+                self.orphans_freed.add(bid)
+
+    def ensure_list(self, list_id: int) -> None:
+        """Drain every pending entry that could affect ``list_id``.
+
+        Every entry that changes a list's chain structure (LINK,
+        DELETE_BLOCK of a member, DELETE_LIST, NEW_LIST) indexes the
+        list id, so one prefix advance makes the whole chain — member
+        successor fields included — final with respect to the log.
+        """
+        if self.done:
+            return
+        lid = int(list_id)
+        pos = self.list_index.get(lid, -1)
+        if pos >= self.watermark:
+            if self._advance(pos):
+                self._c_on_demand.inc()
+                self.report.on_demand_replays += 1
+        if self.list_index.get(lid, -1) >= self.watermark:
+            self.violations.append(
+                f"list {lid} served below the replay watermark"
+            )
+
+    def complete(self) -> None:
+        """Drain everything and collapse to normal operation.
+
+        Runs eager recovery's consistency sweep (silently, on the
+        persistent records — never the logging public
+        ``sweep_orphan_blocks``) and replaces the provisional live
+        counts of every restore-era segment with counts derived from
+        the final persistent addresses, exactly what eager recovery's
+        usage rebuild computes.
+        """
+        if self.done:
+            return
+        lld = self.lld
+        if self.watermark < len(self.pending):
+            self._advance(len(self.pending) - 1)
+        start = lld.clock.now_us
+        if self.sweep_orphans:
+            self._sweep_restore_orphans()
+        live_counts: Dict[int, int] = {}
+        for _bid, rec in lld.bmap.persistent_blocks():
+            if rec.address is not None:
+                seg = rec.address.segment
+                live_counts[seg] = live_counts.get(seg, 0) + 1
+        for seg in self.restore_era:
+            if lld.usage.state(seg) is SegmentState.DIRTY:
+                lld.usage.set_live(seg, live_counts.get(seg, 0))
+        self.apply_us += lld.clock.now_us - start
+        report = self.report
+        report.orphan_blocks_freed = sorted(
+            set(report.orphan_blocks_freed) | self.orphans_freed
+        )
+        report.background_sweep_us = self.apply_us
+        report.arus_discarded = len(self.discarded_arus)
+        report.discarded_aru_ids = sorted(self.discarded_arus)
+        self.done = True
+        self._g_pending.set(0)
+        self._g_watermark.set(self.watermark)
+        lld._restore = None
+        lld.obs.record(
+            "restore.complete",
+            on_demand_replays=report.on_demand_replays,
+            sweep_us=round(self.apply_us, 3),
+        )
+
+    # -- record plumbing ---------------------------------------------
+
+    def _blk(self, block_id: int) -> Optional[BlockVersion]:
+        root = self.lld.bmap.root(BlockId(block_id))
+        return root.persistent if root is not None else None
+
+    def _lst(self, list_id: int) -> Optional[ListVersion]:
+        root = self.lld.ltable.root(ListId(list_id))
+        return root.persistent if root is not None else None
+
+    def _drop_block(self, block_id: int) -> None:
+        ident = BlockId(block_id)
+        root = self.lld.bmap.root(ident)
+        if root is not None:
+            root.persistent = None
+            self.lld.bmap.drop_if_empty(ident)
+
+    def _drop_list(self, list_id: int) -> None:
+        ident = ListId(list_id)
+        root = self.lld.ltable.root(ident)
+        if root is not None:
+            root.persistent = None
+            self.lld.ltable.drop_if_empty(ident)
+
+    # -- log application ---------------------------------------------
+
+    def _advance(self, pos: int) -> bool:
+        """Apply pending segments through position ``pos`` (inclusive).
+
+        Strict log-order prefix: segments are applied whole, in
+        sequence order, with exactly eager recovery's per-entry rules
+        (commit filtering included).  The summary-decode CPU cost is
+        charged here, to whoever triggered the advance — a foreground
+        requester pays for its own redo-on-demand.
+        """
+        if pos < self.watermark or self.done:
+            return False
+        lld = self.lld
+        clock = lld.clock
+        report = self.report
+        committed = self.committed
+        start = clock.now_us
+        while self.watermark <= pos:
+            decoded = self.pending[self.watermark]
+            report.segments_replayed += 1
+            segment_no = decoded.segment_no
+            if decoded.entry_count:
+                lld.meter.charge("decode_entry_us", decoded.entry_count)
+            for fields in decoded.entry_tuples:
+                tag = fields[1]
+                if tag and tag not in committed and fields[0] != KIND_COMMIT:
+                    report.entries_discarded += 1
+                    self.discarded_arus.add(tag)
+                    continue
+                if self._apply(fields, segment_no):
+                    report.entries_replayed += 1
+                else:
+                    report.replay_conflicts += 1
+            self.watermark += 1
+        self.apply_us += clock.now_us - start
+        self._g_watermark.set(self.watermark)
+        self._g_pending.set(self.pending_count)
+        return True
+
+    def _apply(self, fields: Tuple[int, ...], segment_no: int) -> bool:
+        """One entry, by eager recovery's rules, on the live records."""
+        lld = self.lld
+        kind = fields[0]
+        if kind == KIND_WRITE:
+            rec = self._blk(fields[3])
+            if rec is None or not rec.allocated:
+                return False
+            rec.address = PhysAddr(segment_no, fields[4])
+            rec.timestamp = fields[2]
+            return True
+        if kind == KIND_ALLOC_BLOCK:
+            bid = BlockId(fields[3])
+            root = lld.bmap.root(bid, create=True)
+            root.persistent = BlockVersion(
+                bid,
+                VersionState.PERSISTENT,
+                allocated=True,
+                timestamp=fields[2],
+            )
+            return True
+        if kind == KIND_DELETE_BLOCK:
+            return self._apply_delete_block(fields[3])
+        if kind == KIND_NEW_LIST:
+            lid = ListId(fields[3])
+            root = lld.ltable.root(lid, create=True)
+            root.persistent = ListVersion(
+                lid,
+                VersionState.PERSISTENT,
+                allocated=True,
+                count=0,
+                timestamp=fields[2],
+            )
+            return True
+        if kind == KIND_DELETE_LIST:
+            return self._apply_delete_list(fields[3])
+        if kind == KIND_LINK:
+            return self._apply_link(fields[3], fields[4], fields[5], fields[2])
+        return True  # COMMIT/PREPARE/DECIDE carry no table state
+
+    def _apply_delete_block(self, block_id: int) -> bool:
+        rec = self._blk(block_id)
+        if rec is None or not rec.allocated:
+            return False
+        if rec.list_id is not None:
+            lst = self._lst(int(rec.list_id))
+            if lst is not None and lst.allocated:
+                self._unlink(lst, block_id)
+        self._drop_block(block_id)
+        return True
+
+    def _apply_delete_list(self, list_id: int) -> bool:
+        lst = self._lst(list_id)
+        if lst is None or not lst.allocated:
+            return False
+        cursor = lst.first
+        while cursor is not None:
+            member = self._blk(int(cursor))
+            nxt = member.successor if member is not None else None
+            if member is not None:
+                self._drop_block(int(cursor))
+            cursor = nxt
+        self._drop_list(list_id)
+        return True
+
+    def _apply_link(
+        self, list_id: int, block_id: int, pred_id: int, timestamp: int
+    ) -> bool:
+        lst = self._lst(list_id)
+        blk = self._blk(block_id)
+        if lst is None or not lst.allocated or blk is None or not blk.allocated:
+            return False
+        if blk.list_id is not None:
+            return False  # already in a list
+        ident = BlockId(block_id)
+        if pred_id == 0:
+            blk.successor = lst.first
+            if lst.first is None:
+                lst.last = ident
+            lst.first = ident
+        else:
+            pred = self._blk(pred_id)
+            if pred is None or not pred.allocated or pred.list_id != list_id:
+                return False
+            blk.successor = pred.successor
+            pred.successor = ident
+            if lst.last == pred_id:
+                lst.last = ident
+        blk.list_id = ListId(list_id)
+        lst.count += 1
+        lst.timestamp = timestamp
+        return True
+
+    def _unlink(self, lst: ListVersion, block_id: int) -> None:
+        """Remove ``block_id`` from list record ``lst`` (best effort)."""
+        target = self._blk(block_id)
+        successor = target.successor if target is not None else None
+        if lst.first == block_id:
+            lst.first = successor
+            if lst.last == block_id:
+                lst.last = None
+            lst.count -= 1
+            return
+        cursor = lst.first
+        while cursor is not None:
+            node = self._blk(int(cursor))
+            if node is None:
+                return
+            if node.successor == block_id:
+                node.successor = successor
+                if lst.last == block_id:
+                    lst.last = cursor
+                lst.count -= 1
+                return
+            cursor = node.successor
+
+    # -- consistency sweep -------------------------------------------
+
+    def _sweep_restore_orphans(self) -> None:
+        """Eager recovery's orphan sweep, on the persistent records.
+
+        Restricted to restore-era ids (below the open-time counters):
+        ids handed out by live traffic may legitimately sit in
+        unfolded committed versions the persistent walk cannot see.
+        Traffic can never link a restore-era block into a list (blocks
+        are only ever inserted at allocation), so membership computed
+        from the persistent chains is exact for the ids considered.
+        """
+        lld = self.lld
+        members: Set[int] = set()
+        for _lid, rec in lld.ltable.persistent_lists():
+            cursor = rec.first
+            while cursor is not None and int(cursor) not in members:
+                members.add(int(cursor))
+                node = self._blk(int(cursor))
+                cursor = node.successor if node is not None else None
+        orphans = [
+            int(bid)
+            for bid, rec in lld.bmap.persistent_blocks()
+            if rec.allocated
+            and int(bid) < self.open_next_block
+            and int(bid) not in members
+            and rec.list_id is None
+        ]
+        for bid in orphans:
+            self._drop_block(bid)
+        self.orphans_freed.update(orphans)
+
+
+def _recover_instant(
+    disk: SimulatedDisk,
+    sweep_orphans: bool,
+    workers: int,
+    cfg,
+    cost_model,
+    decided_xids: Optional[Set[int]],
+) -> Tuple[LLD, RecoveryReport]:
+    """Instant-restore phase A: open the volume without reading bodies.
+
+    Loads the checkpoint, classifies every log segment from one
+    batched *tail-window* read (trailer + summary validated by the
+    summary CRC — the same acceptance rule the eager scans use, so
+    both modes replay exactly the same set of segments), resolves
+    committed ARUs and 2PC decisions over the full pending suffix,
+    installs the checkpoint tables and counters, and opens the volume
+    with a :class:`RestoreController` holding the undecoded-body
+    pending segments.  Time to first request is the simulated time of
+    this function alone.
+    """
+    wall_start = time.perf_counter()
+    clock = disk.clock
+    start_us = clock.now_us
+    batches_before = disk.timer.batches
+    runs_before = disk.timer.batched_runs
+    lld = LLD(disk, cost_model=cost_model, config=cfg, _defer_init=True)
+    lld.obs.record(
+        "recovery.start",
+        parallel=True,
+        workers=workers,
+        executor="serial",
+        mode="instant",
+    )
+    m = lld.obs.metrics
+    m.counter("lld.recovery.recoveries").inc()
+    m.counter("lld.recovery.instant_restores").inc()
+    ckpt = lld.checkpoints.load()
+    report = RecoveryReport(
+        checkpoint_seq=ckpt.ckpt_seq,
+        parallel=True,
+        workers=workers,
+        replay="tuple",
+        mode="instant",
+    )
+
+    # ---- scan: batched tail windows --------------------------------
+    geometry = disk.geometry
+    segment_size = geometry.segment_size
+    reserved = lld.checkpoints.reserved_segments
+    scan_start = clock.now_us
+    segs = list(range(reserved, geometry.num_segments))
+    report.segments_scanned = len(segs)
+    status: Dict[int, str] = {}
+    for seg in segs:
+        roster = ckpt.segments.get(seg)
+        if roster is not None and roster[0] == QUARANTINE_SEQ:
+            status[seg] = "quarantined"
+    scan_segs = [seg for seg in segs if seg not in status]
+    window = min(segment_size, max(TRAILER_SIZE, cfg.restore_tail_window))
+    tails = disk.read_many(
+        [(seg, segment_size - window, window) for seg in scan_segs],
+        errors="none",
+    )
+    ckpt_segments: Dict[int, Tuple[int, int, int]] = {}
+    candidates: List[Tuple[int, bytes]] = []
+    for seg, tail in zip(scan_segs, tails):
+        if tail is None:
+            report.segments_unreadable += 1
+            status[seg] = "quarantined"
+            continue
+        parsed = parse_trailer(tail[window - TRAILER_SIZE :])
+        if parsed is None:
+            report.segments_invalid += 1
+            status[seg] = "invalid"
+            continue
+        trailer_seq = parsed[0]
+        roster = ckpt.segments.get(seg)
+        if trailer_seq > ckpt.last_log_seq:
+            status[seg] = "candidate"
+            candidates.append((seg, tail))
+        elif roster is not None and roster[0] == trailer_seq:
+            ckpt_segments[seg] = roster
+            status[seg] = "ckpt"
+        else:
+            # Valid trailer but freed before the checkpoint: stale.
+            status[seg] = "invalid"
+
+    # ---- decode: summaries from the tails --------------------------
+    decode_start = clock.now_us
+    decoded_by_seg: Dict[int, DecodedSegment] = {}
+    followup: List[Tuple[int, int]] = []
+    for seg, tail in candidates:
+        result = decode_segment_tail(tail, geometry, seg)
+        if result is None:
+            report.segments_invalid += 1
+            status[seg] = "invalid"
+        elif isinstance(result, int):
+            followup.append((seg, result))
+        else:
+            decoded_by_seg[seg] = result
+    if followup:
+        raws = disk.read_many(
+            [(seg, segment_size - needed, needed) for seg, needed in followup],
+            errors="none",
+        )
+        for (seg, _needed), raw in zip(followup, raws):
+            if raw is None:
+                report.segments_unreadable += 1
+                status[seg] = "quarantined"
+                continue
+            result = decode_segment_tail(raw, geometry, seg)
+            if result is None or isinstance(result, int):
+                report.segments_invalid += 1
+                status[seg] = "invalid"
+            else:
+                decoded_by_seg[seg] = result
+    pending = sorted(decoded_by_seg.values(), key=lambda d: d.seq)
+    lanes = max(1, min(workers, len(pending)))
+    tail_kb = sum(
+        (d.summary_len + TRAILER_SIZE) / 1024.0 for d in pending
+    )
+    _charge_decode(lld, tail_kb, 0, lanes=lanes)
+    report.phase_us["scan"] = decode_start - scan_start
+    report.phase_us["decode"] = clock.now_us - decode_start
+
+    # ---- pass 1: committed ARUs, decisions, counter bounds ---------
+    # Exactly eager recovery's resolution, over the whole pending
+    # suffix — 2PC decided-xid resolution completes *before* the
+    # volume opens, so a participant's prepared ARUs are never visible
+    # undecided.  ALLOC/NEW_LIST entries always carry tag 0 and always
+    # apply, so the final id counters are exact already.
+    replay_start = clock.now_us
+    committed: Set[int] = set()
+    prepared: Dict[int, int] = {}
+    own_decided: Set[int] = set(ckpt.decided_xids)
+    max_aru = ckpt.next_aru_id - 1
+    max_block = ckpt.next_block_id - 1
+    max_list = ckpt.next_list_id - 1
+    for decoded in pending:
+        for fields in decoded.entry_tuples:
+            kind = fields[0]
+            tag = fields[1]
+            if tag > max_aru:
+                max_aru = tag
+            if kind == KIND_COMMIT:
+                committed.add(tag)
+            elif kind == KIND_PREPARE:
+                prepared[tag] = fields[4]
+            elif kind == KIND_DECIDE:
+                own_decided.add(fields[3])
+            elif kind == KIND_ALLOC_BLOCK:
+                if fields[3] > max_block:
+                    max_block = fields[3]
+            elif kind == KIND_NEW_LIST:
+                if fields[3] > max_list:
+                    max_list = fields[3]
+    decided = own_decided | (decided_xids or set())
+    report.arus_prepared = len(prepared)
+    report.xids_decided = sorted(own_decided)
+    rolled_forward: Set[int] = set()
+    undecided: Set[int] = set()
+    for tag, xid in prepared.items():
+        if xid in decided:
+            committed.add(tag)
+            rolled_forward.add(xid)
+        else:
+            undecided.add(xid)
+    report.xids_rolled_forward = sorted(rolled_forward)
+    report.xids_discarded = sorted(undecided)
+    report.max_xid = max([0, *prepared.values(), *own_decided])
+    report.arus_committed = len(committed)
+    report.phase_us["replay"] = clock.now_us - replay_start
+
+    # ---- install: checkpoint tables, usage, counters ---------------
+    install_start = clock.now_us
+    for blk in ckpt.blocks:
+        lld.bmap.install_persistent(
+            BlockVersion(
+                BlockId(blk.block_id),
+                VersionState.PERSISTENT,
+                allocated=True,
+                address=(
+                    PhysAddr(blk.segment, blk.slot) if blk.has_addr else None
+                ),
+                successor=BlockId(blk.successor) if blk.successor else None,
+                list_id=ListId(blk.list_id) if blk.list_id else None,
+                timestamp=blk.timestamp,
+            )
+        )
+    for lst in ckpt.lists:
+        lld.ltable.install_persistent(
+            ListVersion(
+                ListId(lst.list_id),
+                VersionState.PERSISTENT,
+                allocated=True,
+                first=BlockId(lst.first) if lst.first else None,
+                last=BlockId(lst.last) if lst.last else None,
+                count=lst.count,
+                timestamp=lst.timestamp,
+            )
+        )
+    invalid = [seg for seg in segs if status.get(seg) == "invalid"]
+    quarantined = [seg for seg in segs if status.get(seg) == "quarantined"]
+    report.segments_quarantined = len(quarantined)
+    max_seq = ckpt.last_log_seq
+    for seg in invalid:
+        lld.usage.restore(seg, SegmentState.FREE, -1, 0, 0)
+    for seg in quarantined:
+        lld.usage.restore(seg, SegmentState.QUARANTINED, -1, 0, 0)
+    for seg, (seq, live, total) in ckpt_segments.items():
+        lld.usage.restore(seg, SegmentState.DIRTY, seq, live, total)
+    for decoded in pending:
+        # Provisional: every written slot counted live until the sweep
+        # recomputes from the final addresses (verify_lld knows).
+        lld.usage.restore(
+            decoded.segment_no,
+            SegmentState.DIRTY,
+            decoded.seq,
+            decoded.block_count,
+            decoded.block_count,
+        )
+        if decoded.seq > max_seq:
+            max_seq = decoded.seq
+    lld._next_block_id = max_block + 1
+    lld._next_list_id = max_list + 1
+    lld.arus.set_next_id(max_aru + 1)
+    lld._next_seq = max_seq + 1
+    lld._last_written_seq = max_seq
+    lld._ckpt_seq = ckpt.ckpt_seq
+    lld._commit_on_disk = committed
+    lld._decided_xids = own_decided
+
+    controller = RestoreController(
+        lld, report, pending, committed, sweep_orphans
+    )
+    controller.open_next_block = lld._next_block_id
+    controller.open_next_list = lld._next_list_id
+    controller.restore_era = set(ckpt_segments) | {
+        d.segment_no for d in pending
+    }
+    lld._restore = controller
+    try:
+        lld._open_new_buffer()
+    except Exception:
+        # A completely full disk recovers with no open buffer; the
+        # lazy buffer machinery opens one when (and if) space allows.
+        pass
+    report.phase_us["install"] = clock.now_us - install_start
+
+    report.recovery_time_us = clock.now_us - start_us
+    report.ttfr_us = report.recovery_time_us
+    report.wall_seconds = time.perf_counter() - wall_start
+    report.read_batches = disk.timer.batches - batches_before
+    report.batched_runs = disk.timer.batched_runs - runs_before
+    for phase, us in report.phase_us.items():
+        lld.obs.metrics.counter(f"lld.recovery.{phase}_us").add(us)
+        lld.obs.record("recovery.phase", phase=phase, us=round(us, 3))
+    lld.obs.record(
+        "restore.open",
+        pending_segments=len(pending),
+        ttfr_us=round(report.ttfr_us, 3),
+    )
+    lld.obs.record(
+        "recovery.done",
+        segments_replayed=report.segments_replayed,
+        arus_committed=report.arus_committed,
+        arus_discarded=report.arus_discarded,
+        total_us=round(report.recovery_time_us, 3),
+    )
+    if not pending:
+        # Nothing to drain: run the consistency sweep and collapse to
+        # normal operation before the first request.
+        controller.complete()
     return lld, report

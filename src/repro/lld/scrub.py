@@ -146,6 +146,10 @@ class Scrubber:
         """
         lld = self.lld
         with lld._lock:
+            if lld._restore is not None:
+                # Salvage compares platter blocks against the mapped
+                # addresses; those are final only after the restore.
+                lld.complete_restore()
             return self._scrub_locked(segments)
 
     def _scrub_locked(self, segments: Optional[Iterable[int]]) -> ScrubReport:

@@ -11,8 +11,12 @@ update.
 
 Trailer layout (see :data:`TRAILER_FMT`): magic, format version,
 sequence number, entry count, block count, summary length, CRC-32 of
-the whole segment.  A torn segment write destroys the trailer and/or
-the checksum, so recovery detects and skips it.
+the summary region (summary bytes plus the trailer fields up to it),
+CRC-32 of the whole segment.  A torn segment write destroys the
+trailer and/or a checksum, so recovery detects and skips it.  The
+summary CRC lets recovery validate a segment's *summary* from a tail
+window alone — the basis of instant restore's redo-on-demand scan —
+while the whole-image CRC still guards data slots end to end.
 
 Wall-clock fast path
 --------------------
@@ -47,35 +51,44 @@ from repro.lld.summary import (
 )
 
 #: magic(4s) version(H) pad(H) seq(Q) nentries(I) nblocks(I)
-#: summary_len(I) pad(I) crc(Q)
+#: summary_len(I) summary_crc(I) crc(Q)
 TRAILER_FMT = "<4sHHQIIIIQ"
 TRAILER_MAGIC = b"LLDS"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 #: Precompiled trailer codec (hot on the seal and recovery paths).
 TRAILER_STRUCT = struct.Struct(TRAILER_FMT)
 _CRC_STRUCT = struct.Struct("<Q")
+_SUMMARY_CRC_STRUCT = struct.Struct("<I")
 
 assert TRAILER_STRUCT.size == TRAILER_SIZE
 
+#: Offset (from the segment end) of the summary CRC field and the
+#: whole-image CRC field.  The summary CRC covers
+#: ``[summary_start, segment_size - 12)`` — the summary bytes plus
+#: every trailer field before the two checksums; the whole-image CRC
+#: covers ``[0, segment_size - 8)``.
+_SUMMARY_CRC_END = 12
+_CRC_END = 8
 
-def parse_trailer(trailer) -> Optional[Tuple[int, int, int, int, int]]:
+
+def parse_trailer(trailer) -> Optional[Tuple[int, int, int, int, int, int]]:
     """Parse a raw segment trailer, validating magic and version.
 
     ``trailer`` is the final :data:`TRAILER_SIZE` bytes of a segment
     (bytes or memoryview).  Returns ``(seq, nentries, nblocks,
-    summary_len, crc)`` or None if this is not an LLD trailer.  Shared
-    by :func:`decode_segment` and recovery's trailer peek so both
-    classify segments identically.
+    summary_len, summary_crc, crc)`` or None if this is not an LLD
+    trailer.  Shared by :func:`decode_segment` and recovery's trailer
+    peek so both classify segments identically.
     """
     if len(trailer) != TRAILER_SIZE:
         return None
-    magic, version, _pad, seq, nentries, nblocks, summary_len, _pad2, crc = (
+    magic, version, _pad, seq, nentries, nblocks, summary_len, summary_crc, crc = (
         TRAILER_STRUCT.unpack(trailer)
     )
     if magic != TRAILER_MAGIC or version != FORMAT_VERSION:
         return None
-    return seq, nentries, nblocks, summary_len, crc
+    return seq, nentries, nblocks, summary_len, summary_crc, crc
 
 
 class SegmentBuffer:
@@ -281,11 +294,17 @@ class SegmentBuffer:
             len(self.entries),
             len(self._slot_data),
             summary_len,
-            0,
+            0,  # summary crc placeholder
             0,  # crc placeholder
         )
-        crc = zlib.crc32(memoryview(image)[: geo.segment_size - 8])
-        _CRC_STRUCT.pack_into(image, geo.segment_size - 8, crc)
+        summary_crc = zlib.crc32(
+            memoryview(image)[summary_start : geo.segment_size - _SUMMARY_CRC_END]
+        )
+        _SUMMARY_CRC_STRUCT.pack_into(
+            image, geo.segment_size - _SUMMARY_CRC_END, summary_crc
+        )
+        crc = zlib.crc32(memoryview(image)[: geo.segment_size - _CRC_END])
+        _CRC_STRUCT.pack_into(image, geo.segment_size - _CRC_END, crc)
         self._sealed = True
         return image
 
@@ -321,11 +340,17 @@ def reference_seal(buffer: SegmentBuffer) -> bytes:
         len(buffer.entries),
         buffer.block_count,
         summary_len,
-        0,
+        0,  # summary crc placeholder
         0,  # crc placeholder
     )
-    crc = zlib.crc32(memoryview(image)[: geo.segment_size - 8])
-    _CRC_STRUCT.pack_into(image, geo.segment_size - 8, crc)
+    summary_crc = zlib.crc32(
+        memoryview(image)[summary_start : geo.segment_size - _SUMMARY_CRC_END]
+    )
+    _SUMMARY_CRC_STRUCT.pack_into(
+        image, geo.segment_size - _SUMMARY_CRC_END, summary_crc
+    )
+    crc = zlib.crc32(memoryview(image)[: geo.segment_size - _CRC_END])
+    _CRC_STRUCT.pack_into(image, geo.segment_size - _CRC_END, crc)
     return bytes(image)
 
 
@@ -420,28 +445,39 @@ class DecodedSegment:
 
 
 def decode_segment(
-    raw, geometry: DiskGeometry, segment_no: int
+    raw, geometry: DiskGeometry, segment_no: int, check: str = "full"
 ) -> Optional[DecodedSegment]:
     """Validate and parse a raw segment image.
 
     Returns None if the segment is not a valid LLD segment (never
     written, torn, or corrupted) — recovery treats such segments as
-    free space.  One CRC-32 pass over the whole image (C-backed
-    ``zlib.crc32``) validates everything; the summary is then
-    batch-decoded into field tuples in a single pass.
+    free space.  With ``check="full"`` (the default) one CRC-32 pass
+    over the whole image (C-backed ``zlib.crc32``) validates
+    everything, data slots included; ``check="summary"`` validates
+    only the summary CRC (summary bytes plus trailer), which is the
+    rule recovery classification uses so that eager and instant
+    restore accept exactly the same set of segments.  The summary is
+    then batch-decoded into field tuples in a single pass.
     """
+    if check not in ("full", "summary"):
+        raise ValueError(f"unknown check mode {check!r}")
     if len(raw) != geometry.segment_size:
         return None
     view = memoryview(raw)
     parsed = parse_trailer(view[geometry.segment_size - TRAILER_SIZE :])
     if parsed is None:
         return None
-    seq, nentries, nblocks, summary_len, crc = parsed
-    if zlib.crc32(view[: geometry.segment_size - 8]) != crc:
-        return None
+    seq, nentries, nblocks, summary_len, summary_crc, crc = parsed
     summary_start = geometry.segment_size - TRAILER_SIZE - summary_len
     if summary_start < nblocks * geometry.block_size:
         return None
+    if check == "full":
+        if zlib.crc32(view[: geometry.segment_size - _CRC_END]) != crc:
+            return None
+    else:
+        checked = view[summary_start : geometry.segment_size - _SUMMARY_CRC_END]
+        if zlib.crc32(checked) != summary_crc:
+            return None
     try:
         entry_tuples = decode_entry_tuples(
             view[summary_start : summary_start + summary_len]
@@ -458,5 +494,64 @@ def decode_segment(
         raw=raw,
         geometry=geometry,
         summary_start=summary_start,
+        summary_len=summary_len,
+    )
+
+
+def decode_segment_tail(tail, geometry: DiskGeometry, segment_no: int):
+    """Decode a segment's summary from a tail window alone.
+
+    ``tail`` is the *last* ``len(tail)`` bytes of the segment image
+    (at least :data:`TRAILER_SIZE`).  Returns:
+
+    * ``None`` — not a valid LLD segment (bad magic/version, summary
+      CRC mismatch, structural violation), same verdict
+      :func:`decode_segment` with ``check="summary"`` would reach on
+      the full image;
+    * an ``int`` — the tail is valid so far but too short to hold the
+      whole summary; the value is the tail length (bytes from the
+      segment end) needed to decode it; or
+    * a :class:`DecodedSegment` **without a body**: ``raw`` holds only
+      the summary+trailer bytes and ``summary_start`` is relative to
+      it (0), so ``entry_tuples``/``entries`` work but
+      ``slot_data``/``slot_view`` must not be called.
+
+    This is instant restore's scan primitive: one small tail read per
+    segment replaces streaming the whole body through the CRC.
+    """
+    size = geometry.segment_size
+    if len(tail) < TRAILER_SIZE or len(tail) > size:
+        return None
+    view = memoryview(tail)
+    parsed = parse_trailer(view[len(tail) - TRAILER_SIZE :])
+    if parsed is None:
+        return None
+    seq, nentries, nblocks, summary_len, summary_crc, _crc = parsed
+    summary_start = size - TRAILER_SIZE - summary_len
+    if summary_start < nblocks * geometry.block_size:
+        return None
+    needed = TRAILER_SIZE + summary_len
+    if len(tail) < needed:
+        return needed
+    tail_summary_start = len(tail) - needed
+    checked = view[tail_summary_start : len(tail) - _SUMMARY_CRC_END]
+    if zlib.crc32(checked) != summary_crc:
+        return None
+    try:
+        entry_tuples = decode_entry_tuples(
+            view[tail_summary_start : tail_summary_start + summary_len]
+        )
+    except ValueError:
+        return None
+    if len(entry_tuples) != nentries:
+        return None
+    return DecodedSegment(
+        segment_no=segment_no,
+        seq=seq,
+        entry_tuples=entry_tuples,
+        block_count=nblocks,
+        raw=bytes(view[tail_summary_start:]),
+        geometry=geometry,
+        summary_start=0,
         summary_len=summary_len,
     )

@@ -30,7 +30,9 @@ class EntryKind(enum.IntEnum):
     #: Block allocated (always committed immediately): ``a`` = block
     #: id, ``b`` = the list it was allocated for (informational).
     ALLOC_BLOCK = 2
-    #: Block removed from its list and deallocated: ``a`` = block id.
+    #: Block removed from its list and deallocated: ``a`` = block id,
+    #: ``b`` = the list it was removed from (0 = none; informational
+    #: for replay, load-bearing for instant restore's per-list index).
     DELETE_BLOCK = 3
     #: List allocated: ``a`` = list id.
     NEW_LIST = 4
@@ -63,7 +65,7 @@ _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 _PAYLOAD_FMT = {
     EntryKind.WRITE: "<QI",
     EntryKind.ALLOC_BLOCK: "<QQ",
-    EntryKind.DELETE_BLOCK: "<Q",
+    EntryKind.DELETE_BLOCK: "<QQ",
     EntryKind.NEW_LIST: "<Q",
     EntryKind.DELETE_LIST: "<Q",
     EntryKind.LINK: "<QQQ",
@@ -75,7 +77,7 @@ _PAYLOAD_FMT = {
 _PAYLOAD_FIELDS = {
     EntryKind.WRITE: 2,
     EntryKind.ALLOC_BLOCK: 2,
-    EntryKind.DELETE_BLOCK: 1,
+    EntryKind.DELETE_BLOCK: 2,
     EntryKind.NEW_LIST: 1,
     EntryKind.DELETE_LIST: 1,
     EntryKind.LINK: 3,

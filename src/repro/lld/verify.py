@@ -35,12 +35,27 @@ def verify_lld(lld) -> List[str]:
     problems += _verify_usage(lld)
     problems += _verify_lists_well_formed(lld)
     problems += _verify_segment_states(lld)
+    problems += _verify_restore(lld)
     if problems:
         obs = getattr(lld, "obs", None)
         if obs is not None:
             obs.record("verify.failed", problems=len(problems))
             obs.crash_dump("verify_failed")
     return problems
+
+
+def _verify_restore(lld) -> List[str]:
+    """Instant-restore watermark discipline.
+
+    The controller records a violation whenever a request was served
+    while a pending (unreplayed) log segment still named the touched
+    id — the one invariant redo-on-demand must never break.  Empty in
+    normal operation and after ``complete_restore()``.
+    """
+    controller = getattr(lld, "_restore", None)
+    if controller is None:
+        return []
+    return list(controller.violations)
 
 
 def _verify_segment_states(lld) -> List[str]:
@@ -214,7 +229,13 @@ def _verify_usage(lld) -> List[str]:
                 f"{state.value} segment"
             )
         live[addr.segment] = live.get(addr.segment, 0) + 1
+    restore = getattr(lld, "_restore", None)
     for seg, live_count, _seq in lld.usage.dirty_segments():
+        if restore is not None and seg in restore.restore_era:
+            # Mid-restore, restore-era live counts are provisional
+            # (pending segments count every written slot live until
+            # the sweep recomputes from final addresses); skip them.
+            continue
         expected = live.get(seg, 0)
         if live_count != expected:
             problems.append(

@@ -83,6 +83,13 @@ STATS_SCHEMA = {
         "avg_fill": NUM,
         "min_fill": OPT_NUM,
     },
+    "recovery": {
+        "restoring": BOOL,
+        "watermark": INT,
+        "pending_segments": INT,
+        "on_demand_replays": INT,
+        "instant_restores": INT,
+    },
     "disk": {
         "requests": INT,
         "sequential_requests": INT,

@@ -55,6 +55,11 @@ class ShardRecoveryReport:
     parallel_us: float
     serial_us: float
     speedup: float
+    #: Simulated time until *every* shard can serve requests, on the
+    #: same critical-path model (participants wait for the
+    #: coordinator's decided set).  Equals ``parallel_us`` for eager
+    #: recovery; far smaller under ``mode="instant"``.
+    ttfr_us: float
     #: Host wall-clock seconds for the whole sharded recovery.
     wall_seconds: float
 
@@ -120,10 +125,12 @@ def recover_sharded(
     # the decided set.
     sd0 = _scan_decode_us(report0)
     parallel_us = report0.recovery_time_us
+    ttfr_us = report0.ttfr_us
     for report in reports[1:]:
         sd = _scan_decode_us(report)
         rest = report.recovery_time_us - sd
         parallel_us = max(parallel_us, max(sd, sd0) + rest)
+        ttfr_us = max(ttfr_us, max(sd, sd0) + (report.ttfr_us - sd))
     serial_us = sum(r.recovery_time_us for r in reports)
 
     rolled: Set[int] = set()
@@ -142,6 +149,7 @@ def recover_sharded(
         parallel_us=parallel_us,
         serial_us=serial_us,
         speedup=(serial_us / parallel_us) if parallel_us > 0 else 1.0,
+        ttfr_us=ttfr_us,
         wall_seconds=time.perf_counter() - wall_start,
     )
     lld0.obs.record(

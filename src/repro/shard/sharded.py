@@ -366,6 +366,27 @@ class ShardedLLD(LogicalDisk):
                 self._sync_clock(s)
                 self.shards[s].flush()
 
+    @property
+    def restore_active(self) -> bool:
+        """True while any shard's instant restore is still pending."""
+        return any(shard.restore_active for shard in self.shards)
+
+    def restore_drain(self, max_segments=None) -> int:
+        """Drain pending restore segments on every shard (sum)."""
+        with self._lock:
+            drained = 0
+            for s in range(self.n):
+                self._sync_clock(s)
+                drained += self.shards[s].restore_drain(max_segments)
+            return drained
+
+    def complete_restore(self) -> None:
+        """Finish every shard's in-progress instant restore."""
+        with self._lock:
+            for s in range(self.n):
+                self._sync_clock(s)
+                self.shards[s].complete_restore()
+
     def write_checkpoint(self) -> None:
         """Checkpoint every shard (a global recovery bound).
 

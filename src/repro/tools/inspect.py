@@ -199,6 +199,49 @@ def describe_metrics(
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def describe_restore(
+    disk: SimulatedDisk, slot_segments: Optional[int] = None
+) -> str:
+    """Instant-restore preview: what ``recover(mode="instant")`` sees.
+
+    Opens a power-cycled copy of the image in instant mode and stops
+    right after phase A — before any on-demand or background replay —
+    so the output shows the volume exactly as it would greet its
+    first request: the replay watermark, the pending log suffix and
+    the per-segment work still outstanding.
+    """
+    survivor = disk.power_cycle()
+    kwargs = {"restore_drain_segments": 0}
+    if slot_segments is not None:
+        kwargs["checkpoint_slot_segments"] = slot_segments
+    ld, report = recover(survivor, mode="instant", **kwargs)
+    lines = [
+        "instant-restore preview (phase A only, nothing replayed):",
+        f"  checkpoint seq     : {report.checkpoint_seq}",
+        f"  time to first req  : {report.ttfr_us:.1f} simulated us",
+    ]
+    controller = ld._restore
+    if controller is None:
+        lines.append("  pending segments   : 0 (volume fully restored)")
+        return "\n".join(lines)
+    lines.append(
+        f"  replay watermark   : {controller.watermark} of "
+        f"{len(controller.pending)} pending segments applied"
+    )
+    lines.append(
+        f"  indexed ids        : {len(controller.block_index)} blocks, "
+        f"{len(controller.list_index)} lists await replay"
+    )
+    lines.append("  pending (log order):")
+    for decoded in controller.pending:
+        lines.append(
+            f"    segment {decoded.segment_no:4d}: seq {decoded.seq:6d}  "
+            f"{decoded.block_count:3d} blocks  "
+            f"{decoded.entry_count:4d} entries"
+        )
+    return "\n".join(lines)
+
+
 def describe_fs(
     disk: SimulatedDisk,
     slot_segments: Optional[int] = None,

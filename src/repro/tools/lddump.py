@@ -15,6 +15,8 @@ Options:
     --entries          ... including every summary entry (verbose)
     --limit N          cap the number of segments listed
     --checkpoints      show both checkpoint slots
+    --restore          preview instant restore: replay watermark and
+                       the pending log suffix before anything replays
     --fs               recover (read-only) and print the file tree
     --metrics          recover (read-only) and print metrics as JSON
     --ckpt-segments N  checkpoint slot size, if non-default
@@ -35,6 +37,7 @@ from repro.tools.inspect import (
     describe_disk,
     describe_fs,
     describe_metrics,
+    describe_restore,
     describe_segments,
 )
 
@@ -53,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--entries", action="store_true")
     parser.add_argument("--limit", type=int, default=None)
     parser.add_argument("--checkpoints", action="store_true")
+    parser.add_argument("--restore", action="store_true")
     parser.add_argument("--fs", action="store_true")
     parser.add_argument("--metrics", action="store_true")
     parser.add_argument("--ckpt-segments", type=int, default=None)
@@ -66,10 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _volume_sections(disk: SimulatedDisk, args) -> List[str]:
     sections = [describe_disk(disk)]
-    everything = not (args.segments or args.entries or args.fs)
+    everything = not (
+        args.segments or args.entries or args.fs or args.restore
+    )
     if args.checkpoints or everything:
         sections.append(
             describe_checkpoints(disk, slot_segments=args.ckpt_segments)
+        )
+    if args.restore:
+        sections.append(
+            describe_restore(disk, slot_segments=args.ckpt_segments)
         )
     if args.segments or args.entries:
         sections.append(

@@ -49,6 +49,11 @@ FROZEN_PATHS = [
     "obs.events_recorded:int",
     "obs.metrics_enabled:bool",
     "ops.*:int",
+    "recovery.instant_restores:int",
+    "recovery.on_demand_replays:int",
+    "recovery.pending_segments:int",
+    "recovery.restoring:bool",
+    "recovery.watermark:int",
     "scrub.blocks_lost:int",
     "scrub.blocks_salvaged:int",
     "scrub.blocks_salvaged_stale:int",

@@ -136,7 +136,7 @@ class TestZeroCopyAssembly:
 _PAYLOAD_FIELD_COUNT = {
     EntryKind.WRITE: 2,
     EntryKind.ALLOC_BLOCK: 2,
-    EntryKind.DELETE_BLOCK: 1,
+    EntryKind.DELETE_BLOCK: 2,
     EntryKind.NEW_LIST: 1,
     EntryKind.DELETE_LIST: 1,
     EntryKind.LINK: 3,
