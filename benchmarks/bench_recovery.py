@@ -360,8 +360,8 @@ def test_sharded_recovery_speedup(benchmark):
     faster in simulated time than the single volume, and both must
     read back identical block contents.
     """
+    from repro.recovery import recover as recover_any
     from repro.shard import build_sharded
-    from repro.shard.recovery import recover_sharded
 
     def run():
         single_geo = DiskGeometry.small(num_segments=256)
@@ -378,7 +378,7 @@ def test_sharded_recovery_speedup(benchmark):
         single_rec, single_report = recover(
             single.disk.power_cycle(), checkpoint_slot_segments=2
         )
-        array_rec, shard_report = recover_sharded(
+        array_rec, shard_report = recover_any(
             [shard.disk.power_cycle() for shard in array.shards]
         )
         identical = all(

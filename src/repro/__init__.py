@@ -47,12 +47,16 @@ from repro.ld.types import ARUId, BlockId, FIRST, ListId
 from repro.jld.jld import JLD, recover_jld
 from repro.lld.config import LLDConfig
 from repro.lld.lld import LLD
-from repro.lld.recovery import RecoveryReport, recover
+from repro.lld.recovery import RecoveryReport
+from repro.recovery import recover
+from repro.shard.config import ArrayConfig
+from repro.shard.recovery import ShardRecoveryReport
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ARUId",
+    "ArrayConfig",
     "BlockId",
     "CostModel",
     "DiskGeometry",
@@ -66,6 +70,7 @@ __all__ = [
     "ListId",
     "LogicalDisk",
     "RecoveryReport",
+    "ShardRecoveryReport",
     "SimClock",
     "SimulatedDisk",
     "System",

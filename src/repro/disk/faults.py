@@ -2,27 +2,46 @@
 
 ARUs exist to protect clients against power failures and partial
 media failures (Section 3 of the paper).  This module provides the
-failure machinery the tests and torture examples use:
+failure machinery the tests and torture examples use, consolidated
+behind one declarative surface:
 
-* :class:`CrashPlan` cuts power after a chosen number of segment
+* :class:`FaultPlan` is the unified fault schedule: an optional
+  :class:`PowerCut`, any number of :class:`MediaFault` entries
+  (optionally scoped to one shard of an array), and any number of
+  :class:`ShardLoss` entries (whole-shard media destruction).
+* :class:`PowerCut` cuts power after a chosen number of segment
   writes, optionally *tearing* the final write so only a prefix of
   the segment reaches the platter — the classic interrupted-write
   failure a log-structured recovery scan must tolerate.
+  :class:`CrashPlan` is the backward-compatible alias for it.
 * :class:`MediaFault` marks individual segments as unreadable or
-  silently corrupted, modelling partial media failures.
+  silently corrupted, modelling partial media failures.  With a
+  ``shard`` it applies to one member disk of a sharded array only.
+* :class:`ShardLoss` destroys one member disk of an array outright:
+  every subsequent read or write of that disk raises
+  :class:`~repro.errors.ShardLostError`, and — unlike a power cut —
+  a :meth:`FaultInjector.power_cycle` does *not* bring it back.  A
+  lost shard only returns via :meth:`FaultInjector.replace_shard`
+  (fresh hardware, empty platter), which is what the array's repair
+  path models.
+
+A sharded array shares one :class:`FaultInjector` across its member
+disks; each :class:`~repro.disk.simdisk.SimulatedDisk` identifies
+itself by its ``shard_index`` on every read and write, which is what
+gives the plan its per-shard scoping.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.errors import DiskCrashedError, MediaError
+from repro.errors import DiskCrashedError, MediaError, ShardLostError
 
 
 @dataclasses.dataclass
-class CrashPlan:
+class PowerCut:
     """Deterministic power-failure schedule.
 
     Attributes:
@@ -57,51 +76,203 @@ class CrashPlan:
             raise ValueError("sector_size must be >= 1")
 
 
+class CrashPlan(PowerCut):
+    """Backward-compatible name for :class:`PowerCut`.
+
+    Existing call sites construct ``CrashPlan(after_writes=...)``
+    directly and hand it to :class:`FaultInjector`; both keep working
+    unchanged.  New code should build a :class:`FaultPlan` with a
+    ``power_cut`` instead.
+    """
+
+
 @dataclasses.dataclass(frozen=True)
 class MediaFault:
     """A per-segment media failure.
 
     ``kind`` is ``"unreadable"`` (reads raise :class:`MediaError`) or
     ``"corrupt"`` (reads return bit-flipped data, exercising checksum
-    validation during recovery).
+    validation during recovery).  ``shard`` scopes the fault to one
+    member disk of a sharded array; ``None`` (the default, and the
+    only sensible value for a single disk) applies it to every disk
+    sharing the injector.
     """
 
     segment_no: int
     kind: str = "unreadable"
+    shard: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("unreadable", "corrupt"):
             raise ValueError(f"unknown media fault kind {self.kind!r}")
 
 
+@dataclasses.dataclass(frozen=True)
+class ShardLoss:
+    """Whole-shard media destruction.
+
+    Attributes:
+        shard: The member disk (by ``shard_index``) to destroy.
+        after_writes: Destroy the shard once this many segment writes
+            (counted globally across every disk sharing the injector)
+            have completed; ``None`` loses it immediately.
+    """
+
+    shard: int
+    after_writes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError("shard must be >= 0")
+        if self.after_writes is not None and self.after_writes < 0:
+            raise ValueError("after_writes must be >= 0")
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """The unified, declarative fault schedule.
+
+    One object describes everything the injector can do to a disk (or
+    a shard array sharing one injector): at most one power cut, any
+    number of per-segment media faults (each optionally scoped to one
+    shard), and any number of whole-shard losses.
+
+    ``FaultInjector(plan=FaultPlan(...))`` replaces the older
+    ``FaultInjector(crash_plan=..., media_faults=...)`` spelling,
+    which remains supported as a shim.
+    """
+
+    power_cut: Optional[PowerCut] = None
+    media_faults: Sequence[MediaFault] = ()
+    shard_losses: Sequence[ShardLoss] = ()
+
+    def __post_init__(self) -> None:
+        seen: Set[int] = set()
+        for loss in self.shard_losses:
+            if loss.shard in seen:
+                raise ValueError(
+                    f"duplicate ShardLoss for shard {loss.shard}"
+                )
+            seen.add(loss.shard)
+
+
 class FaultInjector:
-    """Applies crash plans and media faults to a simulated disk.
+    """Applies a fault plan to one or more simulated disks.
 
     The injector is consulted by :class:`repro.disk.simdisk.
-    SimulatedDisk` on every segment read and write.  It never touches
-    disk contents itself; it tells the disk what to do.
+    SimulatedDisk` on every segment read and write; disks pass their
+    ``shard_index`` so shard-scoped faults hit the right member of an
+    array.  It never touches disk contents itself; it tells the disk
+    what to do.
     """
 
     def __init__(
         self,
-        crash_plan: Optional[CrashPlan] = None,
+        crash_plan: Optional[PowerCut] = None,
         media_faults: Optional[Dict[int, MediaFault]] = None,
+        plan: Optional[FaultPlan] = None,
     ) -> None:
+        if plan is not None:
+            if crash_plan is not None or media_faults:
+                raise ValueError(
+                    "pass either a FaultPlan or the legacy "
+                    "crash_plan/media_faults arguments, not both"
+                )
+            crash_plan = plan.power_cut
         self.crash_plan = crash_plan
+        #: Unscoped media faults, keyed by segment (legacy surface —
+        #: shard-scoped faults live in ``_scoped_faults``).
         self.media_faults: Dict[int, MediaFault] = dict(media_faults or {})
+        self._scoped_faults: Dict[Tuple[int, int], MediaFault] = {}
+        #: Shard losses not yet triggered, keyed by shard.
+        self._pending_losses: Dict[int, ShardLoss] = {}
+        #: Shards whose media is destroyed; survives power_cycle().
+        self.lost_shards: Set[int] = set()
+        if plan is not None:
+            for fault in plan.media_faults:
+                self.add_media_fault(fault)
+            for loss in plan.shard_losses:
+                if loss.after_writes is None:
+                    self.lost_shards.add(loss.shard)
+                else:
+                    self._pending_losses[loss.shard] = loss
         self.writes_seen = 0
         self.crashed = False
         self._rng = random.Random(crash_plan.seed if crash_plan else 0)
 
+    # ------------------------------------------------------------------
+    # Media faults
+    # ------------------------------------------------------------------
+
     def add_media_fault(self, fault: MediaFault) -> None:
-        """Register a media fault for one segment."""
-        self.media_faults[fault.segment_no] = fault
+        """Register a media fault for one segment (shard-scoped if the
+        fault carries a shard)."""
+        if fault.shard is None:
+            self.media_faults[fault.segment_no] = fault
+        else:
+            self._scoped_faults[(fault.shard, fault.segment_no)] = fault
 
-    def clear_media_fault(self, segment_no: int) -> None:
+    def clear_media_fault(
+        self, segment_no: int, shard: Optional[int] = None
+    ) -> None:
         """Remove a media fault, if present (repaired sector)."""
-        self.media_faults.pop(segment_no, None)
+        if shard is None:
+            self.media_faults.pop(segment_no, None)
+        else:
+            self._scoped_faults.pop((shard, segment_no), None)
 
-    def on_write(self, segment_no: int, nbytes: int) -> Optional[int]:
+    def _fault_for(
+        self, segment_no: int, shard: Optional[int]
+    ) -> Optional[MediaFault]:
+        if shard is not None:
+            scoped = self._scoped_faults.get((shard, segment_no))
+            if scoped is not None:
+                return scoped
+        return self.media_faults.get(segment_no)
+
+    # ------------------------------------------------------------------
+    # Shard loss
+    # ------------------------------------------------------------------
+
+    def lose_shard(self, shard: int) -> None:
+        """Destroy one member disk's media, effective immediately."""
+        self._pending_losses.pop(shard, None)
+        self.lost_shards.add(shard)
+
+    def replace_shard(self, shard: int) -> None:
+        """Install replacement hardware for a lost shard.
+
+        Clears the loss so a *fresh* disk registered under that shard
+        index works again.  The destroyed platter's contents are gone
+        either way; only the array's repair path, which rebuilds the
+        shard from its peers, should call this.
+        """
+        self.lost_shards.discard(shard)
+        self._pending_losses.pop(shard, None)
+
+    def _check_shard(self, segment_no: int, shard: Optional[int],
+                     what: str) -> None:
+        """Trigger due shard losses, then gate I/O on a lost shard."""
+        if self._pending_losses:
+            due = [
+                loss.shard
+                for loss in self._pending_losses.values()
+                if loss.after_writes is not None
+                and self.writes_seen >= loss.after_writes
+            ]
+            for s in due:
+                del self._pending_losses[s]
+                self.lost_shards.add(s)
+        if shard is not None and shard in self.lost_shards:
+            raise ShardLostError(shard, f"{what} of segment {segment_no}")
+
+    # ------------------------------------------------------------------
+    # I/O gates
+    # ------------------------------------------------------------------
+
+    def on_write(
+        self, segment_no: int, nbytes: int, shard: Optional[int] = None
+    ) -> Optional[int]:
         """Gate one segment write.
 
         Batched writes (:meth:`~repro.disk.simdisk.SimulatedDisk.
@@ -118,7 +289,9 @@ class FaultInjector:
 
         Raises:
             DiskCrashedError: If the disk already crashed.
+            ShardLostError: If this disk's shard has been destroyed.
         """
+        self._check_shard(segment_no, shard, "write")
         if self.crashed:
             raise DiskCrashedError(f"write to segment {segment_no} after crash")
         if self.crash_plan is None:
@@ -150,16 +323,20 @@ class FaultInjector:
             return self._rng.randrange(1, nbytes)
         return 0
 
-    def on_read(self, segment_no: int, data: bytes) -> bytes:
+    def on_read(
+        self, segment_no: int, data: bytes, shard: Optional[int] = None
+    ) -> bytes:
         """Gate one segment read, applying media faults.
 
         Raises:
             DiskCrashedError: If the disk has crashed (power is off).
+            ShardLostError: If this disk's shard has been destroyed.
             MediaError: If the segment is marked unreadable.
         """
+        self._check_shard(segment_no, shard, "read")
         if self.crashed:
             raise DiskCrashedError(f"read of segment {segment_no} after crash")
-        fault = self.media_faults.get(segment_no)
+        fault = self._fault_for(segment_no, shard)
         if fault is None:
             return data
         if fault.kind == "unreadable":
@@ -167,7 +344,12 @@ class FaultInjector:
         return _flip_bits(data)
 
     def power_cycle(self) -> None:
-        """Restore power after a crash (the recovery path may now read)."""
+        """Restore power after a crash (the recovery path may now read).
+
+        Power restoration does not resurrect lost shards: a
+        :class:`ShardLoss` destroys media, not electricity, and only
+        :meth:`replace_shard` undoes it.
+        """
         self.crashed = False
         self.crash_plan = None
 

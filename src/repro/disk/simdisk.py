@@ -36,6 +36,11 @@ class SimulatedDisk:
         model: Mechanical timing model; defaults to the paper's
             HP C3010.
         injector: Fault injector; defaults to a fault-free one.
+        shard_index: This disk's position in a sharded array, if any.
+            Passed to the injector on every read and write so
+            shard-scoped faults (per-shard media faults, whole-shard
+            loss) hit the right member disk.  ``None`` for a
+            standalone disk.
     """
 
     def __init__(
@@ -44,11 +49,13 @@ class SimulatedDisk:
         clock: Optional[SimClock] = None,
         model: DiskModel = HP_C3010,
         injector: Optional[FaultInjector] = None,
+        shard_index: Optional[int] = None,
     ) -> None:
         self.geometry = geometry
         self.clock = clock if clock is not None else SimClock()
         self.timer = DiskTimer(self.clock, model)
         self.injector = injector if injector is not None else FaultInjector()
+        self.shard_index = shard_index
         self._segments: Dict[int, bytes] = {}
         self.write_count = 0
         self.read_count = 0
@@ -96,7 +103,7 @@ class SimulatedDisk:
                 f"bytes, got {len(data)}"
             )
         self._check_retired(f"write to segment {segment_no}")
-        surviving = self.injector.on_write(segment_no, len(data))
+        surviving = self.injector.on_write(segment_no, len(data), shard=self.shard_index)
         if surviving is None:
             self._h_write_us.observe(self.timer.access(offset, len(data)))
             self._segments[segment_no] = bytes(data)
@@ -149,7 +156,7 @@ class SimulatedDisk:
         ranges: List[Tuple[int, int]] = []
         try:
             for segment_no, data in writes:
-                surviving = self.injector.on_write(segment_no, len(data))
+                surviving = self.injector.on_write(segment_no, len(data), shard=self.shard_index)
                 if surviving is None:
                     self._segments[segment_no] = bytes(data)
                     self.write_count += 1
@@ -192,7 +199,7 @@ class SimulatedDisk:
                 f"write [{offset}, {offset + len(data)}) out of segment bounds"
             )
         self._check_retired(f"write into segment {segment_no}")
-        surviving = self.injector.on_write(segment_no, len(data))
+        surviving = self.injector.on_write(segment_no, len(data), shard=self.shard_index)
         old = self._segments.get(
             segment_no, b"\x00" * self.geometry.segment_size
         )
@@ -234,7 +241,7 @@ class SimulatedDisk:
         raw = self._segments.get(segment_no)
         if raw is None:
             raw = b"\x00" * self.geometry.segment_size
-        raw = self.injector.on_read(segment_no, raw)
+        raw = self.injector.on_read(segment_no, raw, shard=self.shard_index)
         self._h_read_us.observe(self.timer.access(base + offset, nbytes))
         self.read_count += 1
         return raw[offset : offset + nbytes]
@@ -283,7 +290,7 @@ class SimulatedDisk:
                     zeros = b"\x00" * segment_size
                 raw = zeros
             try:
-                raw = self.injector.on_read(segment_no, raw)
+                raw = self.injector.on_read(segment_no, raw, shard=self.shard_index)
             except MediaError:
                 if errors == "raise":
                     raise
@@ -341,6 +348,7 @@ class SimulatedDisk:
             clock=self.clock,
             model=self.timer.model,
             injector=self.injector,
+            shard_index=self.shard_index,
         )
         survivor._segments = self._segments
         self._retired = True

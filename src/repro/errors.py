@@ -75,6 +75,24 @@ class MediaError(LDError):
     """A (partial) media failure corrupted the requested sectors."""
 
 
+class ShardLostError(LDError):
+    """An entire member disk of a sharded array has been destroyed.
+
+    Deliberately *not* a :class:`MediaError`: per-segment media-fault
+    handlers (degraded reads, the recovery scan's unreadable-segment
+    classification) must not quietly absorb the loss of a whole
+    shard — the array layer handles it by failing the shard over to
+    its replicas and repairing from peers.
+    """
+
+    def __init__(self, shard: int, detail: str = "") -> None:
+        self.shard = shard
+        message = f"shard {shard} is lost (media destroyed)"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
 class UnrecoverableBlockError(MediaError):
     """A block's data is gone: its segment failed and no surviving
     copy exists in the cache, the current buffer, or older log

@@ -383,6 +383,7 @@ def run_shard_experiment(
     blocks_per_list: int = 6,
     rounds: int = 12,
     num_segments: int = 96,
+    replication_factor: int = 1,
 ) -> ShardResult:
     """Striping demonstration: one volume vs a sharded array.
 
@@ -395,13 +396,15 @@ def run_shard_experiment(
     the recovered arrays read back identically block-for-block and
     (b) the simulated recovery time of the array's parallel,
     coordinator-first scan against the single volume and against
-    scanning the same shards serially.
+    scanning the same shards serially.  ``replication_factor`` above
+    1 runs the array with replicated shards (every transaction then
+    carries its mirror writes through the same two-phase commits).
     """
     from repro.disk.geometry import DiskGeometry
     from repro.disk.simdisk import SimulatedDisk
     from repro.lld.lld import LLD
-    from repro.lld.recovery import recover
-    from repro.shard.recovery import recover_sharded
+    from repro.recovery import recover
+    from repro.shard.config import ArrayConfig
     from repro.shard.sharded import build_sharded
 
     geometry = DiskGeometry.small(num_segments=num_segments)
@@ -430,15 +433,20 @@ def run_shard_experiment(
     single = LLD(SimulatedDisk(geometry), checkpoint_slot_segments=2)
     single_blocks = populate(single)
 
+    array_config = ArrayConfig(replication_factor=replication_factor)
     sharded = build_sharded(
-        shards, geometry=shard_geometry, checkpoint_slot_segments=2
+        shards,
+        geometry=shard_geometry,
+        checkpoint_slot_segments=2,
+        array_config=array_config,
     )
     sharded_blocks = populate(sharded)
     cross = sharded.sharding_info()["commits_cross_shard"]
 
     single_rec, single_report = recover(single.disk.power_cycle())
-    sharded_rec, shard_report = recover_sharded(
-        [shard.disk.power_cycle() for shard in sharded.shards]
+    sharded_rec, shard_report = recover(
+        [shard.disk.power_cycle() for shard in sharded.shards],
+        array_config=array_config,
     )
 
     identical = True

@@ -24,6 +24,20 @@ ARUId = NewType("ARUId", int)
 #: The ARU tag meaning "simple operation, not part of any ARU".
 ARU_NONE: ARUId = ARUId(0)
 
+#: First identifier of the *system* id range.  Ordinary allocations
+#: hand out dense ids from 1; infrastructure the storage system
+#: creates for itself — replica mirrors on peer shards of an array —
+#: uses forced ids at or above this base so it never collides with
+#: (or perturbs the striping arithmetic of) client-visible ids.
+#: Summaries and checkpoints carry 64-bit ids, so the range is safe
+#: on disk.
+SYSTEM_ID_BASE = 1 << 40
+
+
+def is_system_id(identifier: int) -> bool:
+    """Whether an id belongs to the reserved system range."""
+    return int(identifier) >= SYSTEM_ID_BASE
+
 
 class _First:
     """Sentinel: insert a new block at the beginning of its list."""

@@ -56,7 +56,16 @@ from repro.errors import (
     UnrecoverableBlockError,
 )
 from repro.ld.interface import LogicalDisk
-from repro.ld.types import ARU_NONE, ARUId, BlockId, FIRST, ListId, PhysAddr, Predecessor
+from repro.ld.types import (
+    ARU_NONE,
+    ARUId,
+    BlockId,
+    FIRST,
+    ListId,
+    PhysAddr,
+    Predecessor,
+    SYSTEM_ID_BASE,
+)
 from repro.lld.cache import BlockCache
 from repro.lld.config import LLDConfig
 from repro.lld.checkpoint import (
@@ -661,8 +670,19 @@ class LLD(LogicalDisk):
         list_id: ListId,
         predecessor: Predecessor = FIRST,
         aru: Optional[ARUId] = None,
+        block_id: Optional[BlockId] = None,
     ) -> BlockId:
-        """Allocate a block within ``list_id`` (see interface docs)."""
+        """Allocate a block within ``list_id`` (see interface docs).
+
+        ``block_id`` forces a specific identifier instead of taking
+        the next counter value — the primitive replica placement and
+        shard repair are built on.  A forced id in the ordinary range
+        advances the allocation counter past it (an admitted block
+        must never collide with a later allocation); a forced id in
+        the system range (at or above
+        :data:`~repro.ld.types.SYSTEM_ID_BASE`) leaves the counter —
+        and therefore client-visible id assignment — untouched.
+        """
         with self._lock:
             self._check_alive()
             self.meter.charge("ld_call_us")
@@ -685,8 +705,21 @@ class LLD(LogicalDisk):
                     raise BadBlockError(
                         int(predecessor), f"not a member of list {list_id}"
                     )
-            block_id = BlockId(self._next_block_id)
-            self._next_block_id += 1
+            if block_id is None:
+                block_id = BlockId(self._next_block_id)
+                self._next_block_id += 1
+            else:
+                block_id = BlockId(int(block_id))
+                self._restore_block(block_id)
+                existing = self._view_block(block_id, shadow_ctx)
+                if existing is not None and existing.allocated:
+                    raise BadBlockError(
+                        int(block_id), "forced id is already allocated"
+                    )
+                if int(block_id) < SYSTEM_ID_BASE:
+                    self._next_block_id = max(
+                        self._next_block_id, int(block_id) + 1
+                    )
             self.meter.charge("table_access_us")
             if self.concurrent and aru is not None:
                 self.meter.charge("aru_alloc_us")
@@ -912,16 +945,40 @@ class LLD(LogicalDisk):
     # Public interface: lists
     # ==================================================================
 
-    def new_list(self, aru: Optional[ARUId] = None) -> ListId:
-        """Allocate a new empty list (committed immediately)."""
+    def new_list(
+        self,
+        aru: Optional[ARUId] = None,
+        list_id: Optional[ListId] = None,
+    ) -> ListId:
+        """Allocate a new empty list (committed immediately).
+
+        ``list_id`` forces a specific identifier — see
+        :meth:`new_block` for the forced-id contract (replica mirrors
+        use the system range, shard repair re-admits ordinary ids).
+        """
         with self._lock:
             self._check_alive()
             self.meter.charge("ld_call_us")
             self._count("new_list")
             self._restore_tick()
             record = self._aru_record(aru)
-            list_id = ListId(self._next_list_id)
-            self._next_list_id += 1
+            if list_id is None:
+                list_id = ListId(self._next_list_id)
+                self._next_list_id += 1
+            else:
+                list_id = ListId(int(list_id))
+                self._restore_list(list_id)
+                existing = self._view_list(
+                    list_id, record if self.concurrent else None
+                )
+                if existing is not None and existing.allocated:
+                    raise BadListError(
+                        int(list_id), "forced id is already allocated"
+                    )
+                if int(list_id) < SYSTEM_ID_BASE:
+                    self._next_list_id = max(
+                        self._next_list_id, int(list_id) + 1
+                    )
             self.meter.charge("table_access_us")
             if self.concurrent and aru is not None:
                 self.meter.charge("aru_alloc_us")

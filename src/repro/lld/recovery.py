@@ -68,7 +68,7 @@ from repro.core.versions import VersionState
 from repro.disk.geometry import TRAILER_SIZE, DiskGeometry
 from repro.disk.simdisk import SimulatedDisk
 from repro.errors import MediaError
-from repro.ld.types import ARU_NONE, BlockId, ListId, PhysAddr
+from repro.ld.types import ARU_NONE, SYSTEM_ID_BASE, BlockId, ListId, PhysAddr
 from repro.lld.checkpoint import CheckpointData
 from repro.lld.lld import LLD
 from repro.lld.segment import (
@@ -158,6 +158,28 @@ class RecoveryReport:
     #: time for instant mode.
     ttfr_us: float = 0.0
 
+    # -- unified-report surface (shared with ShardRecoveryReport, so
+    # callers of repro.recovery.recover can read one shape) --
+
+    @property
+    def shards(self) -> int:
+        """Member count of the recovered volume: always 1 here."""
+        return 1
+
+    @property
+    def dead_shards(self) -> List[int]:
+        """Lost members: a single volume either recovers or raises."""
+        return []
+
+    @property
+    def parallel_us(self) -> float:
+        """Critical-path simulated time (= total for one volume)."""
+        return self.recovery_time_us
+
+    @property
+    def serial_us(self) -> float:
+        return self.recovery_time_us
+
 
 def peek_trailer_seq(disk: SimulatedDisk, seg: int) -> Optional[int]:
     """Read just a segment's trailer and return its log sequence
@@ -223,13 +245,15 @@ class _ReplayState:
             return True
         if kind is EntryKind.ALLOC_BLOCK:
             self.blocks[entry.a] = [True, None, 0, 0, entry.timestamp]
-            self.max_block = max(self.max_block, entry.a)
+            if entry.a < SYSTEM_ID_BASE:
+                self.max_block = max(self.max_block, entry.a)
             return True
         if kind is EntryKind.DELETE_BLOCK:
             return self._apply_delete_block(entry.a)
         if kind is EntryKind.NEW_LIST:
             self.lists[entry.a] = [True, 0, 0, 0, entry.timestamp]
-            self.max_list = max(self.max_list, entry.a)
+            if entry.a < SYSTEM_ID_BASE:
+                self.max_list = max(self.max_list, entry.a)
             return True
         if kind is EntryKind.DELETE_LIST:
             return self._apply_delete_list(entry.a)
@@ -255,7 +279,7 @@ class _ReplayState:
         if kind == KIND_ALLOC_BLOCK:
             a = fields[3]
             self.blocks[a] = [True, None, 0, 0, fields[2]]
-            if a > self.max_block:
+            if a > self.max_block and a < SYSTEM_ID_BASE:
                 self.max_block = a
             return True
         if kind == KIND_DELETE_BLOCK:
@@ -263,7 +287,7 @@ class _ReplayState:
         if kind == KIND_NEW_LIST:
             a = fields[3]
             self.lists[a] = [True, 0, 0, 0, fields[2]]
-            if a > self.max_list:
+            if a > self.max_list and a < SYSTEM_ID_BASE:
                 self.max_list = a
             return True
         if kind == KIND_DELETE_LIST:
@@ -1626,10 +1650,12 @@ def _recover_instant(
             elif kind == KIND_DECIDE:
                 own_decided.add(fields[3])
             elif kind == KIND_ALLOC_BLOCK:
-                if fields[3] > max_block:
+                # System-range ids (replica mirrors) are forced, not
+                # counter-allocated; they never advance the counters.
+                if fields[3] > max_block and fields[3] < SYSTEM_ID_BASE:
                     max_block = fields[3]
             elif kind == KIND_NEW_LIST:
-                if fields[3] > max_list:
+                if fields[3] > max_list and fields[3] < SYSTEM_ID_BASE:
                     max_list = fields[3]
     decided = own_decided | (decided_xids or set())
     report.arus_prepared = len(prepared)

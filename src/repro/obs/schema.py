@@ -119,10 +119,18 @@ STATS_SCHEMA = {
 #: frozen-path snapshot covers single volumes only.
 SHARDING_SCHEMA = {
     "shards": INT,
+    "replication_factor": INT,
     "xids_issued": INT,
     "commits_single_shard": INT,
     "commits_cross_shard": INT,
     "decided_pending": INT,
+    "dead_shards": INT,
+    "degraded_reads": INT,
+    "repairs_completed": INT,
+    "blocks_healed": INT,
+    "lists_healed": INT,
+    "replica_skips": INT,
+    "redundancy_full": BOOL,
 }
 
 

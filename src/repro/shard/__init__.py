@@ -5,25 +5,35 @@ N independent :class:`~repro.lld.lld.LLD` volumes (each with its own
 simulated disk, clock, cleaner, write-behind queue and metrics
 registry) behind the ordinary :class:`~repro.ld.interface.LogicalDisk`
 API, keeping ``begin_aru``/``end_aru`` failure-atomic *across* the
-volumes via a two-phase coordinator commit on shard 0.
-:func:`recover_sharded` scans every shard in parallel and rolls each
-shard's prepared state forward or discards it according to the
-coordinator's decisions.  See ``docs/SHARDING.md``.
+volumes via a two-phase coordinator commit, and — with an
+:class:`ArrayConfig` replication factor above 1 — mirroring every
+entity on ring peer shards so the array serves reads and writes
+through the loss of any ``replication_factor - 1`` members and
+rebuilds them online (:meth:`ShardedLLD.repair`).
+:func:`repro.recovery.recover` (or the deprecated
+:func:`recover_sharded`) scans every surviving shard in parallel and
+rolls each shard's prepared state forward or discards it according
+to the union of the decision shards' DECIDE records.  See
+``docs/SHARDING.md``.
 """
 
+from repro.shard.config import ArrayConfig
 from repro.shard.recovery import ShardRecoveryReport, recover_sharded
 from repro.shard.sharded import (
     ShardedLLD,
     build_sharded,
+    mirror_id,
     shard_of,
     to_global,
     to_local,
 )
 
 __all__ = [
+    "ArrayConfig",
     "ShardedLLD",
     "ShardRecoveryReport",
     "build_sharded",
+    "mirror_id",
     "recover_sharded",
     "shard_of",
     "to_global",

@@ -1,10 +1,11 @@
 """Crash recovery for sharded volumes.
 
 :func:`recover_sharded` rebuilds a :class:`~repro.shard.sharded.ShardedLLD`
-from the member disks of a crashed array.  The coordinator (shard 0)
-is recovered first — its checkpoint and log carry the DECIDE records
-for every cross-shard commit — and its decided-xid set is then handed
-to the participants, which recover concurrently, each rolling a
+from the member disks of a crashed array.  The decision shards —
+shard 0 for an unreplicated array; shards ``0 .. k-1`` with
+replication factor k — are recovered first, in ascending order, each
+fed the union of the decided-xid sets surfaced so far; participants
+then recover concurrently against the full union, each rolling a
 PREPARE-tagged ARU forward iff its transaction id was decided and
 discarding it otherwise (presumed abort).
 
@@ -12,7 +13,18 @@ Because a durable DECIDE implies every participant's PREPARE (and all
 of the transaction's effects) were durable first, this resolves every
 crash point to all-or-nothing across the whole array; because an
 undecided PREPARE is discarded *everywhere*, no shard can expose half
-a transaction.
+a transaction.  With replication the same argument survives member
+loss: DECIDEs are logged to the decision shards in ascending order
+and a commit is acknowledged only once every surviving decision shard
+holds it, so the union over any ``n - (k-1)`` surviving decision
+shards is consistent — an unacknowledged commit may resolve either
+way, but it resolves the *same* way on every surviving shard.
+
+Members whose media is gone (``disks[i] is None``, or the scan raises
+:class:`~repro.errors.ShardLostError` because the shared injector has
+the shard marked lost) are skipped: the array assembles degraded,
+serving their entities from the surviving replicas, and
+:meth:`~repro.shard.sharded.ShardedLLD.repair` rebuilds them online.
 
 Timing: each shard owns a private simulated clock, so running the
 per-shard recoveries on host threads in any order still yields the
@@ -29,11 +41,14 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.disk.simdisk import SimulatedDisk
+from repro.errors import ShardLostError
 from repro.lld.recovery import RecoveryReport, recover
+from repro.shard.config import ArrayConfig
 from repro.shard.sharded import ShardedLLD
 
 
@@ -42,9 +57,12 @@ class ShardRecoveryReport:
     """What recovering a sharded volume found and did."""
 
     shards: int
-    #: Per-shard reports, in shard order (shard 0 is the coordinator).
+    #: Per-shard reports of the members that recovered, in shard
+    #: order (lost members have no report; shard 0 — or the first
+    #: surviving decision shard — leads).
     reports: List[RecoveryReport]
-    #: Coordinator transaction ids known decided (checkpoint + log).
+    #: Coordinator transaction ids known decided: the union over the
+    #: surviving decision shards' checkpoints and logs.
     decided_xids: List[int]
     #: Union across shards of how prepared ARUs were resolved.
     xids_rolled_forward: List[int]
@@ -62,6 +80,20 @@ class ShardRecoveryReport:
     ttfr_us: float
     #: Host wall-clock seconds for the whole sharded recovery.
     wall_seconds: float
+    #: Members whose media was gone; the array assembled degraded.
+    dead_shards: List[int] = dataclasses.field(default_factory=list)
+
+    # -- unified-report surface (shared with RecoveryReport) --
+
+    @property
+    def mode(self) -> str:
+        """Recovery mode the members ran: ``"eager"`` or ``"instant"``."""
+        return self.reports[0].mode if self.reports else "eager"
+
+    @property
+    def recovery_time_us(self) -> float:
+        """Simulated recovery time of the array (critical path)."""
+        return self.parallel_us
 
 
 def _scan_decode_us(report: RecoveryReport) -> float:
@@ -71,23 +103,54 @@ def _scan_decode_us(report: RecoveryReport) -> float:
 
 
 def recover_sharded(
-    disks: Sequence[SimulatedDisk],
+    disks: Sequence[Optional[SimulatedDisk]],
     workers: Optional[int] = None,
+    array_config: Optional[ArrayConfig] = None,
     **recover_kwargs,
 ) -> Tuple[ShardedLLD, ShardRecoveryReport]:
-    """Recover every shard and reassemble the array.
+    """Deprecated alias of :func:`repro.recovery.recover`.
+
+    The unified entry point dispatches on its first argument (one
+    disk → single volume, a sequence → sharded array), so the split
+    between ``recover`` and ``recover_sharded`` is no longer needed.
+    This shim forwards unchanged and will be removed next release.
+    """
+    warnings.warn(
+        "recover_sharded is deprecated; call repro.recovery.recover "
+        "with the list of member disks instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _recover_sharded(
+        disks, workers=workers, array_config=array_config, **recover_kwargs
+    )
+
+
+def _recover_sharded(
+    disks: Sequence[Optional[SimulatedDisk]],
+    workers: Optional[int] = None,
+    array_config: Optional[ArrayConfig] = None,
+    **recover_kwargs,
+) -> Tuple[ShardedLLD, ShardRecoveryReport]:
+    """Recover every surviving shard and reassemble the array.
 
     Args:
         disks: The member disks in shard order (as produced by
             ``[shard.disk for shard in sharded.shards]``, possibly
-            power-cycled).  Shard 0 must be the coordinator.
+            power-cycled).  A ``None`` entry — or a disk whose shard
+            the fault injector has destroyed — is a lost member: the
+            array assembles degraded around it.
         workers: Host threads for the participant recoveries
             (default: one per participant).  Purely a host-side
             knob — simulated results and simulated times are
             identical for any value.
+        array_config: The array's :class:`ArrayConfig`.  Must match
+            the configuration the array ran with (in particular the
+            replication factor, which determines the decision
+            shards); ``None`` means unreplicated.
         **recover_kwargs: Forwarded to every per-shard
             :func:`repro.lld.recovery.recover` call (config, cost
-            model, scan knobs, ...).
+            model, scan knobs, mode, ...).
 
     Returns:
         The reassembled volume and a :class:`ShardRecoveryReport`.
@@ -95,38 +158,77 @@ def recover_sharded(
     if not disks:
         raise ValueError("recover_sharded needs at least one disk")
     wall_start = time.perf_counter()
+    n = len(disks)
+    acfg = ArrayConfig.from_kwargs(array_config)
+    decision = list(range(min(max(acfg.replication_factor, 1), n)))
 
-    # Coordinator first: its tables need no foreign decisions (its
-    # own log/checkpoint holds them all), and everyone else's replay
-    # depends on the decided set it surfaces.
-    lld0, report0 = recover(disks[0], **recover_kwargs)
-    decided: Set[int] = set(lld0._decided_xids)
+    shards: List[Optional[object]] = [None] * n
+    reports_by_shard: Dict[int, RecoveryReport] = {}
+    dead: Dict[int, str] = {}
+    decided: Set[int] = set()
 
-    shards = [lld0]
-    reports = [report0]
-    if len(disks) > 1:
-        participants = list(disks[1:])
+    def _one(index: int, decided_now: Set[int]) -> None:
+        disk = disks[index]
+        if disk is None:
+            dead[index] = "media missing"
+            return
+        try:
+            lld, report = recover(
+                disk, decided_xids=set(decided_now), **recover_kwargs
+            )
+        except ShardLostError as exc:
+            dead[index] = str(exc)
+            return
+        shards[index] = lld
+        reports_by_shard[index] = report
+
+    # Decision shards first, serially in ascending order: each one's
+    # replay may need DECIDEs that only an earlier decision shard
+    # holds (they are logged in ascending order), and every
+    # participant's replay needs the full union.
+    for index in decision:
+        _one(index, decided)
+        shard = shards[index]
+        if shard is not None:
+            decided.update(shard._decided_xids)
+
+    participants = [i for i in range(n) if i not in decision]
+    if participants:
         pool = workers if workers is not None else len(participants)
-
-        def _one(disk: SimulatedDisk) -> Tuple:
-            return recover(disk, decided_xids=decided, **recover_kwargs)
-
         with ThreadPoolExecutor(max_workers=max(1, pool)) as executor:
-            for lld, report in executor.map(_one, participants):
-                shards.append(lld)
-                reports.append(report)
+            list(executor.map(lambda i: _one(i, decided), participants))
 
-    volume = ShardedLLD(shards)
+    if all(shard is None for shard in shards):
+        raise ShardLostError(0, "every member of the array is lost")
+
+    volume = ShardedLLD(shards, array_config=acfg, dead=dead)
+    reports = [reports_by_shard[i] for i in sorted(reports_by_shard)]
     volume._next_xid = max(r.max_xid for r in reports) + 1
+
+    # Replicas may have diverged at the crash point (a simple mirror
+    # write flushed where the home write did not, or vice versa);
+    # reconcile them against the home copies.  Under instant restore
+    # the tables are not final yet, so the resync is deferred to
+    # complete_restore().
+    if acfg.replication_factor > 1:
+        if volume.restore_active:
+            volume._resync_pending = True
+        else:
+            volume.resync()
 
     # Critical path of the parallel array: every shard scans and
     # decodes its own log concurrently, but a participant's replay
     # cannot start before the coordinator's scan+decode has surfaced
     # the decided set.
+    lead = sorted(reports_by_shard)[0]
+    report0 = reports_by_shard[lead]
     sd0 = _scan_decode_us(report0)
     parallel_us = report0.recovery_time_us
     ttfr_us = report0.ttfr_us
-    for report in reports[1:]:
+    for index in sorted(reports_by_shard):
+        if index == lead:
+            continue
+        report = reports_by_shard[index]
         sd = _scan_decode_us(report)
         rest = report.recovery_time_us - sd
         parallel_us = max(parallel_us, max(sd, sd0) + rest)
@@ -140,7 +242,7 @@ def recover_sharded(
         discarded.update(report.xids_discarded)
 
     summary = ShardRecoveryReport(
-        shards=len(shards),
+        shards=n,
         reports=reports,
         decided_xids=sorted(decided),
         xids_rolled_forward=sorted(rolled),
@@ -151,10 +253,12 @@ def recover_sharded(
         speedup=(serial_us / parallel_us) if parallel_us > 0 else 1.0,
         ttfr_us=ttfr_us,
         wall_seconds=time.perf_counter() - wall_start,
+        dead_shards=sorted(dead),
     )
-    lld0.obs.record(
+    volume.shards[lead].obs.record(
         "shard.recovered",
         shards=summary.shards,
+        dead=len(summary.dead_shards),
         decided=len(summary.decided_xids),
         rolled_forward=len(summary.xids_rolled_forward),
         discarded=len(summary.xids_discarded),

@@ -19,6 +19,43 @@ any shard count — and a block always lives on its list's shard, so
 every list (and therefore every predecessor search, link record and
 cleaner decision) is wholly local to one volume.
 
+Replication
+-----------
+
+With :class:`~repro.shard.config.ArrayConfig` ``replication_factor``
+k > 1, every entity homed on shard *s* is mirrored on the next k-1
+ring peers ``(s + 1) % N .. (s + k - 1) % N``.  The mirror of global
+entity *g* is a perfectly deterministic local entity on each peer:
+its forced local identifier is ``SYSTEM_ID_BASE + g``, so no replica
+map or manifest is ever stored — placement is pure arithmetic, and
+the system id range (:data:`~repro.ld.types.SYSTEM_ID_BASE`) never
+collides with, or perturbs the striping of, client-visible ids.
+
+Mirror operations ride the *same* ARU as the home operation: a
+mutating ARU on a replicated array always touches at least two
+shards, so it always commits through the two-phase protocol below,
+and the PREPARE flush that makes the home effects durable makes the
+mirror effects durable in the same step.  That is the whole
+correctness argument for "no committed ARU is lost while at most
+k-1 shards fail": every committed effect is durable on k volumes
+before the commit is acknowledged.  Non-ARU (simple) operations are
+mirrored too, but with ordinary single-volume durability (the next
+flush) — replication is synchronous in order, asynchronous in
+durability, exactly like the home copy itself.
+
+Whole-shard loss (:class:`~repro.errors.ShardLostError`, injected
+with :class:`~repro.disk.faults.ShardLoss` or forced with
+:meth:`ShardedLLD.lose_shard`) fails the shard over to its replicas:
+reads are served from mirrors (counted as ``degraded_reads``),
+writes update the surviving mirrors only, and allocations homed on
+the dead shard draw local ids from a snapshot of its counters so
+global ids stay dense and unique.  :meth:`ShardedLLD.start_repair` /
+:meth:`ShardedLLD.repair_step` rebuild the lost member onto fresh
+media from the newest *committed* peer copies — repair never copies
+uncommitted data — paced by ``ArrayConfig.repair_batch_ops`` so it
+runs in the background; lists mutated while their copy is in flight
+are re-copied during the final quiescent step, so repair converges.
+
 Cross-shard atomicity
 ---------------------
 
@@ -31,14 +68,17 @@ two-phase, presumed-abort protocol whose phases are:
    emits a PREPARE record carrying a fresh coordinator transaction id
    (xid); every participant is then flushed, so all effects and
    PREPAREs are durable.
-2. **Decide.** Shard 0 logs a single DECIDE record for the xid and is
-   flushed.  That one segment write is the commit point for the
-   whole cross-shard ARU.
+2. **Decide.** Each decision shard (shard 0 for an unreplicated
+   array; shards ``0 .. min(k, N) - 1`` with replication factor k)
+   logs a DECIDE record for the xid and is flushed, in ascending
+   shard order.  The first durable DECIDE is the commit point:
+   recovery unions the decided sets of every surviving decision
+   shard, so the decision survives the loss of any k-1 shards.
 3. **Release.** Each participant's parked state is released
    (:meth:`~repro.lld.lld.LLD.finish_prepared`) and folds to
    persistent.
 
-A crash strictly before the DECIDE record is durable leaves every
+A crash strictly before any DECIDE record is durable leaves every
 shard's PREPARE undecided — recovery discards them all; a crash at or
 after it rolls every shard forward — all-or-nothing at every torn
 write point (``tests/test_shard.py`` sweeps them exhaustively).
@@ -52,25 +92,41 @@ advances a shard's clock to the global maximum before routing an
 operation to it, modelling one host serializing requests across the
 array.  :func:`build_sharded` shares a single
 :class:`~repro.disk.faults.FaultInjector` across all shard disks, so
-``CrashPlan.after_writes`` counts one global write index over the
-whole array and a power failure halts every shard at once.
+a fault plan's ``after_writes`` counts one global write index over
+the whole array and a power failure halts every shard at once.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.disk.clock import CostModel
 from repro.disk.faults import FaultInjector
 from repro.disk.geometry import DiskGeometry
 from repro.disk.simdisk import SimulatedDisk
 from repro.disk.timing import DiskModel, HP_C3010
-from repro.errors import BadARUError
+from repro.errors import (
+    BadARUError,
+    BadBlockError,
+    BadListError,
+    ConcurrencyError,
+    ShardLostError,
+    UnrecoverableBlockError,
+)
 from repro.ld.interface import LogicalDisk
-from repro.ld.types import ARUId, BlockId, FIRST, ListId, Predecessor
+from repro.ld.types import (
+    ARUId,
+    BlockId,
+    FIRST,
+    ListId,
+    Predecessor,
+    SYSTEM_ID_BASE,
+)
 from repro.lld.config import LLDConfig
 from repro.lld.lld import LLD
+from repro.shard.config import ArrayConfig
 
 
 def shard_of(global_id: int, n: int) -> int:
@@ -88,40 +144,232 @@ def to_global(local_id: int, shard: int, n: int) -> int:
     return (int(local_id) - 1) * n + shard + 1
 
 
+def mirror_id(global_id: int) -> int:
+    """The forced local identifier of ``global_id``'s mirror on any
+    peer shard: deterministic, so replica placement needs no map."""
+    return SYSTEM_ID_BASE + int(global_id)
+
+
 class _MaxClock:
     """Read-only clock view over the shard array: 'now' is the
-    furthest shard, matching how a host would observe the array."""
+    furthest live shard, matching how a host would observe the
+    array."""
 
-    def __init__(self, shards: Sequence[LLD]) -> None:
+    def __init__(self, shards: Sequence[Optional[LLD]]) -> None:
         self._shards = shards
 
     @property
     def now_us(self) -> float:
-        return max(shard.clock.now_us for shard in self._shards)
+        return max(
+            shard.clock.now_us for shard in self._shards if shard is not None
+        )
 
     @property
     def now_s(self) -> float:
         return self.now_us / 1e6
 
 
+class _RepairJob:
+    """Incremental rebuild of one lost shard onto fresh media.
+
+    The job copies, list by list, (a) the lost shard's *home* lists
+    from their surviving mirrors and (b) the mirror lists the shard
+    held for its ring predecessors, from the live home copies.  Every
+    read uses the committed view (``aru=None``): repair never copies
+    uncommitted data.  Lists mutated while the job is in flight are
+    recorded in ``dirty`` and re-copied during the final step, which
+    runs at a quiescent moment (no active ARUs) so the committed view
+    it sees is final.  A crash mid-repair simply discards the
+    half-built volume; repair restarts from scratch and is idempotent.
+    """
+
+    def __init__(self, array: "ShardedLLD", shard: int) -> None:
+        self.array = array
+        self.shard = shard
+        self.dirty: Set[int] = set()
+        self.lists_copied = 0
+        self.blocks_copied = 0
+        template = array.shards[array._first_alive()]
+        injector = template.disk.injector
+        injector.replace_shard(shard)
+        disk = SimulatedDisk(
+            template.geometry,
+            model=template.disk.timer.model,
+            injector=injector,
+            shard_index=shard,
+        )
+        self.lld = LLD(
+            disk, cost_model=template.meter.model, config=template.config
+        )
+        self.queue: List[int] = self._plan()
+
+    def _plan(self) -> List[int]:
+        """Every list whose replica set includes the lost shard, home
+        lists first (so degraded data regains redundancy earliest)."""
+        arr = self.array
+        s = self.shard
+        home_lists: Set[int] = set()
+        for p in arr._alive_peers(s):
+            home_lists |= arr._mirror_lists_on(p, s)
+        mirror_lists: Set[int] = set()
+        for h in range(arr.n):
+            if h == s or not arr._alive(h):
+                continue
+            if s in arr._peers(h):
+                mirror_lists |= arr._user_lists_on(h)
+        return sorted(home_lists) + sorted(mirror_lists)
+
+    def _sync(self) -> None:
+        """Advance the under-repair volume's clock to array 'now'."""
+        target = self.array.clock.now_us
+        if target > self.lld.clock.now_us:
+            self.lld.clock.advance_us(target - self.lld.clock.now_us)
+
+    def _force_block(
+        self, list_id: ListId, predecessor: Predecessor, block_id: int
+    ) -> None:
+        """Admit a block under a forced id, clearing any stale
+        same-id leftover first (re-copies and diverged mirrors)."""
+        existing = self.lld._view_block(BlockId(block_id), None)
+        if existing is not None and existing.allocated:
+            self.lld.delete_block(BlockId(block_id))
+        self.lld.new_block(
+            list_id, predecessor=predecessor, block_id=BlockId(block_id)
+        )
+
+    def copy_list(self, list_gid: int) -> int:
+        """Copy one list (home or mirror kind); returns ops spent."""
+        arr = self.array
+        home = shard_of(list_gid, arr.n)
+        self._sync()
+        if home == self.shard:
+            return self._copy_home(list_gid)
+        if self.shard in arr._peers(home):
+            return self._copy_mirror(list_gid, home)
+        return 1
+
+    def _drop_target_list(self, local: ListId) -> None:
+        view = self.lld._view_list(local, None)
+        if view is not None and view.allocated:
+            self.lld.delete_list(local)
+
+    def _copy_home(self, list_gid: int) -> int:
+        """Rebuild one of the lost shard's own lists from a mirror."""
+        arr = self.array
+        local = ListId(to_local(list_gid, arr.n))
+        self._drop_target_list(local)
+        source = None
+        for p in arr._alive_peers(self.shard):
+            peer = arr.shards[p]
+            peer._restore_list(ListId(mirror_id(list_gid)))
+            view = peer._view_list(ListId(mirror_id(list_gid)), None)
+            if view is not None and view.allocated:
+                source = p
+                break
+        if source is None:
+            return 1  # deleted (or no surviving copy): nothing to admit
+        peer = arr.shards[source]
+        arr._sync_clock(source)
+        members = peer.list_blocks(ListId(mirror_id(list_gid)))
+        self.lld.new_list(list_id=local)
+        ops = 1
+        prev: Predecessor = FIRST
+        for member in members:
+            gid = int(member) - SYSTEM_ID_BASE
+            local_bid = to_local(gid, arr.n)
+            self._force_block(local, prev, local_bid)
+            self.lld.write(BlockId(local_bid), peer.read(BlockId(int(member))))
+            prev = BlockId(local_bid)
+            ops += 2
+        self.lists_copied += 1
+        self.blocks_copied += len(members)
+        arr._lists_healed += 1
+        arr._blocks_healed += len(members)
+        return ops
+
+    def _copy_mirror(self, list_gid: int, home: int) -> int:
+        """Rebuild a mirror the lost shard held for a live home."""
+        arr = self.array
+        target_list = ListId(mirror_id(list_gid))
+        self._drop_target_list(target_list)
+        if not arr._alive(home):
+            return 1  # both copies gone: beyond the failure budget
+        home_lld = arr.shards[home]
+        home_local = ListId(to_local(list_gid, arr.n))
+        home_lld._restore_list(home_local)
+        view = home_lld._view_list(home_local, None)
+        if view is None or not view.allocated:
+            return 1  # deleted while queued
+        arr._sync_clock(home)
+        members = home_lld.list_blocks(home_local)
+        self.lld.new_list(list_id=target_list)
+        ops = 1
+        prev: Predecessor = FIRST
+        for member in members:
+            gid = to_global(int(member), home, arr.n)
+            self._force_block(target_list, prev, mirror_id(gid))
+            self.lld.write(BlockId(mirror_id(gid)), home_lld.read(member))
+            prev = BlockId(mirror_id(gid))
+            ops += 2
+        self.lists_copied += 1
+        self.blocks_copied += len(members)
+        arr._lists_healed += 1
+        arr._blocks_healed += len(members)
+        return ops
+
+
 class ShardedLLD(LogicalDisk):
     """N independent LLD volumes behind one LogicalDisk interface.
 
     Args:
-        shards: The member volumes, in shard order.  Shard 0 is the
-            coordinator: its log (and checkpoints) carry the DECIDE
-            records that make cross-shard commits atomic.
+        shards: The member volumes, in shard order (``None`` entries
+            are lost members of a degraded array).  Shard 0 is the
+            primary coordinator: its log (and checkpoints) carry the
+            DECIDE records that make cross-shard commits atomic;
+            with replication, shards ``1 .. k-1`` carry copies.
+        array_config: :class:`~repro.shard.config.ArrayConfig`
+            (replication factor, placement, repair pacing); ``None``
+            means the unreplicated default.
+        dead: shard index -> reason for members lost before assembly
+            (recovery passes this for shards whose media is gone).
+        dead_counters: shard index -> ``[next_block_id,
+            next_list_id]`` allocation counters of a dead member, if
+            known; derived from the surviving mirrors otherwise.
 
     Build fresh arrays with :func:`build_sharded`; reassemble crashed
-    ones with :func:`repro.shard.recovery.recover_sharded`.
+    ones with :func:`repro.recover.recover` (or the legacy
+    :func:`repro.shard.recovery.recover_sharded`).
     """
 
-    def __init__(self, shards: Sequence[LLD]) -> None:
+    def __init__(
+        self,
+        shards: Sequence[Optional[LLD]],
+        array_config: Optional[ArrayConfig] = None,
+        dead: Optional[Dict[int, str]] = None,
+        dead_counters: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> None:
         if not shards:
             raise ValueError("a sharded volume needs at least one shard")
-        self.shards: List[LLD] = list(shards)
+        self.shards: List[Optional[LLD]] = list(shards)
         self.n = len(self.shards)
-        self.geometry = self.shards[0].geometry
+        self.config = ArrayConfig.from_kwargs(array_config)
+        self.rf = self.config.replication_factor
+        if self.rf > self.n:
+            raise ValueError(
+                f"replication_factor {self.rf} needs at least {self.rf} "
+                f"shards, got {self.n}"
+            )
+        self._dead: Dict[int, str] = {
+            int(k): str(v) for k, v in (dead or {}).items()
+        }
+        for index, shard in enumerate(self.shards):
+            if shard is None and index not in self._dead:
+                self._dead[index] = "missing"
+            elif shard is not None and index in self._dead:
+                self.shards[index] = None
+        if len(self._dead) >= self.n:
+            raise ValueError("every shard of the array is lost")
+        self.geometry = self.shards[self._first_alive()].geometry
         self.clock = _MaxClock(self.shards)
         self._lock = threading.RLock()
         #: global ARU id -> {shard index: local ARU id} for every
@@ -131,24 +379,79 @@ class ShardedLLD(LogicalDisk):
         #: Coordinator transaction ids are durable state (they appear
         #: in PREPARE/DECIDE records); recovery restores the counter.
         self._next_xid = 1
+        #: Allocation counters of dead shards, so ids handed out
+        #: while a member is down stay dense and are never reused.
+        self._dead_counters: Dict[int, List[int]] = {
+            int(k): [int(v[0]), int(v[1])]
+            for k, v in (dead_counters or {}).items()
+        }
+        for index in self._dead:
+            if index not in self._dead_counters:
+                self._dead_counters[index] = self._derive_dead_counters(index)
         # Round-robin pointer for new lists; derived from the shards'
         # allocation counters so a reassembled array keeps striping
         # where the crashed one stopped.
         self._next_shard = (
-            sum(shard._next_list_id - 1 for shard in self.shards) % self.n
+            sum(
+                (
+                    shard._next_list_id
+                    if shard is not None
+                    else self._dead_counters[index][1]
+                )
+                - 1
+                for index, shard in enumerate(self.shards)
+            )
+            % self.n
         )
         self._commits_single = 0
         self._commits_cross = 0
+        self._degraded_reads = 0
+        self._repairs_completed = 0
+        self._blocks_healed = 0
+        self._lists_healed = 0
+        self._replica_skips = 0
+        self._repair: Optional[_RepairJob] = None
+        self._resync_pending = False
+        self._update_plain()
 
     # ------------------------------------------------------------------
     # Clock and routing helpers
     # ------------------------------------------------------------------
 
+    def _update_plain(self) -> None:
+        # The unreplicated, fully-live array takes the historical
+        # single-copy fast paths untouched.
+        self._plain = self.rf == 1 and not self._dead
+
+    def _first_alive(self) -> int:
+        for index, shard in enumerate(self.shards):
+            if shard is not None:
+                return index
+        raise ShardLostError(0, "every shard of the array is lost")
+
+    def _alive(self, shard_index: int) -> bool:
+        return self.shards[shard_index] is not None
+
+    def _peers(self, shard_index: int) -> List[int]:
+        """Ring peers holding mirrors of ``shard_index``'s entities."""
+        return [(shard_index + i) % self.n for i in range(1, self.rf)]
+
+    def _alive_peers(self, shard_index: int) -> List[int]:
+        return [p for p in self._peers(shard_index) if self._alive(p)]
+
+    def _decision_shards(self) -> List[int]:
+        """Shards carrying DECIDE records: 0 plus, with replication,
+        enough ring successors to survive k-1 losses."""
+        return list(range(min(max(self.rf, 1), self.n)))
+
     def _sync_clock(self, shard_index: int) -> None:
         """Advance one shard's clock to the array-wide 'now' before
         routing an operation to it (the host serializes requests)."""
+        shard = self.shards[shard_index]
+        if shard is None:
+            return
         target = self.clock.now_us
-        clock = self.shards[shard_index].clock
+        clock = shard.clock
         if target > clock.now_us:
             clock.advance_us(target - clock.now_us)
 
@@ -162,8 +465,9 @@ class ShardedLLD(LogicalDisk):
 
         ``create=True`` (mutating operations) begins a local ARU on
         first touch, enrolling the shard as a participant;
-        ``create=False`` (reads) returns None instead — the ARU has no
-        shadow state there to see.
+        ``create=False`` (reads) returns the local ARU only if the
+        shard is already a participant — the ARU has no shadow state
+        there otherwise.
         """
         if aru is None:
             return None
@@ -175,6 +479,148 @@ class ShardedLLD(LogicalDisk):
             local = self.shards[shard_index].begin_aru()
             participants[shard_index] = local
         return local
+
+    def _mark_shard_lost(self, shard_index: int, reason: str = "lost") -> None:
+        """Fail a member over to its replicas: snapshot its
+        allocation counters (ids handed out must never be reused),
+        drop the object and record the death."""
+        if shard_index in self._dead:
+            return
+        shard = self.shards[shard_index]
+        if shard is not None:
+            self._dead_counters[shard_index] = [
+                int(shard._next_block_id),
+                int(shard._next_list_id),
+            ]
+            try:
+                shard._mark_dead("shard lost")
+            except Exception:
+                pass
+        self.shards[shard_index] = None
+        self._dead[shard_index] = reason
+        self._update_plain()
+
+    def _take_dead_id(self, shard_index: int, kind: str) -> int:
+        """Next local id for an allocation homed on a dead shard."""
+        counters = self._dead_counters[shard_index]
+        slot = 0 if kind == "block" else 1
+        value = counters[slot]
+        counters[slot] = value + 1
+        return value
+
+    def _derive_dead_counters(self, shard_index: int) -> List[int]:
+        """Best-effort allocation counters for a member that was
+        already lost at assembly: one past the largest id any
+        surviving mirror names.  (Exact when the largest-id entity
+        still exists; a real array would persist member metadata.)
+        """
+        max_block = 0
+        max_list = 0
+        for p in self._peers(shard_index):
+            shard = self.shards[p]
+            if shard is None:
+                continue
+            block_ids = {k for k, _ in shard.bmap.items()}
+            list_ids = {k for k, _ in shard.ltable.items()}
+            if shard._restore is not None:
+                block_ids.update(shard._restore.block_index)
+                list_ids.update(shard._restore.list_index)
+            for k in block_ids:
+                if k < SYSTEM_ID_BASE:
+                    continue
+                gid = k - SYSTEM_ID_BASE
+                if shard_of(gid, self.n) == shard_index:
+                    max_block = max(max_block, to_local(gid, self.n))
+            for k in list_ids:
+                if k < SYSTEM_ID_BASE:
+                    continue
+                gid = k - SYSTEM_ID_BASE
+                if shard_of(gid, self.n) == shard_index:
+                    max_list = max(max_list, to_local(gid, self.n))
+        return [max_block + 1, max_list + 1]
+
+    # ------------------------------------------------------------------
+    # Table enumeration helpers (restore-aware: a shard mid instant
+    # restore names pending ids in its controller's indexes)
+    # ------------------------------------------------------------------
+
+    def _list_ids_on(self, shard_index: int) -> Set[int]:
+        shard = self.shards[shard_index]
+        ids = {int(k) for k, _ in shard.ltable.items()}
+        if shard._restore is not None:
+            ids.update(int(k) for k in shard._restore.list_index)
+        return ids
+
+    def _user_lists_on(self, shard_index: int) -> Set[int]:
+        """Global ids of the client-visible lists homed on a shard."""
+        out: Set[int] = set()
+        shard = self.shards[shard_index]
+        for local in self._list_ids_on(shard_index):
+            if local >= SYSTEM_ID_BASE:
+                continue
+            shard._restore_list(ListId(local))
+            view = shard._view_list(ListId(local), None)
+            if view is not None and view.allocated:
+                out.add(to_global(local, shard_index, self.n))
+        return out
+
+    def _mirror_lists_on(self, peer: int, home: int) -> Set[int]:
+        """Global ids of ``home``'s lists that ``peer`` mirrors."""
+        out: Set[int] = set()
+        shard = self.shards[peer]
+        for local in self._list_ids_on(peer):
+            if local < SYSTEM_ID_BASE:
+                continue
+            gid = local - SYSTEM_ID_BASE
+            if shard_of(gid, self.n) != home:
+                continue
+            shard._restore_list(ListId(local))
+            view = shard._view_list(ListId(local), None)
+            if view is not None and view.allocated:
+                out.add(gid)
+        return out
+
+    def _list_of_block(self, gid: int) -> Optional[int]:
+        """The global list id a block belongs to (committed view),
+        resolved from the home copy or, degraded, from a mirror."""
+        home = shard_of(gid, self.n)
+        if self._alive(home):
+            shard = self.shards[home]
+            local = BlockId(to_local(gid, self.n))
+            shard._restore_block(local)
+            view = shard._view_block(local, None)
+            if view is not None and view.allocated and view.list_id:
+                return to_global(int(view.list_id), home, self.n)
+            return None
+        for p in self._alive_peers(home):
+            shard = self.shards[p]
+            local = BlockId(mirror_id(gid))
+            shard._restore_block(local)
+            view = shard._view_block(local, None)
+            if view is not None and view.allocated and view.list_id:
+                return int(view.list_id) - SYSTEM_ID_BASE
+        return None
+
+    def _note_dirty_list(self, list_gid: int) -> None:
+        """Record that a list's replica set changed while its copy is
+        (or may be) in flight on the repair target."""
+        job = self._repair
+        if job is None:
+            return
+        home = shard_of(list_gid, self.n)
+        if job.shard == home or job.shard in self._peers(home):
+            job.dirty.add(list_gid)
+
+    def _note_dirty_block(self, gid: int) -> None:
+        job = self._repair
+        if job is None:
+            return
+        home = shard_of(gid, self.n)
+        if job.shard != home and job.shard not in self._peers(home):
+            return
+        list_gid = self._list_of_block(gid)
+        if list_gid is not None:
+            job.dirty.add(list_gid)
 
     # ------------------------------------------------------------------
     # ARUs
@@ -192,42 +638,105 @@ class ShardedLLD(LogicalDisk):
 
         Single-participant ARUs take the local fast path (ordinary
         ``end_aru`` — durable at the next flush, like any single
-        volume).  Multi-participant ARUs run the two-phase protocol
+        volume; on a *replicated* array the lone participant is
+        flushed immediately, so an acknowledged commit is always
+        durable).  Multi-participant ARUs run the two-phase protocol
         and return *durable*: prepare+flush every participant, log
-        and flush the coordinator decision, release the parked state.
+        and flush the decision on every decision shard, release the
+        parked state.  Participants or decision shards lost along the
+        way are failed over; the commit succeeds as long as one
+        replica of everything (including the decision) survives.
         """
         with self._lock:
             participants = self._arus.get(int(aru))
             if participants is None:
                 raise BadARUError(int(aru))
-            if len(participants) <= 1:
-                for shard_index, local in participants.items():
-                    self._sync_clock(shard_index)
-                    self.shards[shard_index].end_aru(local)
-                self._commits_single += 1
+            alive_parts = [
+                (s, local)
+                for s, local in sorted(participants.items())
+                if self._alive(s)
+            ]
+            if len(alive_parts) <= 1:
+                committed = not alive_parts
+                for shard_index, local in alive_parts:
+                    try:
+                        self._sync_clock(shard_index)
+                        self.shards[shard_index].end_aru(local)
+                        # On a replicated array a lone participant has
+                        # no second copy to survive on, so "acked"
+                        # must mean durable — flush immediately.  The
+                        # unreplicated array keeps the historical
+                        # durable-at-next-flush contract.
+                        if self.rf > 1:
+                            self.shards[shard_index].flush()
+                        committed = True
+                    except ShardLostError:
+                        self._mark_shard_lost(shard_index)
                 del self._arus[int(aru)]
+                if not committed:
+                    raise ShardLostError(
+                        min(self._dead),
+                        f"ARU {int(aru)}: every participant lost "
+                        "before commit",
+                    )
+                self._commits_single += 1
                 return
             xid = self._next_xid
             self._next_xid += 1
-            ordered = sorted(participants.items())
             # Phase 1: prepare and flush every participant.  After
             # this loop all the ARU's effects and every PREPARE are
-            # durable; none of them is committed.
-            for shard_index, local in ordered:
-                self._sync_clock(shard_index)
-                self.shards[shard_index].prepare_commit(local, xid)
-            for shard_index, _local in ordered:
-                self._sync_clock(shard_index)
-                self.shards[shard_index].flush()
-            # Phase 2: the commit point — one durable DECIDE record on
-            # the coordinator.
-            self._sync_clock(0)
-            self.shards[0].log_decision(xid)
-            self.shards[0].flush()
+            # durable; none of them is committed.  A participant lost
+            # here is dropped — its effects survive on its mirrors.
+            prepared: List[Tuple[int, ARUId]] = []
+            for shard_index, local in alive_parts:
+                if not self._alive(shard_index):
+                    continue
+                try:
+                    self._sync_clock(shard_index)
+                    self.shards[shard_index].prepare_commit(local, xid)
+                    prepared.append((shard_index, local))
+                except ShardLostError:
+                    self._mark_shard_lost(shard_index)
+            flushed: List[Tuple[int, ARUId]] = []
+            for shard_index, local in prepared:
+                if not self._alive(shard_index):
+                    continue
+                try:
+                    self._sync_clock(shard_index)
+                    self.shards[shard_index].flush()
+                    flushed.append((shard_index, local))
+                except ShardLostError:
+                    self._mark_shard_lost(shard_index)
+            if not flushed:
+                del self._arus[int(aru)]
+                raise ShardLostError(
+                    min(self._dead),
+                    f"ARU {int(aru)}: every participant lost before commit",
+                )
+            # Phase 2: the commit point — a durable DECIDE record on
+            # each surviving decision shard, ascending order.
+            decided = False
+            for shard_index in self._decision_shards():
+                if not self._alive(shard_index):
+                    continue
+                try:
+                    self._sync_clock(shard_index)
+                    self.shards[shard_index].log_decision(xid)
+                    self.shards[shard_index].flush()
+                    decided = True
+                except ShardLostError:
+                    self._mark_shard_lost(shard_index)
+            if not decided:
+                del self._arus[int(aru)]
+                raise ShardLostError(
+                    min(self._dead),
+                    f"xid {xid}: every decision shard lost (presumed abort)",
+                )
             # Phase 3: release.  Pure in-memory bookkeeping; a crash
             # from here on changes nothing (recovery rolls forward).
-            for shard_index, local in ordered:
-                self.shards[shard_index].finish_prepared(int(local))
+            for shard_index, local in flushed:
+                if self._alive(shard_index):
+                    self.shards[shard_index].finish_prepared(int(local))
             self._commits_cross += 1
             del self._arus[int(aru)]
 
@@ -237,8 +746,13 @@ class ShardedLLD(LogicalDisk):
             if participants is None:
                 raise BadARUError(int(aru))
             for shard_index, local in sorted(participants.items()):
-                self._sync_clock(shard_index)
-                self.shards[shard_index].abort_aru(local)
+                if not self._alive(shard_index):
+                    continue
+                try:
+                    self._sync_clock(shard_index)
+                    self.shards[shard_index].abort_aru(local)
+                except ShardLostError:
+                    self._mark_shard_lost(shard_index)
             del self._arus[int(aru)]
 
     # ------------------------------------------------------------------
@@ -252,56 +766,224 @@ class ShardedLLD(LogicalDisk):
         aru: Optional[ARUId] = None,
     ) -> BlockId:
         with self._lock:
-            s = self._shard_for_list(list_id)
-            self._sync_clock(s)
+            list_gid = int(list_id)
+            home = self._shard_for_list(list_id)
             local_pred: Predecessor = (
                 FIRST
                 if predecessor is FIRST
                 else BlockId(to_local(predecessor, self.n))
             )
-            local = self.shards[s].new_block(
-                ListId(to_local(list_id, self.n)),
-                local_pred,
-                aru=self._local_aru(aru, s, create=True),
+            if self._plain:
+                self._sync_clock(home)
+                local = self.shards[home].new_block(
+                    ListId(to_local(list_gid, self.n)),
+                    local_pred,
+                    aru=self._local_aru(aru, home, create=True),
+                )
+                return BlockId(to_global(local, home, self.n))
+            gid: Optional[int] = None
+            if self._alive(home):
+                try:
+                    self._sync_clock(home)
+                    local = self.shards[home].new_block(
+                        ListId(to_local(list_gid, self.n)),
+                        local_pred,
+                        aru=self._local_aru(aru, home, create=True),
+                    )
+                    gid = to_global(local, home, self.n)
+                except ShardLostError:
+                    self._mark_shard_lost(home)
+            if gid is None:
+                # Home is dead: draw the local id from its counter
+                # snapshot so the global id stream stays dense, and
+                # let the mirrors validate and record the allocation.
+                if not self._alive_peers(home):
+                    raise ShardLostError(
+                        home, f"list {list_gid}: no surviving replica"
+                    )
+                gid = to_global(
+                    self._take_dead_id(home, "block"), home, self.n
+                )
+            mirror_pred: Predecessor = (
+                FIRST
+                if predecessor is FIRST
+                else BlockId(mirror_id(int(predecessor)))
             )
-            return BlockId(to_global(local, s, self.n))
+            admitted = self._alive(home)
+            bad: Optional[Exception] = None
+            for p in self._alive_peers(home):
+                try:
+                    self._sync_clock(p)
+                    self.shards[p].new_block(
+                        ListId(mirror_id(list_gid)),
+                        mirror_pred,
+                        aru=self._local_aru(aru, p, create=True),
+                        block_id=BlockId(mirror_id(gid)),
+                    )
+                    admitted = True
+                except ShardLostError:
+                    self._mark_shard_lost(p)
+                except (BadBlockError, BadListError) as exc:
+                    bad = exc
+                    self._replica_skips += 1
+            if not admitted:
+                if bad is not None:
+                    raise bad
+                raise ShardLostError(
+                    home, f"list {list_gid}: no surviving replica"
+                )
+            self._note_dirty_list(list_gid)
+            return BlockId(gid)
 
     def delete_block(
         self, block_id: BlockId, aru: Optional[ARUId] = None
     ) -> None:
         with self._lock:
-            s = shard_of(block_id, self.n)
-            self._sync_clock(s)
-            self.shards[s].delete_block(
-                BlockId(to_local(block_id, self.n)),
-                aru=self._local_aru(aru, s, create=True),
-            )
+            gid = int(block_id)
+            home = shard_of(gid, self.n)
+            if self._plain:
+                self._sync_clock(home)
+                self.shards[home].delete_block(
+                    BlockId(to_local(gid, self.n)),
+                    aru=self._local_aru(aru, home, create=True),
+                )
+                return
+            list_gid = self._list_of_block(gid)
+            deleted = False
+            bad: Optional[Exception] = None
+            if self._alive(home):
+                try:
+                    self._sync_clock(home)
+                    self.shards[home].delete_block(
+                        BlockId(to_local(gid, self.n)),
+                        aru=self._local_aru(aru, home, create=True),
+                    )
+                    deleted = True
+                except ShardLostError:
+                    self._mark_shard_lost(home)
+            for p in self._alive_peers(home):
+                try:
+                    self._sync_clock(p)
+                    self.shards[p].delete_block(
+                        BlockId(mirror_id(gid)),
+                        aru=self._local_aru(aru, p, create=True),
+                    )
+                    deleted = True
+                except ShardLostError:
+                    self._mark_shard_lost(p)
+                except (BadBlockError, BadListError) as exc:
+                    bad = exc
+                    self._replica_skips += 1
+            if not deleted:
+                if bad is not None:
+                    raise bad
+                raise ShardLostError(
+                    home, f"block {gid}: no surviving replica"
+                )
+            if list_gid is not None:
+                self._note_dirty_list(list_gid)
 
     def write(
         self, block_id: BlockId, data: bytes, aru: Optional[ARUId] = None
     ) -> None:
         with self._lock:
-            s = shard_of(block_id, self.n)
-            self._sync_clock(s)
-            self.shards[s].write(
-                BlockId(to_local(block_id, self.n)),
-                data,
-                aru=self._local_aru(aru, s, create=True),
-            )
+            gid = int(block_id)
+            home = shard_of(gid, self.n)
+            if self._plain:
+                self._sync_clock(home)
+                self.shards[home].write(
+                    BlockId(to_local(gid, self.n)),
+                    data,
+                    aru=self._local_aru(aru, home, create=True),
+                )
+                return
+            wrote = False
+            bad: Optional[Exception] = None
+            if self._alive(home):
+                # Home validates first, so a bad id or oversized
+                # payload raises before any mirror is touched.
+                self._sync_clock(home)
+                try:
+                    self.shards[home].write(
+                        BlockId(to_local(gid, self.n)),
+                        data,
+                        aru=self._local_aru(aru, home, create=True),
+                    )
+                    wrote = True
+                except ShardLostError:
+                    self._mark_shard_lost(home)
+            for p in self._alive_peers(home):
+                try:
+                    self._sync_clock(p)
+                    self.shards[p].write(
+                        BlockId(mirror_id(gid)),
+                        data,
+                        aru=self._local_aru(aru, p, create=True),
+                    )
+                    wrote = True
+                except ShardLostError:
+                    self._mark_shard_lost(p)
+                except (BadBlockError, BadListError) as exc:
+                    bad = exc
+                    self._replica_skips += 1
+            if not wrote:
+                if bad is not None:
+                    raise bad
+                raise ShardLostError(
+                    home, f"block {gid}: no surviving replica"
+                )
+            self._note_dirty_block(gid)
 
     def read(self, block_id: BlockId, aru: Optional[ARUId] = None) -> bytes:
         with self._lock:
-            s = shard_of(block_id, self.n)
-            self._sync_clock(s)
-            return self.shards[s].read(
-                BlockId(to_local(block_id, self.n)),
-                aru=self._local_aru(aru, s, create=False),
-            )
+            gid = int(block_id)
+            home = shard_of(gid, self.n)
+            if self._plain:
+                self._sync_clock(home)
+                return self.shards[home].read(
+                    BlockId(to_local(gid, self.n)),
+                    aru=self._local_aru(aru, home, create=False),
+                )
+            if self._alive(home):
+                try:
+                    self._sync_clock(home)
+                    return self.shards[home].read(
+                        BlockId(to_local(gid, self.n)),
+                        aru=self._local_aru(aru, home, create=False),
+                    )
+                except ShardLostError:
+                    self._mark_shard_lost(home)
+                except UnrecoverableBlockError:
+                    # The home copy is gone (quarantined segment);
+                    # fall through to a replica if one exists.
+                    if not self._alive_peers(home):
+                        raise
+            last: Optional[Exception] = None
+            for p in self._alive_peers(home):
+                try:
+                    self._sync_clock(p)
+                    data = self.shards[p].read(
+                        BlockId(mirror_id(gid)),
+                        aru=self._local_aru(aru, p, create=False),
+                    )
+                    self._degraded_reads += 1
+                    return data
+                except ShardLostError:
+                    self._mark_shard_lost(p)
+                except (BadBlockError, UnrecoverableBlockError) as exc:
+                    last = exc
+            if last is not None:
+                raise last
+            raise ShardLostError(home, f"block {gid}: no surviving replica")
 
     def read_many(
         self, block_ids: Sequence[BlockId], aru: Optional[ARUId] = None
     ) -> List[bytes]:
         with self._lock:
+            if not self._plain:
+                # Degraded/replicated arrays route block-by-block so
+                # each read can fail over independently.
+                return [self.read(gid, aru=aru) for gid in block_ids]
             by_shard: Dict[int, List[Tuple[int, BlockId]]] = {}
             for index, gid in enumerate(block_ids):
                 by_shard.setdefault(shard_of(gid, self.n), []).append(
@@ -327,34 +1009,136 @@ class ShardedLLD(LogicalDisk):
         with self._lock:
             s = self._next_shard
             self._next_shard = (s + 1) % self.n
-            self._sync_clock(s)
-            local = self.shards[s].new_list(
-                aru=self._local_aru(aru, s, create=True)
-            )
-            return ListId(to_global(local, s, self.n))
+            if self._plain:
+                self._sync_clock(s)
+                local = self.shards[s].new_list(
+                    aru=self._local_aru(aru, s, create=True)
+                )
+                return ListId(to_global(local, s, self.n))
+            gid: Optional[int] = None
+            if self._alive(s):
+                try:
+                    self._sync_clock(s)
+                    local = self.shards[s].new_list(
+                        aru=self._local_aru(aru, s, create=True)
+                    )
+                    gid = to_global(local, s, self.n)
+                except ShardLostError:
+                    self._mark_shard_lost(s)
+            if gid is None:
+                if not self._alive_peers(s):
+                    raise ShardLostError(s, "new list: no surviving replica")
+                gid = to_global(self._take_dead_id(s, "list"), s, self.n)
+            created = self._alive(s)
+            for p in self._alive_peers(s):
+                try:
+                    self._sync_clock(p)
+                    self.shards[p].new_list(
+                        aru=self._local_aru(aru, p, create=True),
+                        list_id=ListId(mirror_id(gid)),
+                    )
+                    created = True
+                except ShardLostError:
+                    self._mark_shard_lost(p)
+                except (BadBlockError, BadListError):
+                    self._replica_skips += 1
+            if not created:
+                raise ShardLostError(s, "new list: no surviving replica")
+            self._note_dirty_list(gid)
+            return ListId(gid)
 
     def delete_list(
         self, list_id: ListId, aru: Optional[ARUId] = None
     ) -> None:
         with self._lock:
-            s = self._shard_for_list(list_id)
-            self._sync_clock(s)
-            self.shards[s].delete_list(
-                ListId(to_local(list_id, self.n)),
-                aru=self._local_aru(aru, s, create=True),
-            )
+            list_gid = int(list_id)
+            home = self._shard_for_list(list_id)
+            if self._plain:
+                self._sync_clock(home)
+                self.shards[home].delete_list(
+                    ListId(to_local(list_gid, self.n)),
+                    aru=self._local_aru(aru, home, create=True),
+                )
+                return
+            deleted = False
+            bad: Optional[Exception] = None
+            if self._alive(home):
+                try:
+                    self._sync_clock(home)
+                    self.shards[home].delete_list(
+                        ListId(to_local(list_gid, self.n)),
+                        aru=self._local_aru(aru, home, create=True),
+                    )
+                    deleted = True
+                except ShardLostError:
+                    self._mark_shard_lost(home)
+            for p in self._alive_peers(home):
+                try:
+                    self._sync_clock(p)
+                    self.shards[p].delete_list(
+                        ListId(mirror_id(list_gid)),
+                        aru=self._local_aru(aru, p, create=True),
+                    )
+                    deleted = True
+                except ShardLostError:
+                    self._mark_shard_lost(p)
+                except (BadBlockError, BadListError) as exc:
+                    bad = exc
+                    self._replica_skips += 1
+            if not deleted:
+                if bad is not None:
+                    raise bad
+                raise ShardLostError(
+                    home, f"list {list_gid}: no surviving replica"
+                )
+            self._note_dirty_list(list_gid)
 
     def list_blocks(
         self, list_id: ListId, aru: Optional[ARUId] = None
     ) -> List[BlockId]:
         with self._lock:
-            s = self._shard_for_list(list_id)
-            self._sync_clock(s)
-            locals_ = self.shards[s].list_blocks(
-                ListId(to_local(list_id, self.n)),
-                aru=self._local_aru(aru, s, create=False),
+            list_gid = int(list_id)
+            home = self._shard_for_list(list_id)
+            if self._plain:
+                self._sync_clock(home)
+                locals_ = self.shards[home].list_blocks(
+                    ListId(to_local(list_gid, self.n)),
+                    aru=self._local_aru(aru, home, create=False),
+                )
+                return [BlockId(to_global(b, home, self.n)) for b in locals_]
+            if self._alive(home):
+                try:
+                    self._sync_clock(home)
+                    locals_ = self.shards[home].list_blocks(
+                        ListId(to_local(list_gid, self.n)),
+                        aru=self._local_aru(aru, home, create=False),
+                    )
+                    return [
+                        BlockId(to_global(b, home, self.n)) for b in locals_
+                    ]
+                except ShardLostError:
+                    self._mark_shard_lost(home)
+            last: Optional[Exception] = None
+            for p in self._alive_peers(home):
+                try:
+                    self._sync_clock(p)
+                    members = self.shards[p].list_blocks(
+                        ListId(mirror_id(list_gid)),
+                        aru=self._local_aru(aru, p, create=False),
+                    )
+                    self._degraded_reads += 1
+                    return [
+                        BlockId(int(b) - SYSTEM_ID_BASE) for b in members
+                    ]
+                except ShardLostError:
+                    self._mark_shard_lost(p)
+                except BadListError as exc:
+                    last = exc
+            if last is not None:
+                raise last
+            raise ShardLostError(
+                home, f"list {list_gid}: no surviving replica"
             )
-            return [BlockId(to_global(b, s, self.n)) for b in locals_]
 
     # ------------------------------------------------------------------
     # Durability
@@ -363,74 +1147,451 @@ class ShardedLLD(LogicalDisk):
     def flush(self) -> None:
         with self._lock:
             for s in range(self.n):
-                self._sync_clock(s)
-                self.shards[s].flush()
+                if not self._alive(s):
+                    continue
+                try:
+                    self._sync_clock(s)
+                    self.shards[s].flush()
+                except ShardLostError:
+                    self._mark_shard_lost(s)
 
     @property
     def restore_active(self) -> bool:
         """True while any shard's instant restore is still pending."""
-        return any(shard.restore_active for shard in self.shards)
+        return any(
+            shard.restore_active
+            for shard in self.shards
+            if shard is not None
+        )
 
     def restore_drain(self, max_segments=None) -> int:
         """Drain pending restore segments on every shard (sum)."""
         with self._lock:
             drained = 0
             for s in range(self.n):
-                self._sync_clock(s)
-                drained += self.shards[s].restore_drain(max_segments)
+                if not self._alive(s):
+                    continue
+                try:
+                    self._sync_clock(s)
+                    drained += self.shards[s].restore_drain(max_segments)
+                except ShardLostError:
+                    self._mark_shard_lost(s)
             return drained
 
     def complete_restore(self) -> None:
-        """Finish every shard's in-progress instant restore."""
+        """Finish every shard's in-progress instant restore; run a
+        deferred replica resync once final table state exists."""
         with self._lock:
             for s in range(self.n):
-                self._sync_clock(s)
-                self.shards[s].complete_restore()
+                if not self._alive(s):
+                    continue
+                try:
+                    self._sync_clock(s)
+                    self.shards[s].complete_restore()
+                except ShardLostError:
+                    self._mark_shard_lost(s)
+            if self._resync_pending and not self._arus:
+                self._resync_pending = False
+                if self.rf > 1:
+                    self.resync()
 
     def write_checkpoint(self) -> None:
         """Checkpoint every shard (a global recovery bound).
 
         Ordering matters for the coordinator's decision memory: the
-        participants (shards 1..N-1) checkpoint first, after which
-        every PREPARE they ever logged is covered by a durable
-        checkpoint and no decision can be needed again; only then is
-        shard 0's decided-xid set cleared and shard 0 checkpointed.
-        A crash anywhere in between leaves a superset of the needed
-        decisions recoverable, which is always safe.
+        non-decision shards checkpoint first, after which every
+        PREPARE they ever logged is covered by a durable checkpoint
+        and no decision can be needed again; only then are the
+        decision shards' decided-xid sets cleared and checkpointed,
+        highest shard first so shard 0 — the first recovery reads —
+        holds a superset until the very end.  A crash anywhere in
+        between leaves a superset of the needed decisions
+        recoverable, which is always safe.
         """
         with self._lock:
             self.flush()
-            for s in range(1, self.n):
-                self._sync_clock(s)
-                self.shards[s].write_checkpoint()
-            self.shards[0].clear_decisions()
-            self._sync_clock(0)
-            self.shards[0].write_checkpoint()
+            decision = set(self._decision_shards())
+            for s in range(self.n):
+                if s in decision or not self._alive(s):
+                    continue
+                try:
+                    self._sync_clock(s)
+                    self.shards[s].write_checkpoint()
+                except ShardLostError:
+                    self._mark_shard_lost(s)
+            for s in sorted(decision, reverse=True):
+                if not self._alive(s):
+                    continue
+                try:
+                    self.shards[s].clear_decisions()
+                    self._sync_clock(s)
+                    self.shards[s].write_checkpoint()
+                except ShardLostError:
+                    self._mark_shard_lost(s)
+
+    # ------------------------------------------------------------------
+    # Failure, repair and replica maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def dead_shards(self) -> List[int]:
+        """Indices of lost members, ascending."""
+        return sorted(self._dead)
+
+    @property
+    def repair_active(self) -> bool:
+        return self._repair is not None
+
+    def lose_shard(self, shard_index: int) -> None:
+        """Destroy one member's media (a first-class injectable
+        fault): the shared injector rejects all further I/O to it and
+        the array fails it over to its replicas immediately."""
+        with self._lock:
+            if not 0 <= shard_index < self.n:
+                raise ValueError(f"no shard {shard_index} in a {self.n}-shard array")
+            shard = self.shards[shard_index]
+            injector = (
+                shard.disk.injector
+                if shard is not None
+                else self.shards[self._first_alive()].disk.injector
+            )
+            injector.lose_shard(shard_index)
+            self._mark_shard_lost(shard_index, "lost by operator")
+
+    def start_repair(self, shard_index: Optional[int] = None) -> int:
+        """Begin rebuilding a lost member onto fresh replacement
+        media.  Returns the number of lists queued for copy; drive
+        the copy with :meth:`repair_step` (paced) or :meth:`repair`
+        (synchronous)."""
+        with self._lock:
+            if self._repair is not None:
+                raise ConcurrencyError("a repair is already in progress")
+            if shard_index is None:
+                if not self._dead:
+                    raise ValueError("no shard is lost")
+                shard_index = min(self._dead)
+            if shard_index not in self._dead:
+                raise ValueError(f"shard {shard_index} is not lost")
+            if self.rf < 2:
+                raise ValueError(
+                    "an unreplicated array has no surviving copies to "
+                    "repair from"
+                )
+            self._repair = _RepairJob(self, shard_index)
+            return len(self._repair.queue)
+
+    def repair_step(self, max_ops: Optional[int] = None) -> bool:
+        """Run one paced slice of the active repair.
+
+        Copies up to ``max_ops`` (default: the config's
+        ``repair_batch_ops``) admit/copy operations, then returns
+        whether the repair has *completed*.  Completion — re-copying
+        lists dirtied while the job ran, then installing the rebuilt
+        volume — requires a quiescent moment (no active ARUs); until
+        one occurs the step keeps the job open and returns False.
+        """
+        with self._lock:
+            job = self._repair
+            if job is None:
+                return True
+            budget = (
+                max_ops if max_ops is not None else self.config.repair_batch_ops
+            )
+            while job.queue and budget > 0:
+                budget -= job.copy_list(job.queue.pop(0))
+            if job.queue:
+                return False
+            if self._arus:
+                return False  # dirty re-copy needs final committed state
+            while job.dirty:
+                job.copy_list(job.dirty.pop())
+            self._install_repair(job)
+            return True
+
+    def repair(self, shard_index: Optional[int] = None) -> dict:
+        """Rebuild a lost member synchronously (start + run to
+        completion).  Requires no active ARUs.  Returns copy counts.
+        """
+        with self._lock:
+            if self._repair is None:
+                self.start_repair(shard_index)
+            if self._arus:
+                raise ConcurrencyError(
+                    "cannot run synchronous repair with active ARUs; "
+                    "use repair_step"
+                )
+            job = self._repair
+            while not self.repair_step():
+                pass
+            return {
+                "lists_copied": job.lists_copied,
+                "blocks_copied": job.blocks_copied,
+            }
+
+    def _install_repair(self, job: _RepairJob) -> None:
+        counters = self._dead_counters.get(job.shard)
+        if counters is not None:
+            # Ids handed out while the member was down must never be
+            # reallocated by the healed volume.
+            job.lld._next_block_id = max(
+                job.lld._next_block_id, counters[0]
+            )
+            job.lld._next_list_id = max(job.lld._next_list_id, counters[1])
+        job._sync()
+        job.lld.flush()
+        self.shards[job.shard] = job.lld
+        del self._dead[job.shard]
+        self._dead_counters.pop(job.shard, None)
+        self._repair = None
+        self._repairs_completed += 1
+        self._update_plain()
+
+    def scrub(self, segments: Optional[Sequence[int]] = None) -> dict:
+        """Scrub every live shard; blocks the per-volume scrubber
+        declares lost are healed from their surviving replicas."""
+        with self._lock:
+            reports: Dict[str, object] = {}
+            for s in range(self.n):
+                if not self._alive(s):
+                    continue
+                try:
+                    self._sync_clock(s)
+                    report = self.shards[s].scrub(segments)
+                except ShardLostError:
+                    self._mark_shard_lost(s)
+                    continue
+                reports[str(s)] = report
+                if self.rf > 1:
+                    for local in list(report.lost_blocks):
+                        self._heal_lost_block(s, int(local))
+            return reports
+
+    def _heal_lost_block(self, shard_index: int, local: int) -> bool:
+        """Rewrite one quarantined-beyond-salvage block from its
+        replica (committed data only — a replica never holds
+        uncommitted bytes for a committed-elsewhere block)."""
+        if local < SYSTEM_ID_BASE:
+            gid = to_global(local, shard_index, self.n)
+            sources = [
+                (p, BlockId(mirror_id(gid))) for p in self._alive_peers(shard_index)
+            ]
+        else:
+            gid = local - SYSTEM_ID_BASE
+            home = shard_of(gid, self.n)
+            if not self._alive(home):
+                return False
+            sources = [(home, BlockId(to_local(gid, self.n)))]
+        for source, source_id in sources:
+            try:
+                self._sync_clock(source)
+                data = self.shards[source].read(source_id)
+            except ShardLostError:
+                self._mark_shard_lost(source)
+                continue
+            except (BadBlockError, UnrecoverableBlockError):
+                continue
+            try:
+                self._sync_clock(shard_index)
+                self.shards[shard_index].write(BlockId(local), data)
+            except ShardLostError:
+                self._mark_shard_lost(shard_index)
+                return False
+            self._blocks_healed += 1
+            return True
+        return False
+
+    def resync(self) -> Dict[str, int]:
+        """Reconcile every mirror with its live home copy.
+
+        The home copy is authoritative: structurally diverged mirror
+        lists are rebuilt, byte-diverged mirror blocks rewritten, and
+        stray mirrors (their home entity is gone, or never existed)
+        deleted.  Recovering an unreplicated image under a
+        ``replication_factor`` > 1 config builds the mirrors here —
+        this is also how replication is enabled on an existing array.
+        Requires no active ARUs; mirrors of *dead* homes are never
+        touched (they are the surviving copy).
+        """
+        with self._lock:
+            fixed = {
+                "mirror_lists_rebuilt": 0,
+                "mirror_blocks_rewritten": 0,
+                "stray_mirrors_deleted": 0,
+            }
+            if self.rf < 2:
+                return fixed
+            if self._arus:
+                raise ConcurrencyError("cannot resync with active ARUs")
+            for home in range(self.n):
+                if not self._alive(home):
+                    continue
+                for list_gid in sorted(self._user_lists_on(home)):
+                    self._sync_clock(home)
+                    members = self.shards[home].list_blocks(
+                        ListId(to_local(list_gid, self.n))
+                    )
+                    gmembers = [
+                        to_global(int(b), home, self.n) for b in members
+                    ]
+                    for p in self._alive_peers(home):
+                        self._resync_mirror(home, p, list_gid, gmembers, fixed)
+            for p in range(self.n):
+                if not self._alive(p):
+                    continue
+                self._drop_stray_mirrors(p, fixed)
+            return fixed
+
+    def _resync_mirror(
+        self,
+        home: int,
+        peer: int,
+        list_gid: int,
+        gmembers: List[int],
+        fixed: Dict[str, int],
+    ) -> None:
+        shard = self.shards[peer]
+        target = ListId(mirror_id(list_gid))
+        shard._restore_list(target)
+        view = shard._view_list(target, None)
+        matches = view is not None and view.allocated
+        if matches:
+            self._sync_clock(peer)
+            mirrored = [
+                int(b) - SYSTEM_ID_BASE for b in shard.list_blocks(target)
+            ]
+            matches = mirrored == gmembers
+        if not matches:
+            self._rebuild_mirror_list(home, peer, list_gid, gmembers)
+            fixed["mirror_lists_rebuilt"] += 1
+            return
+        for gid in gmembers:
+            self._sync_clock(home)
+            data = self.shards[home].read(BlockId(to_local(gid, self.n)))
+            try:
+                self._sync_clock(peer)
+                copy = shard.read(BlockId(mirror_id(gid)))
+            except UnrecoverableBlockError:
+                copy = None
+            if copy != data:
+                shard.write(BlockId(mirror_id(gid)), data)
+                fixed["mirror_blocks_rewritten"] += 1
+
+    def _rebuild_mirror_list(
+        self,
+        home: int,
+        peer: int,
+        list_gid: int,
+        gmembers: Optional[List[int]] = None,
+    ) -> None:
+        """Rebuild one mirror list from the committed home copy."""
+        shard = self.shards[peer]
+        target = ListId(mirror_id(list_gid))
+        view = shard._view_list(target, None)
+        if view is not None and view.allocated:
+            self._sync_clock(peer)
+            shard.delete_list(target)
+        if gmembers is None:
+            self._sync_clock(home)
+            gmembers = [
+                to_global(int(b), home, self.n)
+                for b in self.shards[home].list_blocks(
+                    ListId(to_local(list_gid, self.n))
+                )
+            ]
+        self._sync_clock(peer)
+        shard.new_list(list_id=target)
+        prev: Predecessor = FIRST
+        for gid in gmembers:
+            stale = shard._view_block(BlockId(mirror_id(gid)), None)
+            if stale is not None and stale.allocated:
+                shard.delete_block(BlockId(mirror_id(gid)))
+            shard.new_block(
+                target, predecessor=prev, block_id=BlockId(mirror_id(gid))
+            )
+            self._sync_clock(home)
+            data = self.shards[home].read(BlockId(to_local(gid, self.n)))
+            self._sync_clock(peer)
+            shard.write(BlockId(mirror_id(gid)), data)
+            prev = BlockId(mirror_id(gid))
+        self._lists_healed += 1
+        self._blocks_healed += len(gmembers)
+
+    def _drop_stray_mirrors(self, peer: int, fixed: Dict[str, int]) -> None:
+        shard = self.shards[peer]
+        for local in sorted(self._list_ids_on(peer)):
+            if local < SYSTEM_ID_BASE:
+                continue
+            shard._restore_list(ListId(local))
+            view = shard._view_list(ListId(local), None)
+            if view is None or not view.allocated:
+                continue
+            list_gid = local - SYSTEM_ID_BASE
+            home = shard_of(list_gid, self.n)
+            if not self._alive(home):
+                continue  # surviving copy of a dead home: keep
+            stray = peer not in self._peers(home)
+            if not stray:
+                home_lld = self.shards[home]
+                home_local = ListId(to_local(list_gid, self.n))
+                home_lld._restore_list(home_local)
+                home_view = home_lld._view_list(home_local, None)
+                stray = home_view is None or not home_view.allocated
+            if stray:
+                self._sync_clock(peer)
+                shard.delete_list(ListId(local))
+                fixed["stray_mirrors_deleted"] += 1
+        # Mirror blocks orphaned by an ARU that never committed:
+        # allocation commits immediately, so sweep them like the
+        # paper's disk consistency check sweeps user orphans.
+        for block_id, _root in list(shard.bmap.items()):
+            if block_id < SYSTEM_ID_BASE:
+                continue
+            view = shard._view_block(BlockId(block_id), None)
+            if view is None or not view.allocated or view.list_id:
+                continue
+            gid = block_id - SYSTEM_ID_BASE
+            if self._alive(shard_of(gid, self.n)):
+                self._sync_clock(peer)
+                shard.delete_block(BlockId(block_id))
+                fixed["stray_mirrors_deleted"] += 1
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def sharding_info(self) -> dict:
-        """Striping and commit-protocol counters (see the stats
-        schema's ``sharding`` section)."""
+        """Striping, commit-protocol and replication counters (see
+        the stats schema's ``sharding`` section)."""
+        decided = 0
+        for s in self._decision_shards():
+            if self._alive(s):
+                decided = max(decided, len(self.shards[s]._decided_xids))
         return {
             "shards": self.n,
+            "replication_factor": self.rf,
             "xids_issued": self._next_xid - 1,
             "commits_single_shard": self._commits_single,
             "commits_cross_shard": self._commits_cross,
-            "decided_pending": len(self.shards[0]._decided_xids),
+            "decided_pending": decided,
+            "dead_shards": len(self._dead),
+            "degraded_reads": self._degraded_reads,
+            "repairs_completed": self._repairs_completed,
+            "blocks_healed": self._blocks_healed,
+            "lists_healed": self._lists_healed,
+            "replica_skips": self._replica_skips,
+            "redundancy_full": not self._dead and self._repair is None,
         }
 
     def stats(self) -> dict:
         """Per-shard stats under the frozen schema, plus a summed
         aggregate view (itself frozen-schema-conformant) and the
-        sharding counters."""
+        sharding counters.  Lost members have no stats to report."""
         from repro.obs.aggregate import aggregate_stats
 
         per_shard = {
             str(index): shard.stats()
             for index, shard in enumerate(self.shards)
+            if shard is not None
         }
         return {
             "shards": per_shard,
@@ -439,10 +1600,11 @@ class ShardedLLD(LogicalDisk):
         }
 
     def metrics_snapshot(self) -> dict:
-        """Every shard's registry + recorder snapshot (JSON-ready)."""
+        """Every live shard's registry + recorder snapshot."""
         return {
             str(index): shard.obs.snapshot()
             for index, shard in enumerate(self.shards)
+            if shard is not None
         }
 
 
@@ -453,16 +1615,21 @@ def build_sharded(
     disk_model: DiskModel = HP_C3010,
     config: Optional[LLDConfig] = None,
     injector: Optional[FaultInjector] = None,
-    **lld_kwargs,
+    array_config: Optional[ArrayConfig] = None,
+    **kwargs,
 ) -> ShardedLLD:
     """Build a fresh N-shard volume.
 
     ``geometry`` is per shard (every member volume gets its own
     partition of that size).  All shard disks share one fault
-    injector — ``injector`` or a fresh fault-free one — so a crash
+    injector — ``injector`` or a fresh fault-free one — so a fault
     plan counts a single global write index and power failure is
-    simultaneous across the array.  Each shard gets a private clock;
-    remaining keyword arguments configure every member LLD alike.
+    simultaneous across the array; each disk knows its shard index,
+    so shard-scoped faults and whole-shard loss hit the right member.
+    Each shard gets a private clock.  Remaining keyword arguments are
+    split by name: :class:`~repro.shard.config.ArrayConfig` knobs
+    (``replication_factor=``, …) configure the array, everything else
+    configures every member LLD alike via ``LLDConfig.from_kwargs``.
     """
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -470,13 +1637,18 @@ def build_sharded(
         num_segments=64
     )
     shared = injector if injector is not None else FaultInjector()
-    cfg = LLDConfig.from_kwargs(config, **lld_kwargs)
+    array_knobs = {field.name for field in dataclasses.fields(ArrayConfig)}
+    overrides = {k: kwargs.pop(k) for k in list(kwargs) if k in array_knobs}
+    acfg = ArrayConfig.from_kwargs(array_config, **overrides)
+    cfg = LLDConfig.from_kwargs(config, **kwargs)
     shards = [
         LLD(
-            SimulatedDisk(geo, model=disk_model, injector=shared),
+            SimulatedDisk(
+                geo, model=disk_model, injector=shared, shard_index=index
+            ),
             cost_model=cost_model,
             config=cfg,
         )
-        for _ in range(num_shards)
+        for index in range(num_shards)
     ]
-    return ShardedLLD(shards)
+    return ShardedLLD(shards, array_config=acfg)

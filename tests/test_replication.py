@@ -1,0 +1,503 @@
+"""Replicated, self-healing shard arrays.
+
+The contract under test (docs/SHARDING.md, "Replication and
+repair"): with ``replication_factor`` k, no committed ARU is lost
+while at most k-1 shards fail — reads and writes keep working
+degraded, served from the ring-peer mirrors — and background repair
+rebuilds a lost member from the newest *committed* peer copies until
+``redundancy_full`` is true again.  Whole-shard loss is a
+first-class injectable fault (:class:`repro.disk.faults.ShardLoss`),
+so the crash-sweep style used for power cuts extends to it: the
+matrix below kills a shard at every interesting write index of a
+transactional storm — including during 2PC PREPARE flushes, mid
+repair, and mid instant restore — and asserts byte identity of every
+acknowledged ARU after failover and again after heal.
+"""
+
+import pytest
+
+from repro.disk.faults import (
+    FaultInjector,
+    FaultPlan,
+    PowerCut,
+    ShardLoss,
+)
+from repro.disk.geometry import DiskGeometry
+from repro.errors import ConcurrencyError, ShardLostError
+from repro.lld.verify import verify_lld
+from repro.recovery import recover
+from repro.shard import ArrayConfig, ShardedLLD, build_sharded, mirror_id
+from repro.shard.sharded import shard_of
+
+
+def build_array(n=3, rf=2, num_segments=48, injector=None, **kwargs):
+    return build_sharded(
+        n,
+        geometry=DiskGeometry.small(num_segments=num_segments),
+        injector=injector,
+        checkpoint_slot_segments=2,
+        replication_factor=rf,
+        **kwargs,
+    )
+
+
+def populate(arr, lists=2, blocks_per_list=3):
+    """A few committed ARUs; returns {block: payload}."""
+    contents = {}
+    for li in range(lists):
+        aru = arr.begin_aru()
+        lst = arr.new_list(aru=aru)
+        prev = None
+        for bi in range(blocks_per_list):
+            blk = (
+                arr.new_block(lst, aru=aru)
+                if prev is None
+                else arr.new_block(lst, predecessor=prev, aru=aru)
+            )
+            payload = f"l{li}-b{bi}".encode()
+            arr.write(blk, payload, aru=aru)
+            contents[blk] = payload
+            prev = blk
+        arr.end_aru(aru)
+    arr.flush()
+    return contents
+
+
+def assert_contents(arr, contents):
+    for blk, payload in contents.items():
+        assert arr.read(blk).startswith(payload), blk
+
+
+def assert_all_sound(arr):
+    for index, shard in enumerate(arr.shards):
+        problems = verify_lld(shard)
+        assert not problems, (index, problems)
+
+
+class TestReplicatedBasics:
+    def test_rf1_is_byte_identical_plain_striping(self):
+        """An unreplicated array takes the historical fast paths."""
+        arr = build_array(rf=1)
+        assert arr._plain
+        contents = populate(arr)
+        assert_contents(arr, contents)
+        info = arr.sharding_info()
+        assert info["replication_factor"] == 1
+        assert info["redundancy_full"] is True
+
+    def test_mirrors_exist_on_ring_peers(self):
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.flush()
+        for blk in contents:
+            home = shard_of(blk, arr.n)
+            peer = (home + 1) % arr.n
+            view = arr.shards[peer]._view_block(mirror_id(blk), None)
+            assert view is not None and view.allocated, blk
+
+    def test_mutating_aru_is_always_cross_shard(self):
+        """Replica writes ride PREPARE: any mutating ARU on an rf>=2
+        array touches at least two shards, so commit is two-phase and
+        the PREPARE flush makes the mirrors durable."""
+        arr = build_array(3, rf=2)
+        aru = arr.begin_aru()
+        lst = arr.new_list(aru=aru)
+        blk = arr.new_block(lst, aru=aru)
+        arr.write(blk, b"mirrored", aru=aru)
+        arr.end_aru(aru)
+        info = arr.sharding_info()
+        assert info["commits_cross_shard"] == 1
+        assert info["commits_single_shard"] == 0
+
+    def test_rf_must_fit_shard_count(self):
+        with pytest.raises(ValueError):
+            build_array(2, rf=3)
+
+    def test_stats_schema_includes_replication_counters(self):
+        from repro.obs.schema import validate_sharded_stats
+
+        arr = build_array(3, rf=2)
+        populate(arr)
+        assert validate_sharded_stats(arr.stats()) == []
+
+
+class TestDegradedOperation:
+    def test_reads_fail_over_to_mirrors(self):
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.lose_shard(0)
+        assert arr.dead_shards == [0]
+        assert_contents(arr, contents)
+        info = arr.sharding_info()
+        assert info["dead_shards"] == 1
+        assert info["degraded_reads"] > 0
+        assert info["redundancy_full"] is False
+
+    def test_writes_and_allocations_continue_degraded(self):
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.lose_shard(1)
+        aru = arr.begin_aru()
+        lst = arr.new_list(aru=aru)
+        blk = arr.new_block(lst, aru=aru)
+        arr.write(blk, b"degraded-write", aru=aru)
+        arr.end_aru(aru)
+        contents[blk] = b"degraded-write"
+        assert_contents(arr, contents)
+        assert arr.list_blocks(lst) == [blk]
+
+    def test_ids_stay_unique_across_loss(self):
+        """Allocations homed on the dead shard draw from its counter
+        snapshot, so global ids never collide."""
+        arr = build_array(3, rf=2)
+        contents = populate(arr, lists=3)
+        arr.lose_shard(2)
+        lst = arr.new_list()
+        while shard_of(lst, arr.n) != 2:
+            lst = arr.new_list()
+        blk = arr.new_block(lst)
+        assert blk not in contents
+        arr.write(blk, b"fresh")
+        assert arr.read(blk).startswith(b"fresh")
+
+    def test_second_loss_exceeds_budget(self):
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.lose_shard(0)
+        arr.lose_shard(1)
+        lost = [
+            blk
+            for blk in contents
+            if shard_of(blk, arr.n) == 0
+            and (shard_of(blk, arr.n) + 1) % arr.n == 1
+        ]
+        for blk in lost:
+            with pytest.raises(ShardLostError):
+                arr.read(blk)
+
+
+class TestRepair:
+    def test_repair_restores_full_redundancy(self):
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.lose_shard(0)
+        assert_contents(arr, contents)
+        counts = arr.repair(0)
+        assert counts["lists_copied"] >= 1
+        info = arr.sharding_info()
+        assert info["repairs_completed"] == 1
+        assert info["redundancy_full"] is True
+        assert info["lists_healed"] >= 1
+        assert info["blocks_healed"] >= 1
+        # served from the home copy again, byte-identical
+        degraded_before = info["degraded_reads"]
+        assert_contents(arr, contents)
+        assert arr.sharding_info()["degraded_reads"] == degraded_before
+        assert_all_sound(arr)
+
+    def test_repair_carries_degraded_era_writes(self):
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.lose_shard(0)
+        for blk in list(contents):
+            if shard_of(blk, arr.n) == 0:
+                arr.write(blk, b"updated-degraded")
+                contents[blk] = b"updated-degraded"
+        arr.repair(0)
+        assert_contents(arr, contents)
+        assert_all_sound(arr)
+
+    def test_paced_repair_with_concurrent_mutations(self):
+        """Lists mutated while their copy is in flight are re-copied
+        at the final quiescent step — repair converges."""
+        arr = build_array(3, rf=2, num_segments=64)
+        contents = populate(arr, lists=4, blocks_per_list=4)
+        arr.lose_shard(0)
+        queued = arr.start_repair(0)
+        assert queued >= 1
+        victims = [b for b in contents if shard_of(b, arr.n) == 0]
+        step = 0
+        while not arr.repair_step(max_ops=2):
+            blk = victims[step % len(victims)]
+            payload = b"hot-%d" % step
+            arr.write(blk, payload)
+            contents[blk] = payload
+            step += 1
+            assert step < 500, "repair did not converge"
+        assert not arr.repair_active
+        assert_contents(arr, contents)
+        assert_all_sound(arr)
+
+    def test_repair_waits_for_quiescence_with_active_arus(self):
+        arr = build_array(3, rf=2)
+        populate(arr)
+        arr.lose_shard(0)
+        arr.start_repair(0)
+        aru = arr.begin_aru()
+        lst = arr.new_list(aru=aru)
+        # drain the whole queue; the final install must hold off
+        # while the ARU is open (its effects are uncommitted).
+        for _ in range(100):
+            if arr.repair_step(max_ops=1000):
+                break
+        assert arr.repair_active
+        arr.end_aru(aru)
+        assert arr.repair_step()
+        assert not arr.repair_active
+        assert arr.list_blocks(lst) == []
+        assert_all_sound(arr)
+
+    def test_repair_never_copies_uncommitted_data(self):
+        """An ARU open across the whole repair contributes nothing to
+        the rebuilt shard until it commits."""
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.lose_shard(0)
+        victim = next(b for b in contents if shard_of(b, arr.n) == 0)
+        aru = arr.begin_aru()
+        arr.write(victim, b"uncommitted!", aru=aru)
+        arr.start_repair(0)
+        while arr.repair_active:
+            if arr.repair_step(max_ops=1000):
+                break
+            arr.abort_aru(aru)  # quiesce so the install can land
+        assert not arr.repair_active
+        assert_contents(arr, contents)  # committed bytes, not the aborted ones
+        assert_all_sound(arr)
+
+    def test_repair_requires_replication(self):
+        arr = build_array(3, rf=1)
+        populate(arr)
+        arr.lose_shard(0)
+        with pytest.raises(ValueError):
+            arr.start_repair(0)
+
+    def test_only_one_repair_at_a_time(self):
+        arr = build_array(4, rf=2)
+        populate(arr)
+        arr.lose_shard(0)
+        arr.lose_shard(2)
+        arr.start_repair(0)
+        with pytest.raises(ConcurrencyError):
+            arr.start_repair(2)
+
+    def test_scrub_heals_lost_blocks_from_replicas(self):
+        """The scrubber's per-volume 'lost' verdict is not final on a
+        replicated array: the surviving copy rewrites the block."""
+        from repro.disk.faults import MediaFault
+
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        arr.flush()
+        victim = next(iter(contents))
+        home = shard_of(victim, arr.n)
+        shard = arr.shards[home]
+        root = shard.bmap.root(int((victim - 1) // arr.n + 1), create=False)
+        seg = root.persistent.address.segment
+        shard.cache.invalidate_all()
+        shard.disk.injector.add_media_fault(
+            MediaFault(segment_no=seg, kind="unreadable", shard=home)
+        )
+        reports = arr.scrub()
+        assert reports[str(home)].blocks_lost >= 1
+        assert arr.sharding_info()["blocks_healed"] >= 1
+        assert_contents(arr, contents)
+
+
+class TestShardLossSweep:
+    """The crash-matrix extension: whole-shard loss at every write
+    index of a transactional storm, including during PREPARE."""
+
+    N = 3
+
+    def run_storm(self, arr, rounds=6):
+        contents = {}
+        lists = [arr.new_list() for _ in range(self.N)]
+        blocks = {lst: arr.new_block(lst) for lst in lists}
+        arr.flush()
+        acked = []
+        for round_no in range(rounds):
+            aru = arr.begin_aru()
+            payloads = {}
+            for lst in lists:
+                payload = f"r{round_no}-{int(lst)}".encode()
+                arr.write(blocks[lst], payload, aru=aru)
+                payloads[blocks[lst]] = payload
+            arr.end_aru(aru)
+            acked.append(payloads)
+            contents.update(payloads)
+        return contents
+
+    @pytest.mark.parametrize("lose_after", [0, 3, 6, 9, 12, 16, 20])
+    @pytest.mark.parametrize("shard", [0, 1])
+    def test_no_acked_aru_lost_at_any_loss_point(self, lose_after, shard):
+        injector = FaultInjector(
+            plan=FaultPlan(
+                shard_losses=[
+                    ShardLoss(shard=shard, after_writes=lose_after)
+                ]
+            )
+        )
+        arr = build_array(self.N, rf=2, injector=injector)
+        contents = self.run_storm(arr)
+        # every end_aru above returned: all of them are acked, and
+        # all must survive whether the loss fired before, during or
+        # after their PREPARE flushes.
+        assert_contents(arr, contents)
+        if arr.dead_shards:
+            arr.repair()
+            assert_contents(arr, contents)
+            assert arr.sharding_info()["redundancy_full"] is True
+            assert_all_sound(arr)
+
+    @pytest.mark.parametrize("cut_after", [8, 14, 22])
+    def test_power_cut_plus_shard_loss_recovers_committed_state(
+        self, cut_after
+    ):
+        """The compound fault: shard 1's media destroyed early, power
+        cut later.  Recovery must assemble degraded and keep every
+        ARU whose commit was acknowledged before the cut."""
+        injector = FaultInjector(
+            plan=FaultPlan(
+                power_cut=PowerCut(after_writes=cut_after),
+                shard_losses=[ShardLoss(shard=1, after_writes=4)],
+            )
+        )
+        arr = build_array(self.N, rf=2, injector=injector)
+        acked = {}
+        try:
+            lst = arr.new_list()
+            blk = arr.new_block(lst)
+            arr.flush()
+            for round_no in range(10):
+                aru = arr.begin_aru()
+                payload = b"round-%d" % round_no
+                arr.write(blk, payload, aru=aru)
+                arr.end_aru(aru)
+                # multi-shard commits are durable at ack
+                acked[blk] = payload
+        except Exception:
+            pass
+        injector.power_cycle()
+        disks = [
+            arr.shards[i].disk if arr.shards[i] is not None else None
+            for i in range(arr.n)
+        ]
+        vol, report = recover(
+            disks, array_config=ArrayConfig(replication_factor=2)
+        )
+        for blk, payload in acked.items():
+            assert vol.read(blk).startswith(payload)
+        if report.dead_shards:
+            vol.repair()
+            for blk, payload in acked.items():
+                assert vol.read(blk).startswith(payload)
+            assert_all_sound(vol)
+
+    def test_loss_mid_repair_then_power_cut_recovers(self):
+        """Crash while a repair is in flight: the half-built member is
+        discarded, recovery assembles degraded, repair restarts."""
+        arr = build_array(self.N, rf=2)
+        contents = populate(arr, lists=3, blocks_per_list=3)
+        arr.flush()
+        arr.lose_shard(0)
+        arr.start_repair(0)
+        arr.repair_step(max_ops=2)  # partial copy only
+        assert arr.repair_active
+        # power-cut the survivors mid-repair
+        disks = [
+            arr.shards[i].disk.power_cycle()
+            if arr.shards[i] is not None
+            else None
+            for i in range(arr.n)
+        ]
+        vol, report = recover(
+            disks, array_config=ArrayConfig(replication_factor=2)
+        )
+        assert report.dead_shards == [0]
+        assert_contents(vol, contents)
+        vol.repair(0)
+        assert_contents(vol, contents)
+        assert vol.sharding_info()["redundancy_full"] is True
+        assert_all_sound(vol)
+
+
+class TestRecoveryComposition:
+    def test_eager_recovery_with_dead_shard(self):
+        arr = build_array(3, rf=2)
+        contents = populate(arr)
+        disks = [sh.disk.power_cycle() for sh in arr.shards]
+        disks[2] = None
+        vol, report = recover(
+            disks, array_config=ArrayConfig(replication_factor=2)
+        )
+        assert report.dead_shards == [2]
+        assert vol.dead_shards == [2]
+        assert_contents(vol, contents)
+        vol.repair(2)
+        assert_contents(vol, contents)
+        assert_all_sound(vol)
+
+    def test_instant_recovery_with_dead_shard(self):
+        """Instant restore and a lost member compose: reads fail over
+        while the survivors replay on demand, the deferred resync
+        runs at complete_restore, and repair heals afterwards."""
+        arr = build_array(3, rf=2)
+        contents = populate(arr, lists=3)
+        disks = [sh.disk.power_cycle() for sh in arr.shards]
+        disks[1] = None
+        vol, report = recover(
+            disks,
+            array_config=ArrayConfig(replication_factor=2),
+            mode="instant",
+        )
+        assert report.mode == "instant"
+        assert report.dead_shards == [1]
+        assert_contents(vol, contents)  # on-demand + failover
+        while vol.restore_drain(4):
+            pass
+        vol.complete_restore()
+        assert not vol.restore_active
+        assert_contents(vol, contents)
+        vol.repair(1)
+        assert_contents(vol, contents)
+        assert vol.sharding_info()["redundancy_full"] is True
+        assert_all_sound(vol)
+
+    def test_decision_survives_coordinator_loss(self):
+        """With rf=2, shard 1 carries a copy of every DECIDE: a
+        commit acknowledged just before shard 0's media died still
+        rolls forward from shard 1's decision log."""
+        arr = build_array(3, rf=2)
+        lst = arr.new_list()
+        blk = arr.new_block(lst)
+        arr.flush()
+        aru = arr.begin_aru()
+        arr.write(blk, b"decided-data", aru=aru)
+        arr.end_aru(aru)  # acked: durable on every replica + DECIDE
+        arr.lose_shard(0)
+        disks = [
+            arr.shards[i].disk.power_cycle()
+            if arr.shards[i] is not None
+            else None
+            for i in range(arr.n)
+        ]
+        vol, report = recover(
+            disks, array_config=ArrayConfig(replication_factor=2)
+        )
+        assert report.dead_shards == [0]
+        assert vol.read(blk).startswith(b"decided-data")
+
+    def test_replication_bootstrap_from_unreplicated_image(self):
+        """Recovering an rf=1 image under an rf=2 config builds the
+        mirrors during resync — the upgrade path to replication."""
+        arr = build_array(3, rf=1)
+        contents = populate(arr)
+        disks = [sh.disk.power_cycle() for sh in arr.shards]
+        vol, _report = recover(
+            disks, array_config=ArrayConfig(replication_factor=2)
+        )
+        vol.flush()
+        vol.lose_shard(0)
+        assert_contents(vol, contents)
+        assert vol.sharding_info()["degraded_reads"] > 0
