@@ -1,13 +1,27 @@
-"""Front-end saturation sweep: offered load vs commit latency.
+"""Front-end load benchmarks: saturation, thread-vs-async, interference.
 
 Drives the concurrent multi-tenant front end (:mod:`repro.frontend`)
 over a 4-shard array with the open-loop generator
-(:mod:`repro.workloads.openloop`), sweeping the offered arrival rate
-from comfortable to past saturation (a final unpaced *flood* point
-offers every arrival at once).  Per point it records throughput,
-shed/admitted counts, wait-die deaths/timeouts, and the p50/p99/p999
-ARU-commit latency taken from the shards' existing ``lld.commit_us``
-histograms (simulated µs, merged exactly across shards).
+(:mod:`repro.workloads.openloop`).  Three experiments, all merged
+into ``benchmarks/results/BENCH_frontend.json`` (one top-level
+section each):
+
+* ``saturation_sweep`` — offered arrival rate swept from comfortable
+  to past saturation (a final unpaced *flood* point offers every
+  arrival at once), on the thread lanes.  Per point: throughput,
+  shed/admitted counts, wait-die deaths/timeouts, and the
+  p50/p99/p999 ARU-commit latency taken from the shards' existing
+  ``lld.commit_us`` histograms (simulated µs, merged exactly).
+* ``thread_vs_async`` — the same flood, at >= 2048 concurrent
+  open-loop clients, once per lane implementation.  The async lanes
+  must genuinely hold >= 2000 clients in flight; per run the
+  decomposed wall-clock latency digests (queue-wait / lock-wait /
+  storage / scheduling overhead, p50/p99/p999 each) quantify what
+  each scheduler costs.
+* ``maintenance_interference`` — the async storm again, with the
+  cleaner + scrubber running mid-storm on a maintenance driver;
+  the decomposed digests with and without maintenance measure the
+  interference.
 
 Three properties are asserted at every point — they are the
 regression net for the transaction-layer bugfixes this rig exists to
@@ -18,17 +32,24 @@ prove:
 * **no starvation**: every admitted request commits — none exhausts
   its wait-die retry budget, even at the contended flood point;
 * **real concurrency**: the flood point holds >= 64 requests in
-  flight simultaneously.
+  flight simultaneously (>= 2000 for the async comparison).
 
-``REPRO_FULL_SCALE=1`` multiplies the request counts by 8.
+``REPRO_FULL_SCALE=1`` multiplies the request counts by 8 (the
+thread-vs-async client count by 2).
 """
 
 from __future__ import annotations
 
-from benchmarks.conftest import full_scale, report_json, report_table
+from benchmarks.conftest import (
+    full_scale,
+    merge_report_json,
+    report_table,
+)
 
-from repro.frontend import FrontEnd, FrontendConfig
+from repro.frontend import FrontEnd, FrontendConfig, make_frontend
+from repro.frontend.maintenance import MaintenanceDriver
 from repro.harness.runner import commit_latency_percentiles
+from repro.obs.schema import validate_frontend_stats
 from repro.shard.sharded import build_sharded
 from repro.disk.geometry import DiskGeometry
 from repro.workloads.openloop import (
@@ -36,12 +57,17 @@ from repro.workloads.openloop import (
     provision_hot_block,
     provision_tenants,
     run_openloop,
+    run_openloop_async,
 )
 
 SHARDS = 4
 N_TENANTS = 64
 MIN_CONCURRENT = 64
 MAX_INFLIGHT = 128
+#: The thread-vs-async comparison's client swarm — the acceptance
+#: floor is 2000 genuinely concurrent open-loop async clients.
+COMPARE_CLIENTS = 2048
+MIN_CONCURRENT_ASYNC = 2000
 
 
 def run_point(
@@ -179,8 +205,9 @@ def test_frontend_saturation_sweep():
         )
     table = "\n".join(rows)
     report_table("frontend_saturation", table)
-    report_json(
+    merge_report_json(
         "frontend",
+        "saturation_sweep",
         {
             "shards": SHARDS,
             "tenants": N_TENANTS,
@@ -255,3 +282,201 @@ def test_tenant_fairness_under_flood():
     for name in victims:
         assert per_tenant.get(name, 0) == 6, (name, per_tenant)
     assert stats["txn"]["locks"]["owners_registered"] == 0
+
+
+def _digest(summary: dict) -> dict:
+    """One latency component, rounded for the JSON artifact."""
+    return {
+        "count": summary["count"],
+        "mean_us": round(summary["mean_us"], 1),
+        "p50_us": round(summary["p50_us"], 1),
+        "p99_us": round(summary["p99_us"], 1),
+        "p999_us": round(summary["p999_us"], 1),
+        "max_us": round(summary["max_us"], 1),
+    }
+
+
+def run_swarm(
+    lane_impl: str,
+    n_clients: int,
+    seed: int = 2026,
+    hot_fraction: float = 0.02,
+    maintenance: bool = False,
+) -> dict:
+    """One unpaced flood of ``n_clients`` open-loop clients on a
+    fresh 4-shard array, on the named lane implementation.
+
+    Admission is sized so nothing sheds — every client is genuinely
+    in flight together, which is the concurrency being measured.
+    With ``maintenance=True`` a cleaner+scrubber driver runs
+    throughout the storm.
+    """
+    volume = build_sharded(
+        SHARDS,
+        geometry=DiskGeometry.small(num_segments=192),
+        checkpoint_slot_segments=2,
+        writeback_depth=4,
+        group_commit=True,
+        group_commit_max_parked=8,
+    )
+    frontend = make_frontend(
+        volume,
+        FrontendConfig(
+            lane_impl=lane_impl,
+            workers_per_lane=2,
+            max_inflight=2 * n_clients,
+            max_tenant_queue=max(64, (2 * n_clients) // N_TENANTS),
+            lock_timeout_s=5.0,
+            async_txns_per_lane=32,
+        ),
+    )
+    tenants = provision_tenants(volume, N_TENANTS, blocks_per_tenant=4)
+    hot_block = provision_hot_block(volume)
+    config = OpenLoopConfig(
+        rate=1e9,
+        n_requests=n_clients,
+        n_tenants=N_TENANTS,
+        hot_fraction=hot_fraction,
+        seed=seed,
+        pace=False,
+    )
+    runner = run_openloop_async if lane_impl == "async" else run_openloop
+    driver = (
+        MaintenanceDriver(volume, interval_s=0.02).start()
+        if maintenance
+        else None
+    )
+    try:
+        result = runner(frontend, tenants, config, hot_block=hot_block)
+    finally:
+        if driver is not None:
+            driver.stop()
+    stats = result.frontend
+    frontend.close()
+    assert not validate_frontend_stats(stats), validate_frontend_stats(
+        stats
+    )
+    commit = commit_latency_percentiles(volume)
+    latency = stats["latency"]
+    locks = stats["txn"]["locks"]
+    point = {
+        "lane_impl": lane_impl,
+        "clients": n_clients,
+        "maintenance": maintenance,
+        "maintenance_passes": driver.passes if driver else 0,
+        "admitted": result.admitted,
+        "shed": result.shed,
+        "completed": result.completed,
+        "gave_up": result.gave_up,
+        "failed": result.failed,
+        "wall_s": round(result.wall_s, 3),
+        "achieved_tps": round(result.achieved_tps, 1),
+        "inflight_max": stats["inflight_max"],
+        "deaths": locks["deaths"],
+        "timeouts": locks["timeouts"],
+        "lock_leaks": locks["locks_held"],
+        "owner_ts_leaks": locks["owners_registered"],
+        "waiter_leaks": locks["waiters"] + locks["async_waiters"],
+        "latency": {
+            component: _digest(latency[component])
+            for component in (
+                "queue_wait",
+                "lock_wait",
+                "storage",
+                "sched_overhead",
+                "service",
+            )
+        },
+        "commit_p50_us": commit["p50"],
+        "commit_p99_us": commit["p99"],
+        "commit_p999_us": commit["p999"],
+    }
+    check_invariants(point)
+    return point
+
+
+def test_thread_vs_async_flood():
+    """Both lane implementations under the same >= 2048-client flood:
+    the async lanes must hold >= 2000 clients genuinely in flight,
+    and each run records its decomposed p50/p99/p999 latencies plus
+    the scheduling-overhead digest that is the comparison's headline.
+    """
+    n_clients = COMPARE_CLIENTS * (2 if full_scale() else 1)
+    points = {
+        lane_impl: run_swarm(lane_impl, n_clients)
+        for lane_impl in ("thread", "async")
+    }
+
+    async_point = points["async"]
+    assert async_point["inflight_max"] >= MIN_CONCURRENT_ASYNC, async_point
+    for point in points.values():
+        assert point["shed"] == 0, point
+        assert point["admitted"] == n_clients, point
+        # Decomposition recorded for every single request, and the
+        # percentile chains are well-formed.
+        for component in ("lock_wait", "storage", "sched_overhead"):
+            digest = point["latency"][component]
+            assert digest["count"] == n_clients, (component, digest)
+            assert (
+                0
+                <= digest["p50_us"]
+                <= digest["p99_us"]
+                <= digest["p999_us"]
+            ), (component, digest)
+
+    rows = [
+        f"{'impl':>8} {'clients':>8} {'maxinfl':>8} {'tps':>8} "
+        f"{'svc p99':>9} {'lock p99':>9} {'stor p99':>9} {'sched p99':>10}"
+    ]
+    for lane_impl, point in sorted(points.items()):
+        latency = point["latency"]
+        rows.append(
+            f"{lane_impl:>8} {point['clients']:>8} "
+            f"{point['inflight_max']:>8} {point['achieved_tps']:>8.0f} "
+            f"{latency['service']['p99_us']:>9.0f} "
+            f"{latency['lock_wait']['p99_us']:>9.0f} "
+            f"{latency['storage']['p99_us']:>9.0f} "
+            f"{latency['sched_overhead']['p99_us']:>10.0f}"
+        )
+    report_table("frontend_thread_vs_async", "\n".join(rows))
+    merge_report_json(
+        "frontend",
+        "thread_vs_async",
+        {
+            "shards": SHARDS,
+            "tenants": N_TENANTS,
+            "clients": n_clients,
+            "min_concurrent_required": MIN_CONCURRENT_ASYNC,
+            "async_concurrent_seen": async_point["inflight_max"],
+            "points": points,
+        },
+    )
+
+
+def test_maintenance_interference_async():
+    """Cleaner + scrubber passes mid-storm: the storm still commits
+    everything with zero leaks, and the decomposed digests quantify
+    the interference against the undisturbed baseline."""
+    n_clients = 512 * (2 if full_scale() else 1)
+    baseline = run_swarm("async", n_clients, seed=7)
+    disturbed = run_swarm("async", n_clients, seed=7, maintenance=True)
+    assert disturbed["maintenance_passes"] > 0, disturbed
+    merge_report_json(
+        "frontend",
+        "maintenance_interference",
+        {
+            "clients": n_clients,
+            "baseline": baseline,
+            "with_maintenance": disturbed,
+            "storage_p99_delta_us": round(
+                disturbed["latency"]["storage"]["p99_us"]
+                - baseline["latency"]["storage"]["p99_us"],
+                1,
+            ),
+            "service_p99_delta_us": round(
+                disturbed["latency"]["service"]["p99_us"]
+                - baseline["latency"]["service"]["p99_us"],
+                1,
+            ),
+        },
+    )

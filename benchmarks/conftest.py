@@ -51,6 +51,30 @@ def report_json(name: str, payload: dict) -> pathlib.Path:
     return path
 
 
+def merge_report_json(name: str, section: str, payload: dict) -> pathlib.Path:
+    """Set one top-level ``section`` of ``BENCH_<name>.json`` in place.
+
+    Lets several benchmark tests contribute to one artifact (the
+    front-end file carries the saturation sweep, the thread-vs-async
+    comparison and the maintenance-interference run) without the last
+    writer clobbering the others; a missing or unreadable file starts
+    fresh.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    merged: dict = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            merged = {}
+    merged[section] = payload
+    path.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
 def pytest_terminal_summary(terminalreporter):
     if not _TABLES:
         return

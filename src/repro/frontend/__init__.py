@@ -2,23 +2,47 @@
 
 The paper claims ARUs "efficiently support transaction-based systems
 as direct disk system clients"; this package is the layer that makes
-that claim measurable.  A :class:`~repro.frontend.scheduler.FrontEnd`
-admits many concurrent clients, queues their transaction bodies on
-per-shard execution lanes over a (possibly sharded) logical disk,
-runs them through the wait-die transaction layer
-(:mod:`repro.txn`), and applies backpressure when the volume's
-write-behind queue or group-commit window saturates.
+that claim measurable.  A front end admits many concurrent clients,
+queues their transaction bodies on per-shard execution lanes over a
+(possibly sharded) logical disk, runs them through the wait-die
+transaction layer (:mod:`repro.txn`), and applies backpressure when
+the volume's write-behind queue or group-commit window saturates.
+
+Two lane implementations share one API, one admission policy and one
+stats schema — pick with ``FrontendConfig(lane_impl=...)`` and build
+via :func:`make_frontend`:
+
+* :class:`~repro.frontend.scheduler.FrontEnd` — worker threads per
+  lane (``"thread"``),
+* :class:`~repro.frontend.asyncsched.AsyncFrontEnd` — one event loop
+  multiplexing thousands of open-loop clients (``"async"``).
+
+:class:`~repro.frontend.maintenance.MaintenanceDriver` runs cleaner
+and scrubber passes *during* a storm, so the benchmarks can measure
+maintenance interference on the decomposed tail latencies.
 
 See ``docs/CONCURRENCY.md`` for the scheduling model and knobs, and
-``benchmarks/bench_frontend.py`` for the saturation sweep that drives
-it with the open-loop generator (:mod:`repro.workloads.openloop`).
+``benchmarks/bench_frontend.py`` for the saturation sweep and the
+thread-vs-async comparison that drive it with the open-loop generator
+(:mod:`repro.workloads.openloop`).
 """
 
+from repro.frontend.asyncsched import AsyncFrontEnd
+from repro.frontend.maintenance import MaintenanceDriver
 from repro.frontend.scheduler import (
     FrontEnd,
     FrontendConfig,
     Request,
     RequestRejected,
+    make_frontend,
 )
 
-__all__ = ["FrontEnd", "FrontendConfig", "Request", "RequestRejected"]
+__all__ = [
+    "AsyncFrontEnd",
+    "FrontEnd",
+    "FrontendConfig",
+    "MaintenanceDriver",
+    "Request",
+    "RequestRejected",
+    "make_frontend",
+]

@@ -1,0 +1,338 @@
+"""The asyncio lane implementation (``lane_impl="async"``).
+
+One event loop, running on a dedicated thread, multiplexes every
+lane.  An admitted client costs a queue slot and (once dispatched) a
+parked coroutine — never a thread — so a single front end holds
+thousands of concurrent open-loop clients where the thread
+implementation would need a thread per in-flight request.
+
+The loop/handoff contract (see ``docs/CONCURRENCY.md``):
+
+* **The loop never blocks.**  Lock waits park on
+  :meth:`~repro.txn.locks.LockManager.acquire_async` futures; retry
+  backoff is ``asyncio.sleep``; admission from coroutine clients
+  polls with ``asyncio.sleep`` (same ``admission_poll_s`` contract as
+  the thread implementation's timed condition waits).
+* **Every logical-disk call crosses to a thread.**  The LLD is
+  synchronous and internally locked, so async transaction bodies hand
+  each LD operation to the *storage pool*
+  (:class:`~concurrent.futures.ThreadPoolExecutor`); if a cleaner or
+  scrubber pass holds the volume's lock for milliseconds, only those
+  pool threads wait while the loop keeps admitting and retiring other
+  clients.
+* **Sync bodies get their own pool.**  A plain (non-coroutine)
+  transaction body runs as one ``run_transaction`` call on the
+  *sync-body pool*, sized like the thread implementation's worker
+  complement.  The pools are separate on purpose: a sync body blocked
+  in a lock wait occupies a sync-body thread, and must never starve
+  the storage handoff that the async transaction holding that lock
+  needs in order to finish and release it.
+
+Scheduling inside the loop mirrors the thread lanes exactly: one
+dispatcher coroutine per shard lane serves per-tenant FIFOs
+round-robin, bounded by ``async_txns_per_lane`` concurrently
+*executing* transactions per lane (admitted clients beyond that wait
+queued, costing nothing).  Admission control, fairness accounting,
+latency decomposition and the stats schema all live in the shared
+:class:`~repro.frontend.scheduler._FrontEndBase`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import inspect
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Deque, Dict, Optional
+
+from repro.errors import TransactionAborted
+from repro.frontend.scheduler import (
+    FrontendConfig,
+    Request,
+    _FrontEndBase,
+)
+from repro.obs import MetricsRegistry
+from repro.txn.asynctxn import run_transaction_async
+from repro.txn.transactions import run_transaction
+
+
+def _is_async_body(body: Callable) -> bool:
+    """Whether a request body is a coroutine function (seen through
+    ``functools.partial`` wrapping)."""
+    fn = body
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    return inspect.iscoroutinefunction(fn)
+
+
+class _AsyncLane:
+    """One shard's queue complex, confined to the event loop.
+
+    Same shape as the threaded ``_Lane`` — per-tenant FIFOs plus a
+    round-robin ring — but with no lock: every touch happens on the
+    loop thread.  ``event`` wakes the lane's dispatcher; ``sem``
+    bounds concurrently executing transactions.
+    """
+
+    def __init__(self, index: int, txn_slots: int) -> None:
+        self.index = index
+        self.queues: Dict[str, Deque[Request]] = {}
+        self.ring: Deque[str] = deque()
+        self.stopped = False
+        self.event = asyncio.Event()
+        self.sem = asyncio.Semaphore(txn_slots)
+
+    def push(self, request: Request) -> None:
+        queue = self.queues.get(request.tenant)
+        if queue is None:
+            queue = self.queues[request.tenant] = deque()
+        if not queue:
+            self.ring.append(request.tenant)
+        queue.append(request)
+        self.event.set()
+
+    def pop_nowait(self) -> Optional[Request]:
+        if not self.ring:
+            return None
+        tenant = self.ring.popleft()
+        queue = self.queues[tenant]
+        request = queue.popleft()
+        if queue:
+            self.ring.append(tenant)
+        return request
+
+
+class AsyncFrontEnd(_FrontEndBase):
+    """The event-loop scheduler (``lane_impl="async"``).
+
+    Same API, admission policy and stats schema as the threaded
+    :class:`~repro.frontend.scheduler.FrontEnd`; build either via
+    :func:`~repro.frontend.scheduler.make_frontend`.  Two extras for
+    clients living on the loop: :meth:`submit_async` (admission
+    without blocking the loop) and :meth:`run_on_loop` (run a client
+    coroutine — e.g. an open-loop swarm — on the front end's loop
+    from the outside).
+
+    ``submit``/``drain``/``close``/``stats`` stay thread-safe and
+    must be called from *outside* the loop thread (``close`` joins
+    it).
+    """
+
+    def __init__(
+        self,
+        ld,
+        config: Optional[FrontendConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if config is None:
+            config = FrontendConfig(lane_impl="async")
+        super().__init__(ld, config, registry)
+        if self.config.lane_impl != "async":
+            raise ValueError(
+                "AsyncFrontEnd is the async lane implementation; build "
+                f"lane_impl={self.config.lane_impl!r} via make_frontend()"
+            )
+        #: (lane, tenant) -> queued-not-yet-started count, guarded by
+        #: ``self._admit`` (admission must see it atomically).
+        self._queued: Dict[tuple, int] = {}
+        baseline = self.n_lanes * self.config.workers_per_lane
+        self._storage_pool = ThreadPoolExecutor(
+            max_workers=self.config.storage_threads or baseline,
+            thread_name_prefix="frontend-ldio",
+        )
+        self._syncbody_pool = ThreadPoolExecutor(
+            max_workers=baseline,
+            thread_name_prefix="frontend-syncbody",
+        )
+        self._loop = asyncio.new_event_loop()
+        self._lanes = [
+            _AsyncLane(i, self.config.async_txns_per_lane)
+            for i in range(self.n_lanes)
+        ]
+        self._thread = threading.Thread(
+            target=self._loop_main,
+            name="frontend-async-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        self._dispatchers = [
+            asyncio.run_coroutine_threadsafe(
+                self._dispatch(lane), self._loop
+            )
+            for lane in self._lanes
+        ]
+
+    def _loop_main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    # ------------------------------------------------------------------
+    # Admission plumbing (base class hooks)
+    # ------------------------------------------------------------------
+
+    def _queued_for(self, tenant: str, lane_index: int) -> int:
+        return self._queued.get((lane_index, tenant), 0)
+
+    def _admit_locked(self, tenant, body, lane_index) -> Request:
+        # The queued count rises at admission (not at enqueue) so
+        # concurrent submitters cannot overshoot max_tenant_queue in
+        # the gap before the loop picks the push up.
+        request = super()._admit_locked(tenant, body, lane_index)
+        key = (lane_index, tenant)
+        self._queued[key] = self._queued.get(key, 0) + 1
+        return request
+
+    def _begin_request(self, request: Request) -> None:
+        with self._admit:
+            key = (request.shard, request.tenant)
+            left = self._queued.get(key, 0) - 1
+            if left > 0:
+                self._queued[key] = left
+            else:
+                self._queued.pop(key, None)
+        super()._begin_request(request)
+
+    def _enqueue(self, request: Request) -> None:
+        self._loop.call_soon_threadsafe(self._lane_push, request)
+
+    def _lane_push(self, request: Request) -> None:
+        """Loop-side enqueue: attach the coroutine-waiter event and
+        hand the request to its lane."""
+        request._aevent = asyncio.Event()
+        self._lanes[request.shard].push(request)
+
+    async def submit_async(
+        self,
+        body: Callable,
+        tenant: str = "default",
+        shard: Optional[int] = None,
+        wait: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Request:
+        """Coroutine twin of :meth:`submit`, for clients on the loop.
+
+        Identical admission policy; a saturated front end makes the
+        caller ``await asyncio.sleep(admission_poll_s)`` between
+        re-samples instead of blocking a thread.  Await the returned
+        handle's :meth:`~repro.frontend.scheduler.Request.wait_async`
+        for the outcome.
+        """
+        lane_index = self._route(tenant, shard)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._admit:
+                if self._admissible(tenant, lane_index):
+                    request = self._admit_locked(tenant, body, lane_index)
+                    break
+                if not wait:
+                    raise self._shed(
+                        f"front end saturated ({self._inflight} in flight)"
+                    )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise self._shed("admission timed out")
+            await asyncio.sleep(self.config.admission_poll_s)
+        self._c_admitted.inc()
+        self._lane_push(request)
+        return request
+
+    def run_on_loop(self, coro):
+        """Run a client coroutine on the front end's loop; returns a
+        :class:`concurrent.futures.Future` for its result.  This is
+        how an external driver (the open-loop swarm, a test) gets its
+        clients onto the loop that owns the lanes."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, lane: _AsyncLane) -> None:
+        """One lane's dispatcher: pop round-robin, spawn a transaction
+        task per request, never more than the lane's slot budget."""
+        while True:
+            request = lane.pop_nowait()
+            if request is None:
+                if lane.stopped:
+                    return
+                lane.event.clear()
+                await lane.event.wait()
+                continue
+            await lane.sem.acquire()
+            self._loop.create_task(self._run(request, lane))
+
+    async def _run(self, request: Request, lane: _AsyncLane) -> None:
+        try:
+            self._begin_request(request)
+            try:
+                if _is_async_body(request.body):
+                    request.result = await run_transaction_async(
+                        self.manager,
+                        request.body,
+                        max_attempts=self.config.max_attempts,
+                        durable=self.config.durable,
+                        retry_backoff_s=self.config.retry_backoff_s,
+                        executor=self._storage_pool,
+                        breakdown=request.breakdown,
+                    )
+                else:
+                    # A sync body is one opaque run_transaction call;
+                    # it runs (and lock-waits) on the sync-body pool.
+                    request.result = await self._loop.run_in_executor(
+                        self._syncbody_pool,
+                        functools.partial(
+                            run_transaction,
+                            self.manager,
+                            request.body,
+                            max_attempts=self.config.max_attempts,
+                            durable=self.config.durable,
+                            retry_backoff_s=self.config.retry_backoff_s,
+                            breakdown=request.breakdown,
+                        ),
+                    )
+                request.state = "done"
+            except TransactionAborted as exc:
+                request.error = exc
+                request.state = "gave_up"
+            except BaseException as exc:  # noqa: BLE001 — reported
+                request.error = exc
+                request.state = "failed"
+            finally:
+                self._finish_request(request)
+        finally:
+            lane.sem.release()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _worker_count(self) -> int:
+        """Execution slots (the async analogue of worker threads)."""
+        return self.n_lanes * self.config.async_txns_per_lane
+
+    def close(self, flush: bool = True) -> None:
+        """Drain, stop the dispatchers, tear the loop and pools down,
+        and (by default) flush the volume.  Call from outside the
+        loop thread."""
+        if self._closed:
+            return
+        self.drain()
+        self._closed = True
+
+        def _stop_lanes() -> None:
+            for lane in self._lanes:
+                lane.stopped = True
+                lane.event.set()
+
+        self._loop.call_soon_threadsafe(_stop_lanes)
+        for dispatcher in self._dispatchers:
+            dispatcher.result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._storage_pool.shutdown(wait=True)
+        self._syncbody_pool.shutdown(wait=True)
+        if flush:
+            self.ld.flush()

@@ -4,14 +4,21 @@ Scheduling model
 ----------------
 
 Every request is one transaction body (a callable taking a
-:class:`~repro.txn.transactions.Transaction`).  Requests are tagged
-with a *tenant* and routed to an execution **lane** — one lane per
-shard of the underlying volume (a single-volume disk gets one lane).
-Each lane owns a small pool of worker threads that pop requests and
-run them through :func:`~repro.txn.transactions.run_transaction`, so
-wait-die retries, timestamp inheritance and lock cleanup are the
-transaction layer's problem, exercised here under genuine thread
-contention.
+transaction).  Requests are tagged with a *tenant* and routed to an
+execution **lane** — one lane per shard of the underlying volume (a
+single-volume disk gets one lane).  Two lane implementations share
+this module's API, admission control and stats schema, selected by
+``FrontendConfig.lane_impl``:
+
+* ``"thread"`` (:class:`FrontEnd`, this module) — each lane owns a
+  small pool of worker threads that pop requests and run them through
+  :func:`~repro.txn.transactions.run_transaction`, so wait-die
+  retries, timestamp inheritance and lock cleanup are the transaction
+  layer's problem, exercised here under genuine thread contention.
+* ``"async"`` (:class:`~repro.frontend.asyncsched.AsyncFrontEnd`) —
+  one event loop multiplexes every lane; thousands of admitted
+  clients cost a parked task each, not a thread.  See that module for
+  the loop/handoff contract.
 
 Within a lane, tenants are served **round-robin**: each tenant has
 its own FIFO and the lane cycles through tenants with queued work, so
@@ -36,16 +43,33 @@ The last two read the cheap O(1) :attr:`~repro.lld.lld.LLD.
 writeback_queued` / :attr:`~repro.lld.lld.LLD.commits_parked` views —
 the storage layer's own saturation signals — so backpressure engages
 *before* the log falls behind rather than after latency explodes.
+Both lane implementations run the identical predicate
+(:meth:`_FrontEndBase._admissible`): the knob changes the scheduler,
+never the admission policy.
 
-Time bases
-----------
+Time bases and latency decomposition
+------------------------------------
 
 Queue-wait and service-time histograms in the front end's private
 registry are **host wall-clock** microseconds (the scheduler is host
-machinery; it never touches the simulated clock).  ARU commit
-latency remains the storage layer's business: the per-shard
-``lld.commit_us`` histograms record simulated microseconds, and the
-benchmark reports its p50/p99/p999 from exactly those instruments.
+machinery; it never touches the simulated clock).  Each request's
+service time further decomposes via its
+:class:`~repro.txn.transactions.TxnBreakdown` into
+
+* ``frontend.lock_wait_us`` — wall time blocked in the lock manager
+  (across every wait-die retry),
+* ``frontend.storage_us`` — wall time inside logical-disk calls,
+* ``frontend.sched_overhead_us`` — the remainder: scheduler and
+  transaction-layer bookkeeping, retry backoff sleeps, and (for the
+  async impl) event-loop latency.  This is the thread-vs-async
+  headline number.
+
+All three share the service clock, so per-request they sum to the
+observed service time (the overhead component is clamped at zero
+against clock jitter).  ARU commit latency remains the storage
+layer's business: the per-shard ``lld.commit_us`` histograms record
+simulated microseconds, and the benchmark reports its p50/p99/p999
+from exactly those instruments.
 """
 
 from __future__ import annotations
@@ -58,8 +82,15 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.errors import LDError, TransactionAborted
-from repro.obs import MetricsRegistry
-from repro.txn.transactions import TransactionManager, run_transaction
+from repro.obs import MetricsRegistry, latency_summary
+from repro.txn.transactions import (
+    TransactionManager,
+    TxnBreakdown,
+    run_transaction,
+)
+
+#: The lane implementations ``FrontendConfig.lane_impl`` accepts.
+LANE_IMPLS = ("thread", "async")
 
 
 class RequestRejected(LDError):
@@ -71,9 +102,14 @@ class FrontendConfig:
     """Knobs for the scheduler (see module docstring for semantics).
 
     Attributes:
-        workers_per_lane: Worker threads per shard lane.  More than
-            one means transactions of the *same* shard genuinely
-            contend on the lock manager, which is the point.
+        lane_impl: ``"thread"`` (worker threads per lane) or
+            ``"async"`` (one event loop multiplexing every lane).
+            Both honour every other knob identically.
+        workers_per_lane: Worker threads per shard lane (thread impl).
+            More than one means transactions of the *same* shard
+            genuinely contend on the lock manager, which is the
+            point.  The async impl reuses this as the sizing unit for
+            its sync-body thread pool.
         max_inflight: Admission cap on requests queued or running
             across the whole front end.
         max_tenant_queue: Per-tenant queued-request cap (fairness:
@@ -93,6 +129,14 @@ class FrontendConfig:
             :meth:`FrontEnd.close` flush makes the run durable.
         admission_poll_s: How often a blocked submit re-samples the
             storage saturation signals (they have no wakeup hook).
+        async_txns_per_lane: Async impl only: transactions a lane
+            executes concurrently (admitted clients beyond this wait
+            queued on the loop, costing no thread).  The thread
+            impl's equivalent is ``workers_per_lane``.
+        storage_threads: Async impl only: threads in the LD-handoff
+            pool (0 derives ``lanes × workers_per_lane``).  Separate
+            from the sync-body pool so lock-blocked sync bodies can
+            never starve storage handoff.
     """
 
     workers_per_lane: int = 2
@@ -105,8 +149,16 @@ class FrontendConfig:
     retry_backoff_s: float = 0.001
     durable: bool = False
     admission_poll_s: float = 0.002
+    lane_impl: str = "thread"
+    async_txns_per_lane: int = 32
+    storage_threads: int = 0
 
     def validate(self) -> None:
+        if self.lane_impl not in LANE_IMPLS:
+            raise ValueError(
+                f"lane_impl must be one of {LANE_IMPLS}, "
+                f"got {self.lane_impl!r}"
+            )
         if self.workers_per_lane < 1:
             raise ValueError("workers_per_lane must be >= 1")
         if self.max_inflight < 1:
@@ -115,6 +167,10 @@ class FrontendConfig:
             raise ValueError("max_tenant_queue must be >= 1")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.async_txns_per_lane < 1:
+            raise ValueError("async_txns_per_lane must be >= 1")
+        if self.storage_threads < 0:
+            raise ValueError("storage_threads must be >= 0")
 
 
 class Request:
@@ -128,10 +184,12 @@ class Request:
         "state",
         "result",
         "error",
+        "breakdown",
         "submitted_at",
         "started_at",
         "finished_at",
         "_done",
+        "_aevent",
     )
 
     def __init__(
@@ -145,10 +203,15 @@ class Request:
         self.state = "queued"
         self.result = None
         self.error: Optional[BaseException] = None
+        #: Per-request latency decomposition, filled in by the lane.
+        self.breakdown: Optional[TxnBreakdown] = None
         self.submitted_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self._done = threading.Event()
+        #: asyncio.Event for coroutine waiters; the async front end
+        #: attaches one on its loop at enqueue time.
+        self._aevent = None
 
     def wait(self, timeout: Optional[float] = None):
         """Block for the outcome; returns the body's result or
@@ -157,6 +220,18 @@ class Request:
             raise TimeoutError(
                 f"request {self.seq} ({self.tenant}) still {self.state}"
             )
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    async def wait_async(self):
+        """Coroutine twin of :meth:`wait`, for clients living on the
+        async front end's event loop (never blocks the loop)."""
+        if self._aevent is None:
+            raise RuntimeError(
+                "request has no loop event (not on an async front end)"
+            )
+        await self._aevent.wait()
         if self.error is not None:
             raise self.error
         return self.result
@@ -212,8 +287,14 @@ class _Lane:
             self._cond.notify_all()
 
 
-class FrontEnd:
-    """Concurrent multi-tenant request scheduler over a logical disk.
+class _FrontEndBase:
+    """Everything the lane implementations share: routing, admission,
+    instruments, request bookkeeping, the stats schema.
+
+    Subclasses provide the scheduler itself: :meth:`_enqueue` (hand an
+    admitted request to its lane), :meth:`_queued_for` (a tenant's
+    queued count on a lane), :meth:`_worker_count` (execution slots,
+    for stats), and :meth:`close`.
 
     Args:
         ld: The volume — a :class:`~repro.shard.sharded.ShardedLLD`
@@ -240,10 +321,10 @@ class FrontEnd:
         #: Member volumes whose saturation signals admission samples.
         self._shards: List = list(getattr(ld, "shards", [ld]))
         self.n_lanes = len(self._shards)
-        self._lanes = [_Lane(i) for i in range(self.n_lanes)]
         self._admit = threading.Condition()
         self._inflight = 0
         self._closed = False
+        self._seq = 0
 
         metrics = registry if registry is not None else MetricsRegistry()
         self.metrics = metrics
@@ -256,25 +337,14 @@ class FrontEnd:
         self._g_inflight_max = metrics.gauge("frontend.inflight_max")
         self._h_queue_wait = metrics.histogram("frontend.queue_wait_us")
         self._h_service = metrics.histogram("frontend.service_us")
+        self._h_lock_wait = metrics.histogram("frontend.lock_wait_us")
+        self._h_storage = metrics.histogram("frontend.storage_us")
+        self._h_sched = metrics.histogram("frontend.sched_overhead_us")
         self._tenant_done: Dict[str, int] = {}
         self._tenant_mutex = threading.Lock()
 
-        self._workers = [
-            threading.Thread(
-                target=self._worker,
-                args=(lane,),
-                name=f"frontend-lane{lane.index}-w{w}",
-                daemon=True,
-            )
-            for lane in self._lanes
-            for w in range(self.config.workers_per_lane)
-        ]
-        self._seq = 0
-        for worker in self._workers:
-            worker.start()
-
     # ------------------------------------------------------------------
-    # Routing and admission
+    # Routing and admission (identical across lane implementations)
     # ------------------------------------------------------------------
 
     def shard_for_tenant(self, tenant: str) -> int:
@@ -294,12 +364,40 @@ class FrontEnd:
                 return True
         return False
 
-    def _admissible(self, tenant: str, lane: _Lane) -> bool:
+    def _queued_for(self, tenant: str, lane_index: int) -> int:
+        raise NotImplementedError
+
+    def _admissible(self, tenant: str, lane_index: int) -> bool:
         return (
             self._inflight < self.config.max_inflight
-            and lane.queued_for(tenant) < self.config.max_tenant_queue
+            and self._queued_for(tenant, lane_index)
+            < self.config.max_tenant_queue
             and not self._storage_saturated()
         )
+
+    def _route(self, tenant: str, shard: Optional[int]) -> int:
+        if self._closed:
+            raise RuntimeError("front end is closed")
+        self._c_submitted.inc()
+        lane_index = (
+            self.shard_for_tenant(tenant) if shard is None else shard
+        )
+        if not 0 <= lane_index < self.n_lanes:
+            raise ValueError(f"no lane {lane_index}")
+        return lane_index
+
+    def _admit_locked(
+        self, tenant: str, body: Callable, lane_index: int
+    ) -> Request:
+        """Account one admission (caller holds ``self._admit``)."""
+        self._inflight += 1
+        self._g_inflight_max.update_max(self._inflight)
+        self._seq += 1
+        return Request(tenant, body, lane_index, self._seq)
+
+    def _shed(self, why: str) -> RequestRejected:
+        self._c_shed.inc()
+        return RequestRejected(why)
 
     def submit(
         self,
@@ -318,40 +416,32 @@ class FrontEnd:
         open-loop arrival process needs: offered load beyond
         saturation shows up as explicit rejections, not as an
         unbounded queue.
+
+        Thread-safe on both lane implementations; coroutine clients
+        on the async front end use
+        :meth:`~repro.frontend.asyncsched.AsyncFrontEnd.submit_async`
+        instead (same policy, never blocks the loop).
         """
-        if self._closed:
-            raise RuntimeError("front end is closed")
-        self._c_submitted.inc()
-        lane_index = (
-            self.shard_for_tenant(tenant) if shard is None else shard
-        )
-        if not 0 <= lane_index < self.n_lanes:
-            raise ValueError(f"no lane {lane_index}")
-        lane = self._lanes[lane_index]
+        lane_index = self._route(tenant, shard)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._admit:
-            while not self._admissible(tenant, lane):
+            while not self._admissible(tenant, lane_index):
                 if not wait:
-                    self._c_shed.inc()
-                    raise RequestRejected(
+                    raise self._shed(
                         f"front end saturated ({self._inflight} in flight)"
                     )
                 budget = self.config.admission_poll_s
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        self._c_shed.inc()
-                        raise RequestRejected("admission timed out")
+                        raise self._shed("admission timed out")
                     budget = min(budget, remaining)
                 # Timed wait: the storage saturation signals have no
                 # notify hook, so a blocked submit re-samples them.
                 self._admit.wait(timeout=budget)
-            self._inflight += 1
-            self._g_inflight_max.update_max(self._inflight)
-            self._seq += 1
-            request = Request(tenant, body, lane_index, self._seq)
+            request = self._admit_locked(tenant, body, lane_index)
         self._c_admitted.inc()
-        lane.push(request)
+        self._enqueue(request)
         return request
 
     def try_submit(
@@ -366,55 +456,56 @@ class FrontEnd:
         except RequestRejected:
             return None
 
+    def _enqueue(self, request: Request) -> None:
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
-    # Execution
+    # Request bookkeeping (called by the lane implementations)
     # ------------------------------------------------------------------
 
-    def _worker(self, lane: _Lane) -> None:
-        while True:
-            request = lane.pop()
-            if request is None:
-                return
-            self._execute(request)
-
-    def _execute(self, request: Request) -> None:
+    def _begin_request(self, request: Request) -> None:
+        """Mark a request running; observe its queue wait."""
         request.started_at = time.monotonic()
         request.state = "running"
+        request.breakdown = TxnBreakdown()
         self._h_queue_wait.observe(
             (request.started_at - request.submitted_at) * 1e6
         )
-        try:
-            request.result = run_transaction(
-                self.manager,
-                request.body,
-                max_attempts=self.config.max_attempts,
-                durable=self.config.durable,
-                retry_backoff_s=self.config.retry_backoff_s,
+
+    def _finish_request(self, request: Request) -> None:
+        """Retire a request: outcome counters, latency decomposition,
+        fairness accounting, the admission wakeup, the done events."""
+        request.finished_at = time.monotonic()
+        service_us = (request.finished_at - request.started_at) * 1e6
+        self._h_service.observe(service_us)
+        breakdown = request.breakdown
+        if breakdown is not None:
+            self._h_lock_wait.observe(breakdown.lock_wait_us)
+            self._h_storage.observe(breakdown.storage_us)
+            self._h_sched.observe(
+                max(
+                    0.0,
+                    service_us
+                    - breakdown.lock_wait_us
+                    - breakdown.storage_us,
+                )
             )
-            request.state = "done"
+        if request.state == "done":
             self._c_done.inc()
-        except TransactionAborted as exc:
-            request.error = exc
-            request.state = "gave_up"
+            with self._tenant_mutex:
+                self._tenant_done[request.tenant] = (
+                    self._tenant_done.get(request.tenant, 0) + 1
+                )
+        elif request.state == "gave_up":
             self._c_gave_up.inc()
-        except BaseException as exc:  # noqa: BLE001 — reported, not lost
-            request.error = exc
-            request.state = "failed"
+        else:
             self._c_failed.inc()
-        finally:
-            request.finished_at = time.monotonic()
-            self._h_service.observe(
-                (request.finished_at - request.started_at) * 1e6
-            )
-            if request.state == "done":
-                with self._tenant_mutex:
-                    self._tenant_done[request.tenant] = (
-                        self._tenant_done.get(request.tenant, 0) + 1
-                    )
-            with self._admit:
-                self._inflight -= 1
-                self._admit.notify_all()
-            request._done.set()
+        with self._admit:
+            self._inflight -= 1
+            self._admit.notify_all()
+        request._done.set()
+        if request._aevent is not None:
+            request._aevent.set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -436,6 +527,138 @@ class FrontEnd:
                 self._admit.wait(timeout=budget)
 
     def close(self, flush: bool = True) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "_FrontEndBase":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _worker_count(self) -> int:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Scheduler counters, per-tenant completions, the decomposed
+        latency digests, transaction totals and the lock table's live
+        sizes (the leak check: all ``txn.locks`` table sizes are 0
+        once drained).  Identical schema for both lane
+        implementations — :func:`repro.obs.schema.
+        validate_frontend_stats` freezes it."""
+        with self._tenant_mutex:
+            per_tenant = dict(sorted(self._tenant_done.items()))
+        with self._admit:
+            inflight = self._inflight
+        return {
+            "lane_impl": self.config.lane_impl,
+            "lanes": self.n_lanes,
+            "workers": self._worker_count(),
+            "inflight": inflight,
+            "inflight_max": self._g_inflight_max.value,
+            "submitted": self._c_submitted.value,
+            "admitted": self._c_admitted.value,
+            "shed": self._c_shed.value,
+            "completed": self._c_done.value,
+            "gave_up": self._c_gave_up.value,
+            "failed": self._c_failed.value,
+            "per_tenant_completed": per_tenant,
+            "latency": {
+                "queue_wait": latency_summary(self._h_queue_wait.snapshot()),
+                "lock_wait": latency_summary(self._h_lock_wait.snapshot()),
+                "storage": latency_summary(self._h_storage.snapshot()),
+                "sched_overhead": latency_summary(self._h_sched.snapshot()),
+                "service": latency_summary(self._h_service.snapshot()),
+            },
+            "txn": self.manager.stats(),
+        }
+
+
+class FrontEnd(_FrontEndBase):
+    """The thread-per-lane scheduler (``lane_impl="thread"``).
+
+    Each lane owns ``workers_per_lane`` threads; an admitted request
+    queues on its tenant's FIFO and a lane worker runs it through
+    :func:`~repro.txn.transactions.run_transaction`.
+    """
+
+    def __init__(
+        self,
+        ld,
+        config: Optional[FrontendConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        super().__init__(ld, config, registry)
+        if self.config.lane_impl != "thread":
+            raise ValueError(
+                "FrontEnd is the thread lane implementation; build "
+                "lane_impl="
+                f"{self.config.lane_impl!r} via make_frontend()"
+            )
+        self._lanes = [_Lane(i) for i in range(self.n_lanes)]
+        self._workers = [
+            threading.Thread(
+                target=self._worker,
+                args=(lane,),
+                name=f"frontend-lane{lane.index}-w{w}",
+                daemon=True,
+            )
+            for lane in self._lanes
+            for w in range(self.config.workers_per_lane)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def _queued_for(self, tenant: str, lane_index: int) -> int:
+        return self._lanes[lane_index].queued_for(tenant)
+
+    def _enqueue(self, request: Request) -> None:
+        self._lanes[request.shard].push(request)
+
+    def _worker_count(self) -> int:
+        return len(self._workers)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _worker(self, lane: _Lane) -> None:
+        while True:
+            request = lane.pop()
+            if request is None:
+                return
+            self._execute(request)
+
+    def _execute(self, request: Request) -> None:
+        self._begin_request(request)
+        try:
+            request.result = run_transaction(
+                self.manager,
+                request.body,
+                max_attempts=self.config.max_attempts,
+                durable=self.config.durable,
+                retry_backoff_s=self.config.retry_backoff_s,
+                breakdown=request.breakdown,
+            )
+            request.state = "done"
+        except TransactionAborted as exc:
+            request.error = exc
+            request.state = "gave_up"
+        except BaseException as exc:  # noqa: BLE001 — reported, not lost
+            request.error = exc
+            request.state = "failed"
+        finally:
+            self._finish_request(request)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, flush: bool = True) -> None:
         """Drain, stop the lanes, and (by default) flush the volume
         so every committed-in-memory ARU is durable."""
         if self._closed:
@@ -449,36 +672,21 @@ class FrontEnd:
         if flush:
             self.ld.flush()
 
-    def __enter__(self) -> "FrontEnd":
-        return self
 
-    def __exit__(self, _exc_type, _exc, _tb) -> bool:
-        self.close()
-        return False
+def make_frontend(
+    ld,
+    config: Optional[FrontendConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Build the front end ``config.lane_impl`` names.
 
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
+    The one constructor call sites need: both implementations share
+    the API, admission policy and stats schema, so callers hold a
+    front end and never care which scheduler runs underneath.
+    """
+    config = config or FrontendConfig()
+    if config.lane_impl == "async":
+        from repro.frontend.asyncsched import AsyncFrontEnd
 
-    def stats(self) -> dict:
-        """Scheduler counters, per-tenant completions, transaction
-        totals and the lock table's live sizes (the leak check: all
-        ``txn.locks`` table sizes are 0 once drained)."""
-        with self._tenant_mutex:
-            per_tenant = dict(sorted(self._tenant_done.items()))
-        with self._admit:
-            inflight = self._inflight
-        return {
-            "lanes": self.n_lanes,
-            "workers": len(self._workers),
-            "inflight": inflight,
-            "inflight_max": self._g_inflight_max.value,
-            "submitted": self._c_submitted.value,
-            "admitted": self._c_admitted.value,
-            "shed": self._c_shed.value,
-            "completed": self._c_done.value,
-            "gave_up": self._c_gave_up.value,
-            "failed": self._c_failed.value,
-            "per_tenant_completed": per_tenant,
-            "txn": self.manager.stats(),
-        }
+        return AsyncFrontEnd(ld, config, registry)
+    return FrontEnd(ld, config, registry)

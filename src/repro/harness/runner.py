@@ -491,6 +491,7 @@ class FrontendResult:
     """Outcome of the concurrent front-end burst."""
 
     shards: int
+    lane_impl: str
     lanes: int
     workers: int
     offered: int
@@ -536,6 +537,7 @@ def run_frontend_experiment(
     max_inflight: int = 64,
     hot_fraction: float = 0.2,
     seed: int = 2026,
+    lane_impl: str = "thread",
 ) -> FrontendResult:
     """A short open-loop burst through the multi-tenant front end.
 
@@ -545,14 +547,21 @@ def run_frontend_experiment(
     reports admission/completion counts, ARU-commit latency
     percentiles from the shards' ``lld.commit_us`` histograms, and
     the lock table's final (leak-free) sizes.
+
+    ``lane_impl`` picks the scheduler: ``"thread"`` storms through
+    worker threads and :func:`run_openloop`; ``"async"`` storms the
+    event-loop lanes with coroutine clients and coroutine bodies via
+    :func:`run_openloop_async`.  Same offered load (the seeded plan
+    sequence is identical), same stats schema.
     """
-    from repro.frontend import FrontEnd, FrontendConfig
+    from repro.frontend import FrontendConfig, make_frontend
     from repro.shard.sharded import build_sharded
     from repro.workloads.openloop import (
         OpenLoopConfig,
         provision_hot_block,
         provision_tenants,
         run_openloop,
+        run_openloop_async,
     )
 
     volume = build_sharded(
@@ -563,9 +572,10 @@ def run_frontend_experiment(
         group_commit=True,
         group_commit_max_parked=8,
     )
-    frontend = FrontEnd(
+    frontend = make_frontend(
         volume,
         FrontendConfig(
+            lane_impl=lane_impl,
             workers_per_lane=workers_per_lane,
             max_inflight=max_inflight,
             writeback_high_water=8,
@@ -575,7 +585,8 @@ def run_frontend_experiment(
     )
     tenants = provision_tenants(volume, n_tenants, blocks_per_tenant=4)
     hot_block = provision_hot_block(volume)
-    result = run_openloop(
+    runner = run_openloop_async if lane_impl == "async" else run_openloop
+    result = runner(
         frontend,
         tenants,
         OpenLoopConfig(
@@ -592,7 +603,8 @@ def run_frontend_experiment(
     frontend_stats = frontend.stats()
     locks = frontend_stats["txn"]["locks"]
     summary = (
-        f"frontend: {shards} shards x {workers_per_lane} workers, "
+        f"frontend[{lane_impl}]: {shards} shards x "
+        f"{frontend_stats['workers']} workers, "
         f"{n_tenants} tenants — offered {result.offered} "
         f"({rate:.0f}/s), admitted {result.admitted}, shed "
         f"{result.shed}, completed {result.completed} "
@@ -604,8 +616,9 @@ def run_frontend_experiment(
     )
     return FrontendResult(
         shards=shards,
+        lane_impl=lane_impl,
         lanes=frontend.n_lanes,
-        workers=len(frontend._workers),
+        workers=frontend_stats["workers"],
         offered=result.offered,
         admitted=result.admitted,
         shed=result.shed,

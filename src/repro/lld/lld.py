@@ -1914,6 +1914,22 @@ class LLD(LogicalDisk):
             )
             return report
 
+    def clean(self) -> None:
+        """Run one segment-cleaner pass on demand.
+
+        The cleaner normally fires from commit/seal space-pressure
+        checks; this public entry point lets maintenance drivers run
+        it *during* live traffic (the interference benchmarks), under
+        the same lock and live-volume checks as every other client
+        call.  A no-op while a triggered pass is already running.
+        """
+        with self._lock:
+            self._check_alive()
+            self.meter.charge("ld_call_us")
+            self._count("clean")
+            if not self._cleaning:
+                self._run_cleaner()
+
     # ==================================================================
     # Checkpointing and bookkeeping
     # ==================================================================

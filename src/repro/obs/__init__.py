@@ -24,6 +24,7 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    latency_summary,
     merge_histogram_snapshots,
     percentile_from_snapshot,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "NULL_HISTOGRAM",
     "STATS_SCHEMA",
     "validate_stats",
+    "latency_summary",
     "merge_histogram_snapshots",
     "percentile_from_snapshot",
 ]

@@ -218,6 +218,38 @@ def merge_histogram_snapshots(snapshots) -> dict:
     }
 
 
+def latency_summary(snapshot: dict) -> dict:
+    """The tail-latency digest of a histogram snapshot.
+
+    One flat dict — count, mean, max and the p50/p99/p999 estimates —
+    in the snapshot's own time base (wall µs for front-end
+    instruments, simulated µs for storage ones).  This is the shape
+    the front end's ``stats()`` reports for every component of its
+    decomposed request latency, and what the frozen frontend schema
+    validates.
+    """
+    return {
+        "count": snapshot["count"],
+        "mean_us": snapshot["mean_us"],
+        "max_us": snapshot["max_us"],
+        "p50_us": (
+            percentile_from_snapshot(snapshot, 0.50)
+            if snapshot["count"]
+            else 0.0
+        ),
+        "p99_us": (
+            percentile_from_snapshot(snapshot, 0.99)
+            if snapshot["count"]
+            else 0.0
+        ),
+        "p999_us": (
+            percentile_from_snapshot(snapshot, 0.999)
+            if snapshot["count"]
+            else 0.0
+        ),
+    }
+
+
 def percentile_from_snapshot(snapshot: dict, q: float) -> float:
     """Estimated q-quantile (``0 < q <= 1``) of a histogram snapshot.
 

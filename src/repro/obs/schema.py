@@ -32,6 +32,7 @@ INT = "int"
 NUM = "number"
 BOOL = "bool"
 OPT_NUM = "number-or-null"
+STR = "str"
 
 #: The frozen schema.  Add keys freely in future PRs; renames and
 #: removals must update the snapshot test alongside this table.
@@ -134,10 +135,66 @@ SHARDING_SCHEMA = {
 }
 
 
+#: One component of the front end's decomposed request latency —
+#: the shape :func:`repro.obs.registry.latency_summary` emits.
+LATENCY_SUMMARY_SCHEMA = {
+    "count": INT,
+    "mean_us": NUM,
+    "max_us": NUM,
+    "p50_us": NUM,
+    "p99_us": NUM,
+    "p999_us": NUM,
+}
+
+#: The front-end ``stats()`` schema — identical for both lane
+#: implementations (``lane_impl="thread"`` and ``"async"``); the
+#: regression tests run each through this table, so the two
+#: schedulers cannot drift apart.
+FRONTEND_SCHEMA = {
+    "lane_impl": STR,
+    "lanes": INT,
+    "workers": INT,
+    "inflight": INT,
+    "inflight_max": INT,
+    "submitted": INT,
+    "admitted": INT,
+    "shed": INT,
+    "completed": INT,
+    "gave_up": INT,
+    "failed": INT,
+    "per_tenant_completed": {"*": INT},
+    "latency": {
+        "queue_wait": LATENCY_SUMMARY_SCHEMA,
+        "lock_wait": LATENCY_SUMMARY_SCHEMA,
+        "storage": LATENCY_SUMMARY_SCHEMA,
+        "sched_overhead": LATENCY_SUMMARY_SCHEMA,
+        "service": LATENCY_SUMMARY_SCHEMA,
+    },
+    "txn": {
+        "begun": INT,
+        "committed": INT,
+        "aborted": INT,
+        "locks": {
+            "grants": INT,
+            "waits": INT,
+            "deaths": INT,
+            "timeouts": INT,
+            "owners_registered": INT,
+            "resources_locked": INT,
+            "locks_held": INT,
+            "waiters": INT,
+            "async_waiters": INT,
+        },
+    },
+}
+
+
 def _type_ok(sentinel: str, value) -> bool:
     # bool is a subclass of int, so it must be ruled on first.
     if sentinel == BOOL:
         return isinstance(value, bool)
+    if sentinel == STR:
+        return isinstance(value, str)
     if isinstance(value, bool):
         return False
     if sentinel == INT:
@@ -242,6 +299,14 @@ def validate_any_stats(stats: dict) -> List[str]:
     return validate_stats(stats)
 
 
+def validate_frontend_stats(stats: dict) -> List[str]:
+    """Problems with a front-end ``stats()`` dict (either lane
+    implementation) against :data:`FRONTEND_SCHEMA`."""
+    problems: List[str] = []
+    _validate(FRONTEND_SCHEMA, stats, "", problems)
+    return problems
+
+
 def schema_paths() -> List[str]:
     """Every declared key path, dotted, sorted (``ops.*`` style for
     open groups) — the surface the snapshot test freezes."""
@@ -264,7 +329,9 @@ def validate_artifact(payload: dict) -> List[str]:
     {"stats": ..., "metrics": ...}}}``; anything else is validated as
     a bare ``stats()`` dict.  Each stats entry may be a single-volume
     dict (the frozen schema) or a sharded-volume dict (per-shard +
-    aggregate + sharding), dispatched on shape.
+    aggregate + sharding), dispatched on shape.  A variant may also
+    carry a ``"frontend"`` entry — a front-end ``stats()`` dict,
+    validated against :data:`FRONTEND_SCHEMA`.
     """
     problems: List[str] = []
     if "variants" in payload:
@@ -279,6 +346,13 @@ def validate_artifact(payload: dict) -> List[str]:
                 f"variants.{label}.stats: {problem}"
                 for problem in validate_any_stats(entry["stats"])
             ]
+            if "frontend" in entry:
+                problems += [
+                    f"variants.{label}.frontend: {problem}"
+                    for problem in validate_frontend_stats(
+                        entry["frontend"]
+                    )
+                ]
     else:
         problems += validate_any_stats(payload)
     return problems

@@ -1366,6 +1366,20 @@ class ShardedLLD(LogicalDisk):
                         self._heal_lost_block(s, int(local))
             return reports
 
+    def clean(self) -> None:
+        """Run one segment-cleaner pass on every live shard (the
+        array-wide twin of :meth:`~repro.lld.lld.LLD.clean`, for
+        maintenance drivers running during live traffic)."""
+        with self._lock:
+            for s in range(self.n):
+                if not self._alive(s):
+                    continue
+                try:
+                    self._sync_clock(s)
+                    self.shards[s].clean()
+                except ShardLostError:
+                    self._mark_shard_lost(s)
+
     def _heal_lost_block(self, shard_index: int, local: int) -> bool:
         """Rewrite one quarantined-beyond-salvage block from its
         replica (committed data only — a replica never holds

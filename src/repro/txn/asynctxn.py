@@ -1,0 +1,328 @@
+"""Event-loop transactions: the async twin of ``transactions.py``.
+
+An :class:`AsyncTransaction` is the same strict-2PL-over-one-ARU
+machine as :class:`~repro.txn.transactions.Transaction`, built for a
+cooperative scheduler: lock waits park on :meth:`~repro.txn.locks.
+LockManager.acquire_async` futures instead of blocking a thread, so a
+single event loop can hold thousands of transactions in lock-wait
+simultaneously — the concurrency regime the thread-per-lane front end
+cannot reach without a thread per blocked client.
+
+The logical disk itself stays synchronous (and internally locked), so
+every LD operation is handed off to a small thread-pool ``executor``
+via ``run_in_executor``.  That handoff is the contract boundary the
+async front end documents: the loop never blocks on the LLD's mutex —
+if a cleaner or scrubber pass holds it for milliseconds, only the
+handful of executor threads wait, while the loop keeps admitting,
+queueing and retiring the thousands of other clients.  Passing
+``executor=None`` runs LD calls inline on the loop; that is only
+sound when no other thread can hold the LLD lock (single-threaded
+tests).
+
+Both layers share one :class:`~repro.txn.transactions.
+TransactionManager`: one transaction-id sequence (wait-die ages stay
+totally ordered across sync and async requesters), one lock table,
+one commit/abort ledger.  The retry loop
+(:func:`run_transaction_async`) keeps ``run_transaction``'s contract
+verbatim — timestamp inheritance, timeouts retried like deaths,
+linear backoff, nothing leaked on any path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from typing import Awaitable, Callable, List, Optional, TypeVar
+
+from repro.errors import LockError, TransactionAborted
+from repro.ld.types import ARUId, BlockId, FIRST, ListId, Predecessor
+from repro.txn.locks import LockMode
+from repro.txn.transactions import TransactionManager, TxnBreakdown
+
+T = TypeVar("T")
+
+
+class AsyncTransaction:
+    """One ACID transaction whose lock waits yield to the event loop.
+
+    Obtain from :func:`begin_async`; use ``async with`` (commits on
+    clean exit, aborts on exception) or await :meth:`commit` /
+    :meth:`abort` explicitly.  Every proxied operation is a
+    coroutine; the locking discipline, ARU usage and failure paths
+    mirror :class:`~repro.txn.transactions.Transaction` exactly.
+    """
+
+    def __init__(
+        self,
+        manager: TransactionManager,
+        aru: ARUId,
+        txn_id: int,
+        durable: bool,
+        timestamp: int,
+        executor=None,
+        breakdown: Optional[TxnBreakdown] = None,
+    ) -> None:
+        self.manager = manager
+        self.ld = manager.ld
+        self.aru = aru
+        self.txn_id = txn_id
+        self.durable = durable
+        #: Wait-die priority; retries inherit it (see the runner).
+        self.timestamp = timestamp
+        self.state = "active"
+        self.breakdown = breakdown
+        self._executor = executor
+        if breakdown is not None:
+            breakdown.attempts += 1
+
+    # ------------------------------------------------------------------
+    # Locking and storage handoff
+    # ------------------------------------------------------------------
+
+    async def _lock(self, resource, mode: LockMode) -> None:
+        waited = await self.manager.locks.acquire_async(
+            self.txn_id, resource, mode
+        )
+        if self.breakdown is not None:
+            self.breakdown.lock_wait_us += waited
+
+    async def _ld_call(self, fn, *args, **kwargs):
+        """One LD operation, through the storage executor.
+
+        This is where the thread handoff happens: the call runs on an
+        executor thread (which may block on the LLD's internal lock),
+        the coroutine awaits the future, and the wall time is charged
+        to the breakdown's storage component.
+        """
+        start = time.monotonic()
+        try:
+            if self._executor is None:
+                return fn(*args, **kwargs)
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor, functools.partial(fn, *args, **kwargs)
+            )
+        finally:
+            if self.breakdown is not None:
+                self.breakdown.storage_us += (
+                    time.monotonic() - start
+                ) * 1e6
+
+    def _check_active(self) -> None:
+        if self.state != "active":
+            raise TransactionAborted(
+                f"transaction {self.txn_id} is {self.state}"
+            )
+
+    # ------------------------------------------------------------------
+    # Proxied LD operations
+    # ------------------------------------------------------------------
+
+    async def read(self, block_id: BlockId) -> bytes:
+        """Read a block under a shared lock."""
+        self._check_active()
+        await self._lock(("block", int(block_id)), LockMode.SHARED)
+        return await self._ld_call(self.ld.read, block_id, aru=self.aru)
+
+    async def write(self, block_id: BlockId, data: bytes) -> None:
+        """Write a block under an exclusive lock."""
+        self._check_active()
+        await self._lock(("block", int(block_id)), LockMode.EXCLUSIVE)
+        await self._ld_call(self.ld.write, block_id, data, aru=self.aru)
+
+    async def new_list(self) -> ListId:
+        """Allocate a list (exclusively locked to this transaction)."""
+        self._check_active()
+        list_id = await self._ld_call(self.ld.new_list, aru=self.aru)
+        await self._lock(("list", int(list_id)), LockMode.EXCLUSIVE)
+        return list_id
+
+    async def delete_list(self, list_id: ListId) -> None:
+        """Delete a list under an exclusive lock."""
+        self._check_active()
+        await self._lock(("list", int(list_id)), LockMode.EXCLUSIVE)
+        for block_id in await self._ld_call(
+            self.ld.list_blocks, list_id, aru=self.aru
+        ):
+            await self._lock(("block", int(block_id)), LockMode.EXCLUSIVE)
+        await self._ld_call(self.ld.delete_list, list_id, aru=self.aru)
+
+    async def new_block(
+        self, list_id: ListId, predecessor: Predecessor = FIRST
+    ) -> BlockId:
+        """Allocate a block in a list under an exclusive list lock."""
+        self._check_active()
+        await self._lock(("list", int(list_id)), LockMode.EXCLUSIVE)
+        block_id = await self._ld_call(
+            self.ld.new_block, list_id, predecessor, aru=self.aru
+        )
+        await self._lock(("block", int(block_id)), LockMode.EXCLUSIVE)
+        return block_id
+
+    async def delete_block(self, block_id: BlockId) -> None:
+        """Delete a block under an exclusive block lock."""
+        self._check_active()
+        await self._lock(("block", int(block_id)), LockMode.EXCLUSIVE)
+        await self._ld_call(self.ld.delete_block, block_id, aru=self.aru)
+
+    async def list_blocks(self, list_id: ListId) -> List[BlockId]:
+        """Enumerate a list under a shared lock."""
+        self._check_active()
+        await self._lock(("list", int(list_id)), LockMode.SHARED)
+        return await self._ld_call(
+            self.ld.list_blocks, list_id, aru=self.aru
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def commit(self) -> None:
+        """Commit: EndARU, then (optionally) flush — same failure
+        semantics as the sync transaction: no lock and no timestamp
+        registration outlives the attempt on any path."""
+        self._check_active()
+        try:
+            await self._ld_call(self.ld.end_aru, self.aru)
+        except BaseException:
+            await self._fail(discard_aru=True)
+            raise
+        try:
+            if self.durable:
+                await self._ld_call(self.ld.flush)
+        except BaseException:
+            await self._fail(discard_aru=False)
+            raise
+        self.state = "committed"
+        self.manager.locks.release_all(self.txn_id)
+        self.manager._finished(self)
+
+    async def _fail(self, discard_aru: bool) -> None:
+        """Tear down after a failed commit: best-effort ARU abort,
+        unconditional lock release and manager bookkeeping."""
+        self.state = "failed"
+        try:
+            if discard_aru:
+                await self._ld_call(self.ld.abort_aru, self.aru)
+        except Exception:
+            # The primary error (about to be re-raised by commit) is
+            # the story; a dead disk rejecting the abort adds nothing.
+            pass
+        finally:
+            self.manager.locks.release_all(self.txn_id)
+            self.manager._finished(self)
+
+    async def abort(self) -> None:
+        """Abort: discard the ARU's shadow state and release locks —
+        even when the disk rejects the ARU abort (dead volume)."""
+        if self.state != "active":
+            return
+        self.state = "aborted"
+        try:
+            await self._ld_call(self.ld.abort_aru, self.aru)
+        finally:
+            self.manager.locks.release_all(self.txn_id)
+            self.manager._finished(self)
+
+    async def __aenter__(self) -> "AsyncTransaction":
+        return self
+
+    async def __aexit__(self, exc_type, _exc, _tb) -> bool:
+        if exc_type is None:
+            await self.commit()
+        else:
+            await self.abort()
+        return False
+
+
+async def begin_async(
+    manager: TransactionManager,
+    durable: bool = True,
+    timestamp: Optional[int] = None,
+    executor=None,
+    breakdown: Optional[TxnBreakdown] = None,
+) -> AsyncTransaction:
+    """Start an async transaction on a (shared) manager.
+
+    Identity and ordering rules are the manager's: the transaction id
+    comes from the same sequence as sync transactions, the ARU begins
+    *before* the owner registers (a rejected ARU must leave no stale
+    ``_owner_ts`` entry), and ``timestamp`` threads a retried
+    victim's original wait-die age through.
+    """
+    txn_id = manager.next_txn_id()
+    txn = AsyncTransaction(
+        manager,
+        aru=None,  # type: ignore[arg-type]  — set right below
+        txn_id=txn_id,
+        durable=durable,
+        timestamp=txn_id if timestamp is None else timestamp,
+        executor=executor,
+        breakdown=breakdown,
+    )
+    # The begin_aru handoff reuses the transaction's own storage
+    # accounting; only after it succeeds does the owner register.
+    txn.aru = await txn._ld_call(manager.ld.begin_aru)
+    manager.locks.register(txn_id, txn.timestamp)
+    return txn
+
+
+async def run_transaction_async(
+    manager: TransactionManager,
+    body: Callable[[AsyncTransaction], Awaitable[T]],
+    max_attempts: int = 10,
+    durable: bool = True,
+    retry_backoff_s: float = 0.001,
+    executor=None,
+    breakdown: Optional[TxnBreakdown] = None,
+) -> T:
+    """Run an async ``body`` in a transaction, retrying wait-die
+    aborts under exactly ``run_transaction``'s contract:
+
+    * every retry reuses the **first attempt's timestamp** (victims
+      age instead of starving);
+    * ``LockError`` timeouts retry like deaths;
+    * retries back off linearly via ``asyncio.sleep`` (never blocking
+      the loop), capped at 50 ms;
+    * any other exception aborts the transaction and propagates, and
+      nothing — locks, waiter entries, timestamp registrations —
+      leaks on any path.
+    """
+    last_error: Optional[Exception] = None
+    timestamp: Optional[int] = None
+    for attempt in range(max_attempts):
+        if attempt and retry_backoff_s > 0:
+            await asyncio.sleep(min(retry_backoff_s * attempt, 0.05))
+        txn = await begin_async(
+            manager,
+            durable=durable,
+            timestamp=timestamp,
+            executor=executor,
+            breakdown=breakdown,
+        )
+        timestamp = txn.timestamp
+        try:
+            result = await body(txn)
+        except LockError as exc:
+            await txn.abort()
+            last_error = exc
+            continue
+        except BaseException:
+            try:
+                await txn.abort()
+            except Exception:
+                # The body's error is the story; a disk that also
+                # rejects the abort must not displace it.
+                pass
+            raise
+        try:
+            await txn.commit()
+        except LockError as exc:
+            # commit() already tore the transaction down.
+            last_error = exc
+            continue
+        return result
+    raise TransactionAborted(
+        f"transaction failed after {max_attempts} wait-die retries"
+    ) from last_error

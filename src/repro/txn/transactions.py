@@ -27,6 +27,29 @@ from repro.txn.locks import LockManager, LockMode
 T = TypeVar("T")
 
 
+class TxnBreakdown:
+    """Where one request's wall-clock time went, across retries.
+
+    The front end hands one instance per request to
+    :func:`run_transaction` (or the async runner); every attempt's
+    transaction accumulates into it, so at completion the request's
+    service time decomposes into **lock wait** (inside
+    :meth:`LockManager.acquire`), **storage** (inside the logical
+    disk's operations, commit and flush included) and a scheduling/
+    CPU remainder.  All values are host wall-clock microseconds — the
+    same time base as the front end's service histograms, so the
+    components of one request genuinely sum (the simulated-µs commit
+    latency is a different, per-shard story).
+    """
+
+    __slots__ = ("lock_wait_us", "storage_us", "attempts")
+
+    def __init__(self) -> None:
+        self.lock_wait_us = 0.0
+        self.storage_us = 0.0
+        self.attempts = 0
+
+
 class Transaction:
     """One ACID transaction over a logical disk.
 
@@ -42,6 +65,7 @@ class Transaction:
         txn_id: int,
         durable: bool,
         timestamp: int,
+        breakdown: Optional[TxnBreakdown] = None,
     ) -> None:
         self.manager = manager
         self.ld = manager.ld
@@ -53,16 +77,38 @@ class Transaction:
         #: so a victim ages instead of starving.
         self.timestamp = timestamp
         self.state = "active"
+        self.breakdown = breakdown
+        if breakdown is not None:
+            breakdown.attempts += 1
 
     # ------------------------------------------------------------------
     # Locking helpers
     # ------------------------------------------------------------------
 
     def _lock_block(self, block_id: BlockId, mode: LockMode) -> None:
-        self.manager.locks.acquire(self.txn_id, ("block", int(block_id)), mode)
+        waited = self.manager.locks.acquire(
+            self.txn_id, ("block", int(block_id)), mode
+        )
+        if self.breakdown is not None:
+            self.breakdown.lock_wait_us += waited
 
     def _lock_list(self, list_id: ListId, mode: LockMode) -> None:
-        self.manager.locks.acquire(self.txn_id, ("list", int(list_id)), mode)
+        waited = self.manager.locks.acquire(
+            self.txn_id, ("list", int(list_id)), mode
+        )
+        if self.breakdown is not None:
+            self.breakdown.lock_wait_us += waited
+
+    def _ld_call(self, fn, *args, **kwargs):
+        """Run one logical-disk operation, charging its wall time to
+        the breakdown's storage component when one is attached."""
+        if self.breakdown is None:
+            return fn(*args, **kwargs)
+        start = time.monotonic()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.breakdown.storage_us += (time.monotonic() - start) * 1e6
 
     def _check_active(self) -> None:
         if self.state != "active":
@@ -78,18 +124,18 @@ class Transaction:
         """Read a block under a shared lock."""
         self._check_active()
         self._lock_block(block_id, LockMode.SHARED)
-        return self.ld.read(block_id, aru=self.aru)
+        return self._ld_call(self.ld.read, block_id, aru=self.aru)
 
     def write(self, block_id: BlockId, data: bytes) -> None:
         """Write a block under an exclusive lock."""
         self._check_active()
         self._lock_block(block_id, LockMode.EXCLUSIVE)
-        self.ld.write(block_id, data, aru=self.aru)
+        self._ld_call(self.ld.write, block_id, data, aru=self.aru)
 
     def new_list(self) -> ListId:
         """Allocate a list (exclusively locked to this transaction)."""
         self._check_active()
-        list_id = self.ld.new_list(aru=self.aru)
+        list_id = self._ld_call(self.ld.new_list, aru=self.aru)
         self._lock_list(list_id, LockMode.EXCLUSIVE)
         return list_id
 
@@ -97,9 +143,11 @@ class Transaction:
         """Delete a list under an exclusive lock."""
         self._check_active()
         self._lock_list(list_id, LockMode.EXCLUSIVE)
-        for block_id in self.ld.list_blocks(list_id, aru=self.aru):
+        for block_id in self._ld_call(
+            self.ld.list_blocks, list_id, aru=self.aru
+        ):
             self._lock_block(block_id, LockMode.EXCLUSIVE)
-        self.ld.delete_list(list_id, aru=self.aru)
+        self._ld_call(self.ld.delete_list, list_id, aru=self.aru)
 
     def new_block(
         self, list_id: ListId, predecessor: Predecessor = FIRST
@@ -107,7 +155,9 @@ class Transaction:
         """Allocate a block in a list under an exclusive list lock."""
         self._check_active()
         self._lock_list(list_id, LockMode.EXCLUSIVE)
-        block_id = self.ld.new_block(list_id, predecessor, aru=self.aru)
+        block_id = self._ld_call(
+            self.ld.new_block, list_id, predecessor, aru=self.aru
+        )
         self._lock_block(block_id, LockMode.EXCLUSIVE)
         return block_id
 
@@ -115,13 +165,13 @@ class Transaction:
         """Delete a block under exclusive block and list locks."""
         self._check_active()
         self._lock_block(block_id, LockMode.EXCLUSIVE)
-        self.ld.delete_block(block_id, aru=self.aru)
+        self._ld_call(self.ld.delete_block, block_id, aru=self.aru)
 
     def list_blocks(self, list_id: ListId) -> List[BlockId]:
         """Enumerate a list under a shared lock."""
         self._check_active()
         self._lock_list(list_id, LockMode.SHARED)
-        return self.ld.list_blocks(list_id, aru=self.aru)
+        return self._ld_call(self.ld.list_blocks, list_id, aru=self.aru)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -139,13 +189,13 @@ class Transaction:
         """
         self._check_active()
         try:
-            self.ld.end_aru(self.aru)
+            self._ld_call(self.ld.end_aru, self.aru)
         except BaseException:
             self._fail(discard_aru=True)
             raise
         try:
             if self.durable:
-                self.ld.flush()
+                self._ld_call(self.ld.flush)
         except BaseException:
             # The ARU is already committed (and durable at the next
             # successful flush); only the transaction bookkeeping and
@@ -212,7 +262,10 @@ class TransactionManager:
         self.aborted = 0
 
     def begin(
-        self, durable: bool = True, timestamp: Optional[int] = None
+        self,
+        durable: bool = True,
+        timestamp: Optional[int] = None,
+        breakdown: Optional[TxnBreakdown] = None,
     ) -> Transaction:
         """Start a transaction (an ARU plus a lock-owner identity).
 
@@ -221,6 +274,9 @@ class TransactionManager:
         original timestamp so the victim gets relatively older each
         round instead of starting over as the youngest — the
         starvation-freedom half of the wait-die contract.
+
+        ``breakdown`` attaches a :class:`TxnBreakdown` the transaction
+        charges its lock waits and storage calls to.
         """
         with self._mutex:
             txn_id = self._next_txn
@@ -232,7 +288,16 @@ class TransactionManager:
         aru = self.ld.begin_aru()
         ts = txn_id if timestamp is None else timestamp
         self.locks.register(txn_id, ts)
-        return Transaction(self, aru, txn_id, durable, ts)
+        return Transaction(self, aru, txn_id, durable, ts, breakdown)
+
+    def next_txn_id(self) -> int:
+        """Allot the next transaction id (shared with the async
+        path, so sync and async transactions draw wait-die ages from
+        one ordered sequence)."""
+        with self._mutex:
+            txn_id = self._next_txn
+            self._next_txn += 1
+        return txn_id
 
     def _finished(self, txn: Transaction) -> None:
         with self._mutex:
@@ -291,6 +356,7 @@ def run_transaction(
     max_attempts: int = 10,
     durable: bool = True,
     retry_backoff_s: float = 0.001,
+    breakdown: Optional[TxnBreakdown] = None,
 ) -> T:
     """Run ``body`` in a transaction, retrying on wait-die aborts.
 
@@ -318,7 +384,9 @@ def run_transaction(
     for attempt in range(max_attempts):
         if attempt and retry_backoff_s > 0:
             time.sleep(min(retry_backoff_s * attempt, 0.05))
-        txn = manager.begin(durable=durable, timestamp=timestamp)
+        txn = manager.begin(
+            durable=durable, timestamp=timestamp, breakdown=breakdown
+        )
         timestamp = txn.timestamp
         try:
             result = body(txn)

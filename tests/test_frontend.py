@@ -41,6 +41,7 @@ def assert_no_leaks(stats: dict) -> None:
     assert locks["resources_locked"] == 0, locks
     assert locks["locks_held"] == 0, locks
     assert locks["waiters"] == 0, locks
+    assert locks["async_waiters"] == 0, locks
 
 
 def provisioned_frontend(config: FrontendConfig = None):

@@ -1,0 +1,405 @@
+"""Async front-end tests: crash-mid-storm, interference, parity.
+
+The deterministic concurrency harness for the asyncio lanes — the
+async mirror of ``tests/test_frontend.py``'s proof obligations:
+
+* a 4-shard array dies at fixed crash points while hundreds of
+  coroutine clients storm the async lanes; the locks (thread *and*
+  event-loop waiter tables) must quiesce leak-free, and
+  :func:`repro.recover` must yield an all-or-nothing, byte-identical
+  image — twice, from the same saved disks;
+* cleaner + scrubber passes mid-storm leave the platter
+  ``verify_lld``-clean and the decomposed latency stats schema-valid;
+* the same seeded open-loop plan sequence through thread lanes and
+  async lanes commits the same work (the lane knob changes the
+  scheduler, never the outcome).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.disk.faults import CrashPlan, FaultInjector
+from repro.disk.geometry import DiskGeometry
+from repro.disk.simdisk import SimulatedDisk
+from repro.errors import DiskCrashedError
+from repro.frontend import (
+    AsyncFrontEnd,
+    FrontEnd,
+    FrontendConfig,
+    MaintenanceDriver,
+    make_frontend,
+)
+from repro.lld.verify import verify_lld
+from repro.obs.schema import validate_artifact, validate_frontend_stats
+from repro.shard.sharded import build_sharded
+from repro.workloads.openloop import (
+    OpenLoopConfig,
+    provision_hot_block,
+    provision_tenants,
+    run_openloop,
+    run_openloop_async,
+)
+from tests.conftest import make_lld
+from tests.test_frontend import CrashStorm, assert_no_leaks
+
+
+def async_frontend(ld, **overrides) -> AsyncFrontEnd:
+    defaults = dict(lane_impl="async", max_inflight=256)
+    defaults.update(overrides)
+    return make_frontend(ld, FrontendConfig(**defaults))
+
+
+class TestAsyncSchedulerBasics:
+    def test_make_frontend_dispatches_on_lane_impl(self):
+        ld = make_lld()
+        frontend = make_frontend(ld, FrontendConfig(lane_impl="async"))
+        try:
+            assert isinstance(frontend, AsyncFrontEnd)
+        finally:
+            frontend.close()
+        assert isinstance(make_frontend(make_lld()), FrontEnd)
+        with pytest.raises(ValueError, match="lane_impl"):
+            FrontendConfig(lane_impl="fiber").validate()
+        # Constructors reject the mismatched knob rather than
+        # silently running the wrong scheduler.
+        with pytest.raises(ValueError, match="lane"):
+            FrontEnd(make_lld(), FrontendConfig(lane_impl="async"))
+        with pytest.raises(ValueError, match="lane"):
+            AsyncFrontEnd(make_lld(), FrontendConfig(lane_impl="thread"))
+
+    def test_sync_submit_runs_async_and_sync_bodies(self):
+        ld = make_lld()
+        frontend = async_frontend(ld)
+        lst = ld.new_list()
+        block = ld.new_block(lst)
+        ld.write(block, b"\0" * 16)
+        ld.flush()
+
+        def sync_body(txn):
+            txn.write(block, b"sync")
+            return txn.read(block)
+
+        async def async_body(txn):
+            await txn.write(block, b"asyn")
+            return await txn.read(block)
+
+        assert frontend.submit(sync_body, "a").wait(10.0)[:4] == b"sync"
+        assert frontend.submit(async_body, "a").wait(10.0)[:4] == b"asyn"
+        stats = frontend.stats()
+        frontend.close()
+        assert stats["lane_impl"] == "async"
+        assert stats["completed"] == 2
+        assert_no_leaks(stats)
+
+    def test_submit_async_and_wait_async_on_the_loop(self):
+        ld = make_lld()
+        frontend = async_frontend(ld)
+        lst = ld.new_list()
+        block = ld.new_block(lst)
+        ld.write(block, b"\0" * 16)
+        ld.flush()
+
+        async def client(stamp: int) -> bytes:
+            async def body(txn):
+                await txn.write(block, bytes([stamp]) * 8)
+                return await txn.read(block)
+
+            request = await frontend.submit_async(body, f"t{stamp % 4}")
+            return await request.wait_async()
+
+        async def swarm():
+            import asyncio
+
+            return await asyncio.gather(*(client(i) for i in range(1, 33)))
+
+        results = frontend.run_on_loop(swarm()).result(30.0)
+        stats = frontend.stats()
+        frontend.close()
+        assert len(results) == 32
+        for data in results:
+            assert len(set(data[:8])) == 1  # each read saw one write
+        assert stats["completed"] == 32
+        assert_no_leaks(stats)
+
+    def test_failure_propagates_to_async_waiter(self):
+        ld = make_lld()
+        frontend = async_frontend(ld)
+
+        async def broken(_txn):
+            raise ValueError("application bug")
+
+        handle = frontend.submit(broken, "t")
+        with pytest.raises(ValueError, match="application bug"):
+            handle.wait(10.0)
+        assert handle.state == "failed"
+        stats = frontend.stats()
+        frontend.close()
+        assert stats["failed"] == 1
+        assert_no_leaks(stats)
+
+    def test_stats_schema_identical_across_impls(self):
+        def paths(tree, prefix=""):
+            out = set()
+            for key, value in tree.items():
+                where = f"{prefix}.{key}" if prefix else key
+                if isinstance(value, dict) and key != "per_tenant_completed":
+                    out |= paths(value, where)
+                else:
+                    out.add(where)
+            return out
+
+        ld = make_lld()
+        thread_fe = make_frontend(ld, FrontendConfig())
+        thread_stats = thread_fe.stats()
+        thread_fe.close()
+        ld2 = make_lld()
+        async_fe = async_frontend(ld2)
+        async_stats = async_fe.stats()
+        async_fe.close()
+        assert paths(thread_stats) == paths(async_stats)
+        assert validate_frontend_stats(thread_stats) == []
+        assert validate_frontend_stats(async_stats) == []
+
+
+class AsyncCrashStorm(CrashStorm):
+    """The crash-mid-storm rig, stormed by coroutine clients."""
+
+    def storm(self, volume, tenants, hot):
+        """Same uniform-fill rewrite storm as the threaded rig, but
+        every request is an async body submitted by a client
+        coroutine on the front end's loop (shed-not-queue admission,
+        mirroring ``try_submit``)."""
+        import asyncio
+
+        from repro.frontend.scheduler import RequestRejected
+
+        frontend = make_frontend(
+            volume,
+            FrontendConfig(
+                lane_impl="async",
+                max_inflight=64,
+                lock_timeout_s=1.0,
+                # 4 lanes x 8 txn slots = 32 concurrent transactions
+                # all bumping one hot counter — four times the
+                # threaded rig's contention, so a deeper wait-die
+                # retry budget.
+                max_attempts=64,
+                async_txns_per_lane=8,
+            ),
+        )
+        names = sorted(tenants)
+        handles = []
+
+        async def client(tenant, fill):
+            async def body(txn):
+                for block in tenant.blocks:
+                    await txn.write(block, fill)
+                counter = int.from_bytes(
+                    (await txn.read(hot))[:8], "little"
+                )
+                await txn.write(
+                    hot,
+                    (counter + 1)
+                    .to_bytes(8, "little")
+                    .ljust(self.PAYLOAD, b"\0"),
+                )
+
+            try:
+                request = await frontend.submit_async(
+                    body, tenant.name, shard=tenant.shard, wait=False
+                )
+            except RequestRejected:
+                return
+            handles.append(request)
+            try:
+                await request.wait_async()
+            except BaseException:  # noqa: BLE001 — tallied via state
+                pass
+
+        async def swarm():
+            clients = []
+            for index in range(self.N_REQUESTS):
+                tenant = tenants[names[index % len(names)]]
+                fill = bytes([1 + index % 255]) * self.PAYLOAD
+                clients.append(
+                    asyncio.get_running_loop().create_task(
+                        client(tenant, fill)
+                    )
+                )
+            await asyncio.gather(*clients)
+
+        frontend.run_on_loop(swarm()).result(120.0)
+        frontend.drain()
+        stats = frontend.stats()
+        frontend.close(flush=False)  # the disks are (probably) dead
+        return handles, stats
+
+
+class TestAsyncCrashDuringLoad(AsyncCrashStorm):
+    @pytest.mark.parametrize("delta", [7, 31])
+    def test_crash_mid_storm_recovers_all_or_nothing(self, delta, tmp_path):
+        """Cut power a fixed number of disk writes into the async
+        storm (two fixed crash points); the thread AND event-loop
+        waiter tables must quiesce leak-free, and ``repro.recover``
+        — run twice from the same saved disks — must be
+        all-or-nothing per transaction and byte-identical."""
+        injector = FaultInjector(
+            CrashPlan(
+                after_writes=self.setup_writes() + delta,
+                torn=True,
+                seed=delta,
+                granularity="byte",
+            )
+        )
+        volume = self.build(injector)
+        tenants, hot = self.provision(volume)
+        handles, stats = self.storm(volume, tenants, hot)
+
+        crashed = [h for h in handles if h.state == "failed"]
+        assert crashed, "the crash plan never fired mid-storm"
+        assert all(
+            isinstance(h.error, DiskCrashedError) for h in crashed
+        ), [type(h.error) for h in crashed]
+        # THE regression: a storm of failed commits must leak
+        # nothing — no held locks, no waiters (thread or async), no
+        # stale timestamps.
+        assert_no_leaks(stats)
+        assert stats["inflight"] == 0
+
+        cycled = [shard.disk.power_cycle() for shard in volume.shards]
+        paths = []
+        for index, disk in enumerate(cycled):
+            path = tmp_path / f"shard{index}.img"
+            disk.save_image(path)
+            paths.append(path)
+
+        readings = []
+        for _attempt in range(2):
+            disks = [SimulatedDisk.load_image(path) for path in paths]
+            recovered, _report = repro.recover(disks)
+            self.check_recovered(
+                recovered, tenants, hot, max_commits=len(handles)
+            )
+            readings.append(
+                {
+                    "tenants": {
+                        name: [
+                            bytes(recovered.read(block))
+                            for block in tenant.blocks
+                        ]
+                        for name, tenant in tenants.items()
+                    },
+                    "hot": bytes(recovered.read(hot)),
+                }
+            )
+        assert readings[0] == readings[1], "recovery is not deterministic"
+
+    def test_clean_async_storm_commits_everything(self):
+        """Control run: no crash plan, same async storm — every
+        request commits, the hot counter is exact, nothing leaks."""
+        volume = self.build(FaultInjector())
+        tenants, hot = self.provision(volume)
+        handles, stats = self.storm(volume, tenants, hot)
+        assert stats["failed"] == 0
+        assert stats["gave_up"] == 0
+        assert len(handles) == stats["admitted"]
+        assert stats["completed"] == len(handles)
+        assert_no_leaks(stats)
+        volume.flush()
+        counter = int.from_bytes(volume.read(hot)[:8], "little")
+        assert counter == stats["completed"]
+
+
+class TestMaintenanceInterference:
+    def test_cleaner_and_scrubber_mid_storm(self):
+        """Cleaner + scrubber passes *during* an async open-loop storm:
+        every shard stays ``verify_lld``-clean, every request still
+        commits leak-free, and the decomposed latency stats remain
+        schema-valid (the exact surface ``python -m repro.obs.schema``
+        checks)."""
+        volume = build_sharded(
+            2,
+            geometry=DiskGeometry.small(num_segments=96),
+            checkpoint_slot_segments=2,
+            writeback_depth=4,
+        )
+        frontend = async_frontend(volume, max_tenant_queue=64)
+        tenants = provision_tenants(volume, 8, blocks_per_tenant=3)
+        hot = provision_hot_block(volume)
+        config = OpenLoopConfig(
+            rate=1e9,
+            n_requests=200,
+            n_tenants=8,
+            blocks_per_tenant=3,
+            hot_fraction=0.1,
+            seed=11,
+            pace=False,
+        )
+        with MaintenanceDriver(volume, interval_s=0.01) as driver:
+            result = run_openloop_async(
+                frontend, tenants, config, hot_block=hot
+            )
+        stats = frontend.stats()
+        frontend.close()
+        assert driver.error is None, driver.error
+        assert result.failed == 0
+        assert result.completed == result.admitted
+        assert_no_leaks(stats)
+        for shard in volume.shards:
+            assert verify_lld(shard) == []
+        assert validate_frontend_stats(stats) == []
+        artifact = {
+            "experiment": "interference",
+            "variants": {
+                "storm": {"stats": volume.stats(), "frontend": stats}
+            },
+        }
+        assert validate_artifact(artifact) == []
+        # The decomposition genuinely covered the storm.
+        assert stats["latency"]["storage"]["count"] == result.completed
+
+
+class TestLaneParity:
+    def test_same_plans_commit_the_same_work(self):
+        """One seeded open-loop plan sequence, both lane impls, no
+        shedding: identical completed counts and identical hot-block
+        commit totals — the knob changes the scheduler only."""
+        outcomes = {}
+        for lane_impl in ("thread", "async"):
+            volume = build_sharded(
+                2,
+                geometry=DiskGeometry.small(num_segments=96),
+                checkpoint_slot_segments=2,
+            )
+            frontend = make_frontend(
+                volume,
+                FrontendConfig(
+                    lane_impl=lane_impl,
+                    max_inflight=512,
+                    max_tenant_queue=128,
+                ),
+            )
+            tenants = provision_tenants(volume, 6, blocks_per_tenant=3)
+            hot = provision_hot_block(volume)
+            config = OpenLoopConfig(
+                rate=1e9,
+                n_requests=180,
+                n_tenants=6,
+                blocks_per_tenant=3,
+                hot_fraction=0.25,
+                read_fraction=0.25,
+                seed=42,
+                pace=False,
+            )
+            runner = (
+                run_openloop_async if lane_impl == "async" else run_openloop
+            )
+            result = runner(frontend, tenants, config, hot_block=hot)
+            frontend.close()
+            assert result.shed == 0, (lane_impl, result)
+            assert result.failed == 0 and result.gave_up == 0
+            assert_no_leaks(result.frontend)
+            outcomes[lane_impl] = (result.completed, result.hot_value)
+        assert outcomes["thread"] == outcomes["async"], outcomes
